@@ -1,0 +1,65 @@
+// Ablation — the energy motivation behind AxSNNs (paper Section I, citing
+// Sen et al. [2]: weight approximation buys ~4x energy at iso-accuracy).
+//
+// Sweeps the approximation level and precision scale, reporting the
+// spike-driven synaptic-op energy of each variant relative to the FP32
+// accurate network, alongside its clean accuracy.
+#include <iostream>
+
+#include "approx/energy.hpp"
+#include "bench_common.hpp"
+#include "eval/report.hpp"
+#include "snn/encoding.hpp"
+
+using namespace axsnn;
+
+int main() {
+  bench::PrintBanner(
+      "Energy ablation (the 4x claim of ref. [2])",
+      "approximation reduces synaptic-op energy ~4x at moderate accuracy "
+      "cost; INT8 precision scaling compounds it");
+
+  core::StaticWorkbench workbench(bench::MakeStaticTrain(1024),
+                                  bench::MakeStaticTest(256),
+                                  bench::FigureOptions());
+  auto model = workbench.Train(/*vth=*/0.25f, /*time_steps=*/32);
+
+  // Energy probe: one rate-encoded batch of clean test images.
+  Rng rng(99);
+  Shape probe_shape = workbench.test_set().images.shape();
+  probe_shape[0] = 64;
+  Tensor probe_images(probe_shape);
+  std::copy(workbench.test_set().images.data(),
+            workbench.test_set().images.data() + probe_images.numel(),
+            probe_images.data());
+  Tensor probe = snn::EncodeRate(probe_images, model.time_steps, rng);
+
+  approx::EnergyReport base =
+      approx::EstimateEnergy(model.net, probe, approx::Precision::kFp32);
+  std::cout << "AccSNN FP32 energy: " << base.total_energy
+            << " MAC-equivalents/sample over T=" << model.time_steps << "\n";
+
+  std::vector<std::vector<std::string>> rows;
+  for (approx::Precision precision :
+       {approx::Precision::kFp32, approx::Precision::kFp16,
+        approx::Precision::kInt8}) {
+    for (double level : {0.0, 0.001, 0.01, 0.05, 0.1, 0.2}) {
+      snn::Network ax = workbench.MakeAx(model, level, precision);
+      approx::EnergyReport e = approx::EstimateEnergy(ax, probe, precision);
+      const float acc = workbench.AccuracyPct(
+          ax, workbench.test_set().images, model.time_steps);
+      rows.push_back({approx::PrecisionName(precision),
+                      eval::FormatValue(level, 3),
+                      eval::FormatValue(acc),
+                      eval::FormatValue(base.total_energy / e.total_energy, 2),
+                      eval::FormatValue(base.total_ops / e.total_ops, 2)});
+    }
+  }
+
+  eval::PrintTable(std::cout,
+                   "Energy vs approximation level (relative to FP32 AccSNN)",
+                   {"precision", "level", "clean acc [%]", "energy saving x",
+                    "op saving x"},
+                   rows);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Fig. 4 — Accuracy of the AxSNN (approximation level 0.01, precision scale
+// FP32) under PGD and BIM at paper eps 1.0, over the (Vth x T) grid.
+//
+// Paper: accuracy varies strongly across the grid; a robust band exists at
+// moderate Vth (0.5-1.25) and degenerates at Vth >= 1.75 where LIF neurons
+// barely fire.
+#include "bench_common.hpp"
+
+int main() {
+  axsnn::bench::RunPrecisionHeatmap(
+      axsnn::approx::Precision::kFp32, "Fig. 4 (FP32 heatmap)",
+      "robust band at moderate Vth; collapse at Vth >= 1.75 and high T");
+  return 0;
+}

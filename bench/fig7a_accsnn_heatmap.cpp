@@ -1,0 +1,38 @@
+// Fig. 7a — Clean accuracy of the *accurate* SNN (no attack, no
+// approximation) over the (Vth x T) grid: the baseline against which the
+// precision-scaled heatmaps (Figs. 4-6) are compared.
+//
+// Paper: broad high-accuracy plateau (94-99%) with degradation in the
+// high-Vth corner where spiking activity dies out.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "eval/report.hpp"
+
+using namespace axsnn;
+
+int main() {
+  bench::PrintBanner("Fig. 7a (AccSNN clean-accuracy heatmap)",
+                     "high plateau, collapse at very high Vth");
+  core::StaticWorkbench workbench(bench::MakeStaticTrain(384),
+                                  bench::MakeStaticTest(192),
+                                  bench::HeatmapOptions());
+  const auto vths = bench::VthGrid();
+  const auto times = bench::TimeGrid();
+  std::vector<std::vector<double>> clean(times.size(),
+                                         std::vector<double>(vths.size()));
+
+  bench::ForEachHeatmapCell(
+      workbench,
+      [&](bench::HeatmapCell& cell, std::size_t row, std::size_t col) {
+        clean[row][col] = workbench.AccuracyPct(
+            cell.model.net, workbench.test_set().images,
+            cell.model.time_steps);
+      });
+
+  std::vector<double> time_labels(times.begin(), times.end());
+  std::vector<double> vth_labels(vths.begin(), vths.end());
+  eval::PrintHeatmap(std::cout, "Fig. 7a: AccSNN clean accuracy [%]",
+                     "timesteps", time_labels, "Vth", vth_labels, clean);
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Micro-benchmarks (google-benchmark) for the SNN compute kernels: the
+// per-layer costs that dominate every experiment in this repo. Useful for
+// tracking kernel regressions independently of the experiment harnesses.
+#include <benchmark/benchmark.h>
+
+#include "data/dvs_gesture.hpp"
+#include "snn/conv2d.hpp"
+#include "snn/dense.hpp"
+#include "snn/encoding.hpp"
+#include "snn/lif_layer.hpp"
+#include "snn/models.hpp"
+
+namespace {
+
+using namespace axsnn;
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const long channels = state.range(0);
+  Rng rng(1);
+  snn::Conv2d conv("c", channels, channels * 2, 3, 1, rng);
+  Tensor x = Tensor::Uniform({8, 8, channels, 16, 16}, 0.0f, 1.0f, rng);
+  for (auto _ : state) {
+    Tensor y = conv.Forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_Conv2dForward)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  const long channels = state.range(0);
+  Rng rng(2);
+  snn::Conv2d conv("c", channels, channels * 2, 3, 1, rng);
+  Tensor x = Tensor::Uniform({8, 8, channels, 16, 16}, 0.0f, 1.0f, rng);
+  Tensor y = conv.Forward(x, true);
+  Tensor g = Tensor::Uniform(y.shape(), -1.0f, 1.0f, rng);
+  for (auto _ : state) {
+    conv.ZeroGrad();
+    Tensor gi = conv.Backward(g);
+    benchmark::DoNotOptimize(gi.data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_Conv2dBackward)->Arg(4)->Arg(8);
+
+void BM_LifForward(benchmark::State& state) {
+  const long t_steps = state.range(0);
+  Rng rng(3);
+  snn::LifParams params;
+  snn::LifLayer lif("l", params);
+  Tensor x = Tensor::Uniform({t_steps, 32, 1024}, 0.0f, 2.0f, rng);
+  for (auto _ : state) {
+    Tensor s = lif.Forward(x, false);
+    benchmark::DoNotOptimize(s.data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_LifForward)->Arg(16)->Arg(32)->Arg(80);
+
+void BM_LifBackward(benchmark::State& state) {
+  const long t_steps = state.range(0);
+  Rng rng(4);
+  snn::LifParams params;
+  snn::LifLayer lif("l", params);
+  Tensor x = Tensor::Uniform({t_steps, 32, 1024}, 0.0f, 2.0f, rng);
+  lif.Forward(x, true);
+  Tensor g = Tensor::Uniform(x.shape(), -1.0f, 1.0f, rng);
+  for (auto _ : state) {
+    Tensor gi = lif.Backward(g);
+    benchmark::DoNotOptimize(gi.data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_LifBackward)->Arg(16)->Arg(32);
+
+void BM_DenseForward(benchmark::State& state) {
+  Rng rng(5);
+  snn::Dense fc("fc", 256, 64, rng);
+  Tensor x = Tensor::Uniform({16, 32, 256}, 0.0f, 1.0f, rng);
+  for (auto _ : state) {
+    Tensor y = fc.Forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_DenseForward);
+
+void BM_RateEncode(benchmark::State& state) {
+  Rng rng(6);
+  Tensor images = Tensor::Uniform({32, 1, 16, 16}, 0.0f, 1.0f, rng);
+  for (auto _ : state) {
+    Tensor spikes = snn::EncodeRate(images, 32, rng);
+    benchmark::DoNotOptimize(spikes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * images.numel() * 32);
+}
+BENCHMARK(BM_RateEncode);
+
+void BM_DvsSimulation(benchmark::State& state) {
+  data::DvsGestureOptions opts;
+  Rng rng(7);
+  for (auto _ : state) {
+    data::EventStream s = data::SimulateGesture(0, opts, rng);
+    benchmark::DoNotOptimize(s.events.data());
+  }
+}
+BENCHMARK(BM_DvsSimulation);
+
+void BM_EventBinning(benchmark::State& state) {
+  data::DvsGestureOptions opts;
+  Rng rng(8);
+  data::EventStream s = data::SimulateGesture(3, opts, rng);
+  for (auto _ : state) {
+    Tensor frames = data::BinEvents(s, 24);
+    benchmark::DoNotOptimize(frames.data());
+  }
+  state.SetItemsProcessed(state.iterations() * s.size());
+}
+BENCHMARK(BM_EventBinning);
+
+void BM_StaticNetForward(benchmark::State& state) {
+  snn::StaticNetOptions opts;
+  snn::Network net = snn::BuildStaticNet(opts);
+  Rng rng(9);
+  Tensor x = Tensor::Uniform({12, 32, 1, 16, 16}, 0.0f, 1.0f, rng);
+  for (auto _ : state) {
+    Tensor y = net.Forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_StaticNetForward);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// Example: explore the energy/accuracy/robustness trade-off surface of
+// approximate SNNs — the design loop an embedded-ML engineer would run
+// before deploying on an ultra-low-power device.
+//
+// For a grid of (approximation level, precision scale) points it reports
+// clean accuracy, PGD accuracy, and estimated inference energy, then prints
+// the Pareto-optimal configurations.
+//
+// Run: ./build/examples/energy_explorer
+#include <iostream>
+
+#include "approx/energy.hpp"
+#include "core/workbench.hpp"
+#include "eval/report.hpp"
+#include "snn/encoding.hpp"
+
+using namespace axsnn;
+
+namespace {
+
+struct DesignPoint {
+  approx::Precision precision;
+  double level;
+  float clean_pct;
+  float attacked_pct;
+  double energy;  // MAC-equivalents per sample
+};
+
+}  // namespace
+
+int main() {
+  data::SyntheticMnistOptions gen;
+  gen.count = 1024;
+  gen.seed = 55;
+  data::StaticDataset train = data::MakeSyntheticMnist(gen);
+  gen.count = 256;
+  gen.seed = 66;
+  data::StaticDataset test = data::MakeSyntheticMnist(gen);
+
+  core::StaticWorkbench::Options opts;
+  opts.train.epochs = 5;
+  core::StaticWorkbench bench(std::move(train), std::move(test), opts);
+  auto model = bench.Train(/*vth=*/0.25f, /*time_steps=*/32);
+  Tensor adversarial = bench.Craft(model, core::AttackKind::kPgd, 0.03f);
+
+  // Energy probe input.
+  Rng rng(7);
+  Shape probe_shape = bench.test_set().images.shape();
+  probe_shape[0] = 64;
+  Tensor probe_images(probe_shape);
+  std::copy(bench.test_set().images.data(),
+            bench.test_set().images.data() + probe_images.numel(),
+            probe_images.data());
+  Tensor probe = snn::EncodeRate(probe_images, model.time_steps, rng);
+
+  std::vector<DesignPoint> points;
+  for (approx::Precision precision :
+       {approx::Precision::kFp32, approx::Precision::kFp16,
+        approx::Precision::kInt8}) {
+    for (double level : {0.0, 0.005, 0.02, 0.05, 0.1}) {
+      snn::Network ax = bench.MakeAx(model, level, precision);
+      DesignPoint p;
+      p.precision = precision;
+      p.level = level;
+      p.clean_pct =
+          bench.AccuracyPct(ax, bench.test_set().images, model.time_steps);
+      p.attacked_pct = bench.AccuracyPct(ax, adversarial, model.time_steps);
+      p.energy = approx::EstimateEnergy(ax, probe, precision).total_energy;
+      points.push_back(p);
+    }
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  for (const DesignPoint& p : points)
+    rows.push_back({approx::PrecisionName(p.precision),
+                    eval::FormatValue(p.level, 3),
+                    eval::FormatValue(p.clean_pct),
+                    eval::FormatValue(p.attacked_pct),
+                    eval::FormatValue(p.energy / 1000.0, 1)});
+  eval::PrintTable(std::cout, "design space (energy in kMAC-eq/sample)",
+                   {"precision", "level", "clean [%]", "PGD [%]", "energy"},
+                   rows);
+
+  // Pareto front over (attacked accuracy up, energy down).
+  std::cout << "Pareto-optimal (robustness vs energy):\n";
+  for (const DesignPoint& p : points) {
+    bool dominated = false;
+    for (const DesignPoint& q : points) {
+      if (q.attacked_pct >= p.attacked_pct && q.energy < p.energy &&
+          (q.attacked_pct > p.attacked_pct || q.energy < p.energy * 0.999)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      std::cout << "  " << approx::PrecisionName(p.precision)
+                << " level=" << p.level << ": PGD " << p.attacked_pct
+                << "%, " << p.energy / 1000.0 << " kMAC\n";
+    }
+  }
+  return 0;
+}

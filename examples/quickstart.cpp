@@ -1,0 +1,94 @@
+// Quickstart: train a spiking classifier on the synthetic digit dataset,
+// derive an approximate (energy-saving) variant, and compare their accuracy
+// and estimated inference energy.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <chrono>
+#include <iostream>
+
+#include "approx/approximation.hpp"
+#include "approx/energy.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "snn/encoding.hpp"
+#include "snn/inference.hpp"
+#include "snn/models.hpp"
+#include "snn/trainer.hpp"
+
+using namespace axsnn;
+
+int main() {
+  // 1. Data: a deterministic, procedurally generated 10-class digit set.
+  data::SyntheticMnistOptions data_opts;
+  data_opts.count = 2048;
+  data_opts.seed = 1;
+  data::StaticDataset train = data::MakeSyntheticMnist(data_opts);
+  data_opts.count = 512;
+  data_opts.seed = 2;
+  data::StaticDataset test = data::MakeSyntheticMnist(data_opts);
+  std::cout << "dataset: " << train.size() << " train / " << test.size()
+            << " test images ("
+            << data_opts.height << "x" << data_opts.width << ")\n";
+
+  // 2. Model: the paper's 7-layer static classifier (3 conv, 2 pool, 2 FC).
+  snn::StaticNetOptions net_opts;
+  net_opts.lif.v_threshold = 0.25f;
+  snn::Network net = snn::BuildStaticNet(net_opts);
+  std::cout << "model: " << net.ParameterCount() << " parameters\n";
+
+  // 3. Train with surrogate-gradient BPTT.
+  snn::TrainConfig train_cfg;
+  train_cfg.epochs = 6;
+  train_cfg.time_steps = 12;
+  train_cfg.verbose = true;
+  const auto t0 = std::chrono::steady_clock::now();
+  snn::TrainResult result =
+      snn::FitStatic(net, train.images, train.labels, train_cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+  std::cout << "training: "
+            << std::chrono::duration<double>(t1 - t0).count() << " s, final "
+            << "train accuracy " << result.final_accuracy * 100.0f << "%\n";
+
+  // 4. Evaluate the accurate SNN with rate encoding over T = 32 steps.
+  const long kEvalSteps = 32;
+  const float acc = snn::AccuracyStatic(net, test.images, test.labels,
+                                        kEvalSteps, snn::Encoding::kRate,
+                                        /*seed=*/42);
+  std::cout << "AccSNN test accuracy: " << acc * 100.0f << "%\n";
+
+  // 5. Derive an approximate SNN (Eq. 1 threshold, INT8 precision scale).
+  Rng calib_rng(7);
+  Tensor calib = snn::EncodeRate(test.images, kEvalSteps, calib_rng);
+  approx::CalibrationStats stats = approx::Calibrate(net, calib);
+
+  approx::ApproxConfig ax_cfg;
+  ax_cfg.level = 0.05;
+  ax_cfg.precision = approx::Precision::kInt8;
+  ax_cfg.time_steps = kEvalSteps;
+  auto [axnet, report] = approx::MakeApproximate(net, ax_cfg, stats);
+  std::cout << "AxSNN (level=" << ax_cfg.level << ", INT8): pruned "
+            << report.pruned_fraction * 100.0 << "% of connections\n";
+
+  const float ax_acc = snn::AccuracyStatic(axnet, test.images, test.labels,
+                                           kEvalSteps, snn::Encoding::kRate,
+                                           /*seed=*/42);
+  std::cout << "AxSNN test accuracy: " << ax_acc * 100.0f << "%\n";
+
+  // 6. Energy: spike-driven synaptic-op model (FP32-MAC equivalents).
+  Rng energy_rng(11);
+  Shape probe_shape = test.images.shape();
+  probe_shape[0] = 64;
+  Tensor probe_imgs(probe_shape);
+  std::copy(test.images.data(), test.images.data() + probe_imgs.numel(),
+            probe_imgs.data());
+  Tensor probe = snn::EncodeRate(probe_imgs, kEvalSteps, energy_rng);
+  approx::EnergyReport e_acc =
+      approx::EstimateEnergy(net, probe, approx::Precision::kFp32);
+  approx::EnergyReport e_ax =
+      approx::EstimateEnergy(axnet, probe, approx::Precision::kInt8);
+  std::cout << "energy: AccSNN " << e_acc.total_energy << " units, AxSNN "
+            << e_ax.total_energy << " units  ("
+            << e_acc.total_energy / e_ax.total_energy << "x saving)\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "approx/energy.hpp"
+
+#include <cmath>
+
+#include "snn/conv2d.hpp"
+#include "snn/dense.hpp"
+#include "tensor/check.hpp"
+
+namespace axsnn::approx {
+
+EnergyReport EstimateEnergy(snn::Network& net, const Tensor& input_tb,
+                            Precision precision) {
+  AXSNN_CHECK(input_tb.rank() >= 3, "energy input must be [T, B, ...]");
+  const long batch = input_tb.dim(1);
+  const double mac_energy = RelativeMacEnergy(precision);
+
+  EnergyReport report;
+  Tensor activation = input_tb;
+
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    snn::Layer& layer = net.layer(i);
+
+    // Spike-driven MAC count: every active input element triggers one MAC
+    // per surviving outgoing connection.
+    double total_in_activity = 0.0;  // sum of activation (spike count)
+    for (float v : activation.flat()) total_in_activity += std::fabs(v);
+
+    if (auto* conv = dynamic_cast<snn::Conv2d*>(&layer)) {
+      LayerEnergy le;
+      le.layer = conv->Name();
+      const long total_w = conv->weight().numel();
+      const long nnz = conv->weight().CountGreater(0.0f) +
+                       Tensor(conv->weight()).Scale(-1.0f).CountGreater(0.0f);
+      le.nnz_fraction = total_w == 0 ? 0.0
+                                     : static_cast<double>(nnz) /
+                                           static_cast<double>(total_w);
+      // Fan-out of one input element (ignoring borders): Cout * K * K.
+      const double fanout = static_cast<double>(
+          conv->out_channels() * conv->kernel() * conv->kernel());
+      le.input_rate =
+          total_in_activity / static_cast<double>(activation.numel());
+      le.synaptic_ops =
+          total_in_activity * fanout * le.nnz_fraction / batch;
+      le.energy = le.synaptic_ops * mac_energy;
+      report.layers.push_back(le);
+    } else if (auto* dense = dynamic_cast<snn::Dense*>(&layer)) {
+      LayerEnergy le;
+      le.layer = dense->Name();
+      const long total_w = dense->weight().numel();
+      const long nnz = dense->weight().CountGreater(0.0f) +
+                       Tensor(dense->weight()).Scale(-1.0f).CountGreater(0.0f);
+      le.nnz_fraction = total_w == 0 ? 0.0
+                                     : static_cast<double>(nnz) /
+                                           static_cast<double>(total_w);
+      const double fanout = static_cast<double>(dense->out_features());
+      le.input_rate =
+          total_in_activity / static_cast<double>(activation.numel());
+      le.synaptic_ops =
+          total_in_activity * fanout * le.nnz_fraction / batch;
+      le.energy = le.synaptic_ops * mac_energy;
+      report.layers.push_back(le);
+    }
+
+    activation = layer.Forward(activation, /*train=*/false);
+  }
+
+  for (const LayerEnergy& le : report.layers) {
+    report.total_ops += le.synaptic_ops;
+    report.total_energy += le.energy;
+  }
+  return report;
+}
+
+}  // namespace axsnn::approx

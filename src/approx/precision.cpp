@@ -1,0 +1,106 @@
+#include "approx/precision.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "tensor/check.hpp"
+
+namespace axsnn::approx {
+
+std::string PrecisionName(Precision p) {
+  switch (p) {
+    case Precision::kFp32:
+      return "FP32";
+    case Precision::kFp16:
+      return "FP16";
+    case Precision::kInt8:
+      return "INT8";
+  }
+  return "?";
+}
+
+float Fp16Round(float v) {
+  // Bit-exact float -> half -> float conversion with round-to-nearest-even.
+  const std::uint32_t bits = std::bit_cast<std::uint32_t>(v);
+  const std::uint32_t sign = bits & 0x80000000u;
+  std::uint32_t mag = bits & 0x7fffffffu;
+
+  if (mag >= 0x7f800000u) {            // inf / NaN pass through
+    return std::bit_cast<float>(sign | mag);
+  }
+  if (mag >= 0x477ff000u) {            // overflows half: clamp to max finite
+    return std::bit_cast<float>(sign) < 0.0f || sign ? -65504.0f : 65504.0f;
+  }
+  if (mag < 0x33000001u) {             // underflows even half denormals
+    return std::bit_cast<float>(sign); // signed zero
+  }
+
+  int exp = static_cast<int>(mag >> 23) - 127;
+  if (exp < -14) {
+    // Half denormal: quantum is 2^-24.
+    const float scaled = std::ldexp(std::bit_cast<float>(mag), 24);
+    const float rounded = std::nearbyint(scaled);
+    float out = std::ldexp(rounded, -24);
+    return sign ? -out : out;
+  }
+  // Normal range: keep 10 mantissa bits, round-to-nearest-even on bit 13.
+  const std::uint32_t mant = mag & 0x007fffffu;
+  const std::uint32_t shift = 13;
+  std::uint32_t half_mant = mant >> shift;
+  const std::uint32_t rem = mant & ((1u << shift) - 1);
+  const std::uint32_t halfway = 1u << (shift - 1);
+  if (rem > halfway || (rem == halfway && (half_mant & 1u))) ++half_mant;
+  // Rebuild a float with the truncated mantissa (carry may bump the
+  // exponent; that is exactly the rounding we want).
+  const std::uint32_t out_mag =
+      ((static_cast<std::uint32_t>(exp + 127) << 23) & 0x7f800000u) +
+      (half_mant << shift);
+  return std::bit_cast<float>(sign | out_mag);
+}
+
+float QuantizeTensor(Tensor& t, Precision p) {
+  switch (p) {
+    case Precision::kFp32:
+      return 1.0f;
+    case Precision::kFp16: {
+      for (float& v : t.flat()) v = Fp16Round(v);
+      return 1.0f;
+    }
+    case Precision::kInt8: {
+      if (t.empty()) return 1.0f;
+      float max_abs = 0.0f;
+      for (float v : t.flat()) max_abs = std::max(max_abs, std::fabs(v));
+      if (max_abs == 0.0f) return 1.0f;
+      const float scale = max_abs / 127.0f;
+      const float inv = 1.0f / scale;
+      for (float& v : t.flat()) {
+        const float q = std::nearbyint(v * inv);
+        v = std::clamp(q, -127.0f, 127.0f) * scale;
+      }
+      return scale;
+    }
+  }
+  AXSNN_CHECK(false, "unknown precision");
+  return 1.0f;
+}
+
+Tensor Quantized(const Tensor& t, Precision p) {
+  Tensor out = t;
+  QuantizeTensor(out, p);
+  return out;
+}
+
+double RelativeMacEnergy(Precision p) {
+  switch (p) {
+    case Precision::kFp32:
+      return 1.0;
+    case Precision::kFp16:
+      return 1.5 / 4.6;
+    case Precision::kInt8:
+      return 0.23 / 4.6;
+  }
+  return 1.0;
+}
+
+}  // namespace axsnn::approx

@@ -1,0 +1,44 @@
+// Precision scaling: the paper's quantization knob (FP32 / FP16 / INT8).
+//
+// Precision scaling in the paper operates on *values*: weights are rounded
+// to the representable set of the target format and computation proceeds in
+// float — i.e. quantize-dequantize emulation, the same methodology as
+// QuSecNets [12] which the paper builds on. FP16 uses IEEE-754 half with
+// round-to-nearest-even; INT8 uses symmetric per-tensor scaling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace axsnn::approx {
+
+/// Weight precision scales evaluated in the paper (Figs. 4–6, Table I).
+enum class Precision {
+  kFp32,  ///< native float — the accurate baseline
+  kFp16,  ///< IEEE-754 binary16 emulation
+  kInt8,  ///< symmetric per-tensor 8-bit integers
+};
+
+/// "FP32" / "FP16" / "INT8".
+std::string PrecisionName(Precision p);
+
+/// Rounds one float to IEEE-754 binary16 and back (round-to-nearest-even,
+/// with overflow to ±inf clamped to ±65504 and denormal support).
+float Fp16Round(float v);
+
+/// Quantizes `t` in place to the target precision. For kInt8 the symmetric
+/// per-tensor scale is max|t| / 127 (a zero tensor stays zero). Returns the
+/// INT8 scale used (1.0 for float formats) so callers can report it.
+float QuantizeTensor(Tensor& t, Precision p);
+
+/// Returns a quantized copy.
+Tensor Quantized(const Tensor& t, Precision p);
+
+/// Relative MAC energy of each format, normalized to FP32 = 1. Derived from
+/// the 45 nm operation energies in Horowitz, "Computing's energy problem"
+/// (ISSCC 2014): FP32 MAC ≈ 4.6 pJ, FP16 ≈ 1.5 pJ, INT8 ≈ 0.23 pJ.
+double RelativeMacEnergy(Precision p);
+
+}  // namespace axsnn::approx

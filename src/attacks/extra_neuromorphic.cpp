@@ -1,0 +1,112 @@
+#include "attacks/extra_neuromorphic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/check.hpp"
+
+namespace axsnn::attacks {
+
+namespace {
+
+void SortByTime(data::EventStream& s) {
+  std::sort(s.events.begin(), s.events.end(),
+            [](const data::Event& a, const data::Event& b) {
+              return a.t < b.t;
+            });
+}
+
+}  // namespace
+
+data::EventStream CornerAttack(const data::EventStream& stream,
+                               const CornerAttackConfig& cfg) {
+  AXSNN_CHECK(cfg.patch > 0, "corner patch must be positive");
+  AXSNN_CHECK(cfg.period_ms > 0.0f, "period_ms must be positive");
+  data::EventStream attacked = stream;
+  const long w = stream.width;
+  const long h = stream.height;
+  const long p = std::min({cfg.patch, w, h});
+
+  std::vector<std::pair<std::int16_t, std::int16_t>> sites;
+  for (long dy = 0; dy < p; ++dy) {
+    for (long dx = 0; dx < p; ++dx) {
+      sites.emplace_back(static_cast<std::int16_t>(dx),
+                         static_cast<std::int16_t>(dy));
+      sites.emplace_back(static_cast<std::int16_t>(w - 1 - dx),
+                         static_cast<std::int16_t>(dy));
+      sites.emplace_back(static_cast<std::int16_t>(dx),
+                         static_cast<std::int16_t>(h - 1 - dy));
+      sites.emplace_back(static_cast<std::int16_t>(w - 1 - dx),
+                         static_cast<std::int16_t>(h - 1 - dy));
+    }
+  }
+
+  for (float t = cfg.period_ms * 0.5f; t < stream.duration_ms;
+       t += cfg.period_ms) {
+    for (const auto& [x, y] : sites) {
+      attacked.events.push_back({x, y, std::int8_t{1}, t});
+      if (cfg.both_polarities)
+        attacked.events.push_back({x, y, std::int8_t{-1}, t});
+    }
+  }
+  SortByTime(attacked);
+  return attacked;
+}
+
+data::EventDataset CornerAttackDataset(const data::EventDataset& dataset,
+                                       const CornerAttackConfig& cfg) {
+  data::EventDataset out = dataset;
+  const long n = dataset.size();
+#pragma omp parallel for schedule(dynamic)
+  for (long i = 0; i < n; ++i)
+    out.streams[static_cast<std::size_t>(i)] =
+        CornerAttack(dataset.streams[static_cast<std::size_t>(i)], cfg);
+  return out;
+}
+
+data::EventStream DashAttack(const data::EventStream& stream,
+                             const DashAttackConfig& cfg) {
+  AXSNN_CHECK(cfg.patch > 0, "dash patch must be positive");
+  AXSNN_CHECK(cfg.speed_px_per_ms > 0.0f, "dash speed must be positive");
+  AXSNN_CHECK(cfg.period_ms > 0.0f, "period_ms must be positive");
+  AXSNN_CHECK(cfg.lane >= 0.0f && cfg.lane <= 1.0f, "lane must be in [0,1]");
+  data::EventStream attacked = stream;
+  const long w = stream.width;
+  const long h = stream.height;
+  const long y0 = std::min<long>(
+      h - cfg.patch,
+      static_cast<long>(cfg.lane * static_cast<float>(h - cfg.patch)));
+
+  for (float t = cfg.period_ms * 0.5f; t < stream.duration_ms;
+       t += cfg.period_ms) {
+    // The dash wraps around the sensor as it sweeps.
+    const long x0 = static_cast<long>(t * cfg.speed_px_per_ms) %
+                    std::max(1L, w - cfg.patch + 1);
+    for (long dy = 0; dy < cfg.patch; ++dy) {
+      for (long dx = 0; dx < cfg.patch; ++dx) {
+        // Leading edge brightens (ON), trailing edge darkens (OFF) — the
+        // signature of a genuine moving object, which is what makes the
+        // dash hard to filter.
+        attacked.events.push_back(
+            {static_cast<std::int16_t>(x0 + dx),
+             static_cast<std::int16_t>(y0 + dy),
+             dx == cfg.patch - 1 ? std::int8_t{1} : std::int8_t{-1}, t});
+      }
+    }
+  }
+  SortByTime(attacked);
+  return attacked;
+}
+
+data::EventDataset DashAttackDataset(const data::EventDataset& dataset,
+                                     const DashAttackConfig& cfg) {
+  data::EventDataset out = dataset;
+  const long n = dataset.size();
+#pragma omp parallel for schedule(dynamic)
+  for (long i = 0; i < n; ++i)
+    out.streams[static_cast<std::size_t>(i)] =
+        DashAttack(dataset.streams[static_cast<std::size_t>(i)], cfg);
+  return out;
+}
+
+}  // namespace axsnn::attacks

@@ -1,0 +1,47 @@
+// Additional neuromorphic attacks from the DVS-Attacks suite (Marchisio et
+// al., IJCNN 2021 — the paper's ref. [6]). The paper evaluates Sparse and
+// Frame; Corner and Dash are the suite's other two members and are provided
+// as extensions so defense evaluations can cover the full family.
+#pragma once
+
+#include "data/event.hpp"
+
+namespace axsnn::attacks {
+
+/// Corner Attack: injects events into the four sensor corners — less
+/// conspicuous than the full-border Frame Attack but exploits the same
+/// blind spot of frame-based preprocessing.
+struct CornerAttackConfig {
+  /// Side length of each corner patch in pixels.
+  long patch = 3;
+  /// Interval between injected events (ms).
+  float period_ms = 2.0f;
+  /// Inject both polarities (true) or ON only.
+  bool both_polarities = true;
+};
+
+data::EventStream CornerAttack(const data::EventStream& stream,
+                               const CornerAttackConfig& cfg);
+data::EventDataset CornerAttackDataset(const data::EventDataset& dataset,
+                                       const CornerAttackConfig& cfg);
+
+/// Dash Attack: a small patch of events sweeping across the sensor like a
+/// spurious object — spatio-temporally *correlated* noise, the hardest of
+/// the suite for correlation filters such as AQF.
+struct DashAttackConfig {
+  /// Patch side length in pixels.
+  long patch = 2;
+  /// Sweep speed in pixels per millisecond.
+  float speed_px_per_ms = 0.15f;
+  /// Interval between injected events (ms).
+  float period_ms = 1.0f;
+  /// Vertical lane (fraction of sensor height) the dash sweeps along.
+  float lane = 0.5f;
+};
+
+data::EventStream DashAttack(const data::EventStream& stream,
+                             const DashAttackConfig& cfg);
+data::EventDataset DashAttackDataset(const data::EventDataset& dataset,
+                                     const DashAttackConfig& cfg);
+
+}  // namespace axsnn::attacks

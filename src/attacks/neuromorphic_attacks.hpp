@@ -1,0 +1,69 @@
+// Neuromorphic adversarial attacks on DVS event streams: Sparse and Frame.
+//
+// Gradient-based pixel attacks do not transfer to event data (Section II of
+// the paper), so the neuromorphic experiments use the two attacks of
+// Marchisio et al., "DVS-Attacks" (IJCNN 2021), which the paper adopts:
+//
+//  * Sparse Attack — stealthy, loss-guided: iteratively injects a small
+//    number of events at the spatio-temporal locations whose frame-space
+//    loss gradient is largest, until the classifier flips or the iteration
+//    budget is exhausted.
+//  * Frame Attack — simple but strong: injects events at every boundary
+//    pixel of the sensor across the whole recording, corrupting each binned
+//    frame with a bright border.
+#pragma once
+
+#include <cstdint>
+
+#include "data/event.hpp"
+#include "snn/network.hpp"
+
+namespace axsnn::attacks {
+
+/// Sparse attack parameters.
+struct SparseAttackConfig {
+  /// Maximum loss-gradient iterations per stream.
+  long max_iterations = 12;
+  /// Events injected per iteration.
+  long events_per_iteration = 24;
+  /// Time bins used to frame the stream for the victim / gradient model
+  /// (must match the bins the classifier was trained with).
+  long time_bins = 20;
+  /// Minimum Chebyshev distance between events injected in the same
+  /// iteration and bin — the attack's stealthiness constraint: spreading
+  /// the perturbation keeps individual events visually inconspicuous.
+  long min_spacing = 6;
+  std::uint64_t seed = 77;
+};
+
+/// Crafts a sparse-attack perturbation of one stream against `net`
+/// (white-box in frame space). `label` is the true class. The returned
+/// stream contains the original events plus injected adversarial events.
+data::EventStream SparseAttack(snn::Network& net,
+                               const data::EventStream& stream, int label,
+                               const SparseAttackConfig& cfg);
+
+/// Attacks every stream of a dataset; parallel over streams.
+data::EventDataset SparseAttackDataset(snn::Network& net,
+                                       const data::EventDataset& dataset,
+                                       const SparseAttackConfig& cfg);
+
+/// Frame attack parameters.
+struct FrameAttackConfig {
+  /// Interval between injected boundary events (ms).
+  float period_ms = 2.0f;
+  /// Thickness of the attacked border in pixels.
+  long border = 1;
+  /// Inject both polarities (true) or ON only (false).
+  bool both_polarities = true;
+};
+
+/// Injects boundary events across the whole recording. Model-free.
+data::EventStream FrameAttack(const data::EventStream& stream,
+                              const FrameAttackConfig& cfg);
+
+/// Attacks every stream of a dataset.
+data::EventDataset FrameAttackDataset(const data::EventDataset& dataset,
+                                      const FrameAttackConfig& cfg);
+
+}  // namespace axsnn::attacks

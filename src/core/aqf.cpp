@@ -1,0 +1,136 @@
+#include "core/aqf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "tensor/check.hpp"
+
+namespace axsnn::core {
+
+data::EventStream AqfFilter(const data::EventStream& stream,
+                            const AqfConfig& cfg, AqfStats* stats) {
+  AXSNN_CHECK(cfg.spatial_window >= 1, "spatial window must be >= 1");
+  AXSNN_CHECK(cfg.activity_threshold >= 1, "activity threshold must be >= 1");
+  AXSNN_CHECK(cfg.temporal_threshold_ms > 0.0f,
+              "temporal threshold must be positive");
+  AXSNN_CHECK(cfg.quantization_step_s >= 0.0f,
+              "quantization step must be non-negative");
+
+  const long w = stream.width;
+  const long h = stream.height;
+  AXSNN_CHECK(w > 0 && h > 0, "stream has no sensor geometry");
+
+  AqfStats local_stats;
+  local_stats.input_events = stream.size();
+
+  // --- Step 1: timestamp quantization (Algorithm 2, line 4). -------------
+  std::vector<data::Event> events = stream.events;
+  if (cfg.quantization_step_s > 0.0f) {
+    const float qt_ms = cfg.quantization_step_s * 1000.0f;
+    for (data::Event& e : events)
+      e.t = std::nearbyint(e.t / qt_ms) * qt_ms;
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const data::Event& a, const data::Event& b) {
+                     return a.t < b.t;
+                   });
+
+  // --- Step 2: hyperactivity flags (Algorithm 2, lines 10-17). -----------
+  // A pixel firing more than T1 times inside any sliding T2 window is
+  // flagged; all its events are dropped (frame-attack border pixels).
+  std::vector<std::vector<float>> per_pixel_times(
+      static_cast<std::size_t>(w * h));
+  for (const data::Event& e : events) {
+    if (e.x < 0 || e.x >= w || e.y < 0 || e.y >= h) continue;
+    per_pixel_times[static_cast<std::size_t>(e.y * w + e.x)].push_back(e.t);
+  }
+  std::vector<char> hyperactive(static_cast<std::size_t>(w * h), 0);
+  for (std::size_t p = 0; p < per_pixel_times.size(); ++p) {
+    const auto& times = per_pixel_times[p];  // sorted (events were sorted)
+    const std::size_t t1 = static_cast<std::size_t>(cfg.activity_threshold);
+    if (times.size() <= t1) continue;
+    for (std::size_t i = 0; i + t1 < times.size(); ++i) {
+      // More than T1 events within one T2 window?
+      if (times[i + t1] - times[i] <= cfg.temporal_threshold_ms) {
+        hyperactive[p] = 1;
+        break;
+      }
+    }
+  }
+
+  // --- Step 3: spatio-temporal correlation test (lines 5-9, 18-20). ------
+  // M[i][j] holds the last event timestamp seen at pixel (j, i), kept per
+  // polarity: a genuine moving edge produces same-polarity activity in a
+  // neighbourhood, whereas an injected event sitting on opposite-polarity
+  // activity is still uncorrelated. An event survives only if some *other*
+  // pixel within the s-window fired with the same polarity within T2
+  // before it.
+  constexpr float kNever = -1e30f;
+  std::vector<float> last_time_on(static_cast<std::size_t>(w * h), kNever);
+  std::vector<float> last_time_off(static_cast<std::size_t>(w * h), kNever);
+
+  data::EventStream out;
+  out.width = stream.width;
+  out.height = stream.height;
+  out.duration_ms = stream.duration_ms;
+  out.events.reserve(events.size());
+
+  const int s = cfg.spatial_window;
+  for (const data::Event& e : events) {
+    if (e.x < 0 || e.x >= w || e.y < 0 || e.y >= h) continue;
+    const std::size_t p = static_cast<std::size_t>(e.y * w + e.x);
+    std::vector<float>& same_polarity =
+        e.polarity > 0 ? last_time_on : last_time_off;
+
+    bool keep = true;
+    if (hyperactive[p]) {
+      keep = false;
+      ++local_stats.removed_hyperactive;
+    } else {
+      bool supported = false;
+      for (long i = e.y - s; i <= e.y + s && !supported; ++i) {
+        if (i < 0 || i >= h) continue;
+        for (long j = e.x - s; j <= e.x + s; ++j) {
+          if (j < 0 || j >= w) continue;
+          if (i == e.y && j == e.x) continue;  // the pixel itself (line 7)
+          const std::size_t q = static_cast<std::size_t>(i * w + j);
+          if (hyperactive[q]) continue;  // support from attacked pixels is void
+          if (e.t - same_polarity[q] <= cfg.temporal_threshold_ms &&
+              same_polarity[q] <= e.t) {
+            supported = true;
+            break;
+          }
+        }
+      }
+      if (!supported) {
+        keep = false;
+        ++local_stats.removed_uncorrelated;
+      }
+    }
+
+    // Every observed event updates the support map (Algorithm 2 updates M
+    // before the removal decision): genuine activity must be able to
+    // bootstrap itself at stream start.
+    same_polarity[p] = e.t;
+    if (keep) out.events.push_back(e);
+  }
+
+  local_stats.output_events = out.size();
+  if (stats != nullptr) *stats = local_stats;
+  return out;
+}
+
+data::EventDataset AqfFilterDataset(const data::EventDataset& dataset,
+                                    const AqfConfig& cfg) {
+  data::EventDataset out = dataset;
+  const long n = dataset.size();
+#pragma omp parallel for schedule(dynamic)
+  for (long i = 0; i < n; ++i) {
+    out.streams[static_cast<std::size_t>(i)] =
+        AqfFilter(dataset.streams[static_cast<std::size_t>(i)], cfg);
+  }
+  return out;
+}
+
+}  // namespace axsnn::core

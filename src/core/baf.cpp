@@ -1,0 +1,67 @@
+#include "core/baf.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "tensor/check.hpp"
+
+namespace axsnn::core {
+
+data::EventStream BafFilter(const data::EventStream& stream,
+                            const BafConfig& cfg) {
+  AXSNN_CHECK(cfg.spatial_window >= 1, "spatial window must be >= 1");
+  AXSNN_CHECK(cfg.temporal_threshold_ms > 0.0f,
+              "temporal threshold must be positive");
+  const long w = stream.width;
+  const long h = stream.height;
+  AXSNN_CHECK(w > 0 && h > 0, "stream has no sensor geometry");
+
+  std::vector<data::Event> events = stream.events;
+  std::stable_sort(events.begin(), events.end(),
+                   [](const data::Event& a, const data::Event& b) {
+                     return a.t < b.t;
+                   });
+
+  constexpr float kNever = -1e30f;
+  std::vector<float> last_time(static_cast<std::size_t>(w * h), kNever);
+
+  data::EventStream out;
+  out.width = stream.width;
+  out.height = stream.height;
+  out.duration_ms = stream.duration_ms;
+  out.events.reserve(events.size());
+
+  const int s = cfg.spatial_window;
+  for (const data::Event& e : events) {
+    if (e.x < 0 || e.x >= w || e.y < 0 || e.y >= h) continue;
+    bool supported = false;
+    for (long i = e.y - s; i <= e.y + s && !supported; ++i) {
+      if (i < 0 || i >= h) continue;
+      for (long j = e.x - s; j <= e.x + s; ++j) {
+        if (j < 0 || j >= w) continue;
+        if (i == e.y && j == e.x) continue;
+        const float lt = last_time[static_cast<std::size_t>(i * w + j)];
+        if (e.t - lt <= cfg.temporal_threshold_ms && lt <= e.t) {
+          supported = true;
+          break;
+        }
+      }
+    }
+    last_time[static_cast<std::size_t>(e.y * w + e.x)] = e.t;
+    if (supported) out.events.push_back(e);
+  }
+  return out;
+}
+
+data::EventDataset BafFilterDataset(const data::EventDataset& dataset,
+                                    const BafConfig& cfg) {
+  data::EventDataset out = dataset;
+  const long n = dataset.size();
+#pragma omp parallel for schedule(dynamic)
+  for (long i = 0; i < n; ++i)
+    out.streams[static_cast<std::size_t>(i)] =
+        BafFilter(dataset.streams[static_cast<std::size_t>(i)], cfg);
+  return out;
+}
+
+}  // namespace axsnn::core

@@ -1,0 +1,31 @@
+// Background Activity Filter (BAF) — the classical DVS denoising baseline
+// AQF builds on (used, e.g., by R-SNN, the paper's ref. [3]).
+//
+// BAF keeps an event only when a neighbouring pixel fired within a temporal
+// window — the plain spatio-temporal correlation test, with *no* timestamp
+// quantization, *no* hyperactivity flagging and *no* polarity separation.
+// It serves as the ablation baseline that isolates what AQF's additions buy
+// (see bench/ablation_filter_baseline).
+#pragma once
+
+#include "data/event.hpp"
+
+namespace axsnn::core {
+
+/// BAF parameters.
+struct BafConfig {
+  /// Spatial window (Chebyshev radius) in pixels.
+  int spatial_window = 2;
+  /// Temporal support window in milliseconds.
+  float temporal_threshold_ms = 50.0f;
+};
+
+/// Filters one stream with the classical background-activity test.
+data::EventStream BafFilter(const data::EventStream& stream,
+                            const BafConfig& cfg);
+
+/// Filters every stream in a dataset (parallel over streams).
+data::EventDataset BafFilterDataset(const data::EventDataset& dataset,
+                                    const BafConfig& cfg);
+
+}  // namespace axsnn::core

@@ -1,0 +1,42 @@
+#include "core/designer.hpp"
+
+#include <stdexcept>
+
+namespace axsnn::core {
+
+StaticDesign DesignSecureAxsnn(const StaticWorkbench& bench,
+                               const SearchSpace& space,
+                               const SearchConfig& config) {
+  SearchOutcome outcome = PrecisionScalingSearch(bench, space, config);
+  if (!outcome.found && config.return_first) {
+    throw std::runtime_error(
+        "axsnn: no configuration met the quality constraint; widen the "
+        "search space or lower Q");
+  }
+  StaticDesign design;
+  design.accurate =
+      bench.Train(outcome.best.v_threshold, outcome.best.time_steps);
+  design.axsnn = bench.MakeAx(design.accurate, outcome.best.level,
+                              outcome.best.precision);
+  design.outcome = std::move(outcome);
+  return design;
+}
+
+DvsDesign DesignSecureAxsnn(const DvsWorkbench& bench,
+                            const SearchSpace& space,
+                            const SearchConfig& config) {
+  SearchOutcome outcome = PrecisionScalingSearch(bench, space, config);
+  if (!outcome.found && config.return_first) {
+    throw std::runtime_error(
+        "axsnn: no configuration met the quality constraint; widen the "
+        "search space or lower Q");
+  }
+  DvsDesign design;
+  design.accurate = bench.Train(outcome.best.v_threshold);
+  design.axsnn = bench.MakeAx(design.accurate, outcome.best.level,
+                              outcome.best.precision);
+  design.outcome = std::move(outcome);
+  return design;
+}
+
+}  // namespace axsnn::core

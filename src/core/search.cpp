@@ -1,0 +1,127 @@
+#include "core/search.hpp"
+
+#include "tensor/check.hpp"
+
+namespace axsnn::core {
+
+namespace {
+
+void ValidateSpace(const SearchSpace& space, bool need_time_steps) {
+  AXSNN_CHECK(!space.v_thresholds.empty(), "empty Vth axis");
+  AXSNN_CHECK(!need_time_steps || !space.time_steps.empty(),
+              "empty time-step axis");
+  AXSNN_CHECK(!space.precisions.empty(), "empty precision axis");
+  AXSNN_CHECK(!space.approx_levels.empty(), "empty approximation-level axis");
+}
+
+/// Keeps the best-so-far candidate when not returning the first hit.
+void UpdateBest(SearchOutcome& outcome, const CandidateResult& candidate) {
+  if (!outcome.found || candidate.robustness_pct > outcome.best.robustness_pct)
+    outcome.best = candidate;
+}
+
+}  // namespace
+
+SearchOutcome PrecisionScalingSearch(const StaticWorkbench& bench,
+                                     const SearchSpace& space,
+                                     const SearchConfig& config) {
+  ValidateSpace(space, /*need_time_steps=*/true);
+  AXSNN_CHECK(config.attack == AttackKind::kPgd ||
+                  config.attack == AttackKind::kBim ||
+                  config.attack == AttackKind::kNone,
+              "static search supports PGD/BIM/none attacks");
+
+  SearchOutcome outcome;
+  for (float vth : space.v_thresholds) {
+    for (long t : space.time_steps) {
+      // Line 3: train the accurate SNN at this structural cell.
+      StaticWorkbench::TrainedModel model = bench.Train(vth, t);
+      // Line 4: quality gate on learning.
+      if (model.train_accuracy_pct < config.quality_constraint_pct) continue;
+      // Line 5: adversarial examples crafted on the accurate model.
+      Tensor adversarial = bench.Craft(model, config.attack, config.epsilon);
+
+      for (approx::Precision precision : space.precisions) {
+        for (double level : space.approx_levels) {
+          // Lines 8-11: precision-scale, derive ath, approximate.
+          snn::Network ax = bench.MakeAx(model, level, precision);
+          // Lines 15-21: measure robustness on the attacked test set.
+          CandidateResult candidate;
+          candidate.v_threshold = vth;
+          candidate.time_steps = t;
+          candidate.precision = precision;
+          candidate.level = level;
+          candidate.train_accuracy_pct = model.train_accuracy_pct;
+          candidate.robustness_pct = bench.AccuracyPct(ax, adversarial, t);
+          outcome.trace.push_back(candidate);
+
+          // Lines 22-24: accept when the quality constraint holds.
+          if (candidate.robustness_pct >= config.quality_constraint_pct) {
+            UpdateBest(outcome, candidate);
+            outcome.found = true;
+            if (config.return_first) return outcome;
+          } else if (!config.return_first) {
+            UpdateBest(outcome, candidate);
+          }
+        }
+      }
+    }
+  }
+  // When nothing met Q and we were asked for the best effort, report the
+  // strongest candidate seen (found stays false).
+  if (!outcome.found && !config.return_first && !outcome.trace.empty()) {
+    outcome.best = outcome.trace.front();
+    for (const CandidateResult& c : outcome.trace) UpdateBest(outcome, c);
+  }
+  return outcome;
+}
+
+SearchOutcome PrecisionScalingSearch(const DvsWorkbench& bench,
+                                     const SearchSpace& space,
+                                     const SearchConfig& config) {
+  ValidateSpace(space, /*need_time_steps=*/false);
+  AXSNN_CHECK(config.attack == AttackKind::kSparse ||
+                  config.attack == AttackKind::kFrame ||
+                  config.attack == AttackKind::kNone,
+              "neuromorphic search supports Sparse/Frame/none attacks");
+
+  SearchOutcome outcome;
+  const std::optional<AqfConfig> aqf =
+      config.neuromorphic ? std::optional<AqfConfig>(config.aqf)
+                          : std::nullopt;
+
+  for (float vth : space.v_thresholds) {
+    DvsWorkbench::TrainedModel model = bench.Train(vth);
+    if (model.train_accuracy_pct < config.quality_constraint_pct) continue;
+    data::EventDataset adversarial = bench.Craft(model, config.attack);
+
+    for (approx::Precision precision : space.precisions) {
+      for (double level : space.approx_levels) {
+        snn::Network ax = bench.MakeAx(model, level, precision);
+        CandidateResult candidate;
+        candidate.v_threshold = vth;
+        candidate.time_steps = model.time_bins;
+        candidate.precision = precision;
+        candidate.level = level;
+        candidate.train_accuracy_pct = model.train_accuracy_pct;
+        candidate.robustness_pct = bench.AccuracyPct(ax, adversarial, aqf);
+        outcome.trace.push_back(candidate);
+
+        if (candidate.robustness_pct >= config.quality_constraint_pct) {
+          UpdateBest(outcome, candidate);
+          outcome.found = true;
+          if (config.return_first) return outcome;
+        } else if (!config.return_first) {
+          UpdateBest(outcome, candidate);
+        }
+      }
+    }
+  }
+  if (!outcome.found && !config.return_first && !outcome.trace.empty()) {
+    outcome.best = outcome.trace.front();
+    for (const CandidateResult& c : outcome.trace) UpdateBest(outcome, c);
+  }
+  return outcome;
+}
+
+}  // namespace axsnn::core

@@ -1,0 +1,211 @@
+#include "core/workbench.hpp"
+
+#include <algorithm>
+
+#include "snn/inference.hpp"
+#include "tensor/check.hpp"
+
+namespace axsnn::core {
+
+std::string AttackName(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::kNone:
+      return "none";
+    case AttackKind::kPgd:
+      return "PGD";
+    case AttackKind::kBim:
+      return "BIM";
+    case AttackKind::kSparse:
+      return "Sparse";
+    case AttackKind::kFrame:
+      return "Frame";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// StaticWorkbench
+// ---------------------------------------------------------------------------
+
+StaticWorkbench::StaticWorkbench(data::StaticDataset train_set,
+                                 data::StaticDataset test_set,
+                                 Options options)
+    : train_(std::move(train_set)),
+      test_(std::move(test_set)),
+      options_(std::move(options)) {
+  AXSNN_CHECK(train_.size() > 0 && test_.size() > 0,
+              "workbench needs non-empty train and test sets");
+  AXSNN_CHECK(options_.train_time_steps_cap > 0 &&
+                  options_.attack_time_steps_cap > 0,
+              "time step caps must be positive");
+}
+
+StaticWorkbench::TrainedModel StaticWorkbench::Train(float vth,
+                                                     long time_steps) const {
+  AXSNN_CHECK(time_steps > 0, "time_steps must be positive");
+  TrainedModel model;
+  model.v_threshold = vth;
+  model.time_steps = time_steps;
+
+  snn::StaticNetOptions net_opts = options_.net;
+  net_opts.lif.v_threshold = vth;
+  model.net = snn::BuildStaticNet(net_opts);
+
+  snn::TrainConfig cfg = options_.train;
+  cfg.time_steps = std::min(time_steps, options_.train_time_steps_cap);
+  snn::TrainResult result =
+      snn::FitStatic(model.net, train_.images, train_.labels, cfg);
+  model.train_accuracy_pct = result.final_accuracy * 100.0f;
+
+  // Calibration on a clean test slice at the structural T: this measures the
+  // Ns/T and Vm terms of Eq. (1) under deployment conditions.
+  const long calib_count = std::min<long>(64, test_.size());
+  Shape slice_shape = test_.images.shape();
+  slice_shape[0] = calib_count;
+  Tensor calib_images(slice_shape);
+  std::copy(test_.images.data(),
+            test_.images.data() + calib_images.numel(), calib_images.data());
+  Rng calib_rng(options_.seed ^ 0xCA11B7ULL);
+  Tensor calib_input = snn::EncodeRate(calib_images, time_steps, calib_rng);
+  model.calibration = approx::Calibrate(model.net, calib_input);
+  return model;
+}
+
+Tensor StaticWorkbench::Craft(TrainedModel& model, AttackKind kind,
+                              float epsilon) const {
+  attacks::GradientAttackConfig cfg;
+  cfg.epsilon = epsilon;
+  cfg.steps = options_.attack_steps;
+  cfg.time_steps = std::min(model.time_steps, options_.attack_time_steps_cap);
+  cfg.seed = options_.seed ^ 0xA77AC4ULL;
+  cfg.batch_size = options_.eval_batch;
+  switch (kind) {
+    case AttackKind::kNone:
+      return test_.images;
+    case AttackKind::kPgd:
+      return attacks::PgdAttack(model.net, test_.images, test_.labels, cfg);
+    case AttackKind::kBim:
+      return attacks::BimAttack(model.net, test_.images, test_.labels, cfg);
+    case AttackKind::kSparse:
+    case AttackKind::kFrame:
+      AXSNN_CHECK(false, "neuromorphic attacks need the DvsWorkbench");
+  }
+  return test_.images;
+}
+
+snn::Network StaticWorkbench::MakeAx(const TrainedModel& model, double level,
+                                     approx::Precision precision) const {
+  approx::ApproxConfig cfg;
+  cfg.level = level;
+  cfg.precision = precision;
+  cfg.time_steps = model.time_steps;
+  cfg.threshold_gain = options_.threshold_gain;
+  auto [ax, report] = approx::MakeApproximate(model.net, cfg,
+                                              model.calibration);
+  (void)report;
+  return std::move(ax);
+}
+
+float StaticWorkbench::AccuracyPct(snn::Network& victim, const Tensor& images,
+                                   long time_steps) const {
+  return 100.0f * snn::AccuracyStatic(victim, images, test_.labels,
+                                      time_steps, options_.eval_encoding,
+                                      options_.seed ^ 0xE7A10ULL,
+                                      options_.eval_batch);
+}
+
+// ---------------------------------------------------------------------------
+// DvsWorkbench
+// ---------------------------------------------------------------------------
+
+DvsWorkbench::DvsWorkbench(data::EventDataset train_set,
+                           data::EventDataset test_set, Options options)
+    : train_(std::move(train_set)),
+      test_(std::move(test_set)),
+      options_(std::move(options)) {
+  AXSNN_CHECK(train_.size() > 0 && test_.size() > 0,
+              "workbench needs non-empty train and test sets");
+  AXSNN_CHECK(options_.time_bins > 0, "time_bins must be positive");
+  train_frames_ = data::BinDataset(train_, options_.time_bins);
+}
+
+DvsWorkbench::TrainedModel DvsWorkbench::Train(float vth) const {
+  TrainedModel model;
+  model.v_threshold = vth;
+  model.time_bins = options_.time_bins;
+
+  snn::DvsNetOptions net_opts = options_.net;
+  net_opts.lif.v_threshold = vth;
+  net_opts.height = train_.height;
+  net_opts.width = train_.width;
+  model.net = snn::BuildDvsNet(net_opts);
+
+  snn::TrainConfig cfg = options_.train;
+  cfg.time_steps = options_.time_bins;
+  snn::TrainResult result =
+      snn::FitTemporal(model.net, train_frames_, train_.labels, cfg);
+  model.train_accuracy_pct = result.final_accuracy * 100.0f;
+
+  // Calibrate on a clean test slice.
+  const long calib_count = std::min<long>(32, test_.size());
+  data::EventDataset calib;
+  calib.width = test_.width;
+  calib.height = test_.height;
+  calib.duration_ms = test_.duration_ms;
+  calib.streams.assign(test_.streams.begin(),
+                       test_.streams.begin() + calib_count);
+  calib.labels.assign(test_.labels.begin(),
+                      test_.labels.begin() + calib_count);
+  Tensor frames = data::BinDataset(calib, options_.time_bins);
+  model.calibration =
+      approx::Calibrate(model.net, snn::TimeMajor(frames));
+  return model;
+}
+
+data::EventDataset DvsWorkbench::Craft(TrainedModel& model,
+                                       AttackKind kind) const {
+  switch (kind) {
+    case AttackKind::kNone:
+      return test_;
+    case AttackKind::kSparse: {
+      attacks::SparseAttackConfig cfg = options_.sparse;
+      cfg.time_bins = options_.time_bins;
+      return attacks::SparseAttackDataset(model.net, test_, cfg);
+    }
+    case AttackKind::kFrame:
+      return attacks::FrameAttackDataset(test_, options_.frame);
+    case AttackKind::kPgd:
+    case AttackKind::kBim:
+      AXSNN_CHECK(false, "gradient attacks need the StaticWorkbench");
+  }
+  return test_;
+}
+
+snn::Network DvsWorkbench::MakeAx(const TrainedModel& model, double level,
+                                  approx::Precision precision) const {
+  approx::ApproxConfig cfg;
+  cfg.level = level;
+  cfg.precision = precision;
+  cfg.time_steps = model.time_bins;
+  cfg.threshold_gain = options_.threshold_gain;
+  auto [ax, report] = approx::MakeApproximate(model.net, cfg,
+                                              model.calibration);
+  (void)report;
+  return std::move(ax);
+}
+
+float DvsWorkbench::AccuracyPct(snn::Network& victim,
+                                const data::EventDataset& streams,
+                                const std::optional<AqfConfig>& aqf) const {
+  const data::EventDataset* eval_set = &streams;
+  data::EventDataset filtered;
+  if (aqf.has_value()) {
+    filtered = AqfFilterDataset(streams, *aqf);
+    eval_set = &filtered;
+  }
+  Tensor frames = data::BinDataset(*eval_set, options_.time_bins);
+  return 100.0f * snn::AccuracyTemporal(victim, frames, eval_set->labels,
+                                        options_.eval_batch);
+}
+
+}  // namespace axsnn::core

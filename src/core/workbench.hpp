@@ -1,0 +1,161 @@
+// Experiment workbenches: one-stop train/attack/approximate/evaluate
+// plumbing shared by Algorithm 1, the benchmark harnesses and the examples.
+//
+// A workbench owns a train/test split and the model-building options, and
+// exposes the four primitives the paper's experiments compose:
+//   Train(vth, T)      -> accurate SNN at given structural parameters
+//   Craft(model, kind) -> adversarial test set (crafted on the *accurate*
+//                         model, per the paper's threat model Section III)
+//   MakeAx(...)        -> approximate variant (Eq. 1 + precision scaling)
+//   AccuracyPct(...)   -> evaluation, rate-encoded like the paper's setup
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "approx/approximation.hpp"
+#include "attacks/gradient_attacks.hpp"
+#include "attacks/neuromorphic_attacks.hpp"
+#include "core/aqf.hpp"
+#include "data/dvs_gesture.hpp"
+#include "data/event.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "snn/models.hpp"
+#include "snn/trainer.hpp"
+
+namespace axsnn::core {
+
+/// The four attack families of the paper plus "no attack".
+enum class AttackKind { kNone, kPgd, kBim, kSparse, kFrame };
+
+/// "none" / "PGD" / "BIM" / "Sparse" / "Frame".
+std::string AttackName(AttackKind kind);
+
+// ---------------------------------------------------------------------------
+// Static-dataset workbench (MNIST-class experiments)
+// ---------------------------------------------------------------------------
+
+/// Workbench over a static image dataset.
+class StaticWorkbench {
+ public:
+  struct Options {
+    snn::StaticNetOptions net;
+    snn::TrainConfig train;
+    /// Training unrolls at most this many time steps even when the
+    /// structural T is larger (rate statistics are stationary in time; see
+    /// DESIGN.md scale note). Evaluation always uses the full T.
+    long train_time_steps_cap = 12;
+    /// Attack unrolling cap, for the same reason.
+    long attack_time_steps_cap = 12;
+    /// PGD/BIM iteration count.
+    long attack_steps = 10;
+    snn::Encoding eval_encoding = snn::Encoding::kRate;
+    long eval_batch = 128;
+    /// Eq. (1) calibration constant for this architecture (see
+    /// approx::ApproxConfig::threshold_gain).
+    double threshold_gain = 3.0;
+    std::uint64_t seed = 5;
+  };
+
+  /// An accurate SNN trained at one (Vth, T) cell, plus everything needed
+  /// to derive approximate variants from it.
+  struct TrainedModel {
+    snn::Network net;
+    float v_threshold = 0.0f;
+    long time_steps = 0;
+    float train_accuracy_pct = 0.0f;
+    approx::CalibrationStats calibration;
+  };
+
+  StaticWorkbench(data::StaticDataset train_set, data::StaticDataset test_set,
+                  Options options);
+
+  /// Trains an accurate SNN with threshold voltage `vth` and observation
+  /// window `time_steps` (Algorithm 1, line 3).
+  TrainedModel Train(float vth, long time_steps) const;
+
+  /// Crafts adversarial test images on the accurate model (Alg. 1 line 5).
+  /// kNone returns the clean test images.
+  Tensor Craft(TrainedModel& model, AttackKind kind, float epsilon) const;
+
+  /// Builds the approximate variant (Alg. 1 lines 8-11).
+  snn::Network MakeAx(const TrainedModel& model, double level,
+                      approx::Precision precision) const;
+
+  /// Test accuracy [%] of `victim` on `images`, rate-encoded over the
+  /// model's structural T. This equals the paper's robustness R(eps) when
+  /// `images` are adversarial (Alg. 1 line 21).
+  float AccuracyPct(snn::Network& victim, const Tensor& images,
+                    long time_steps) const;
+
+  const data::StaticDataset& train_set() const { return train_; }
+  const data::StaticDataset& test_set() const { return test_; }
+  const Options& options() const { return options_; }
+
+ private:
+  data::StaticDataset train_;
+  data::StaticDataset test_;
+  Options options_;
+};
+
+// ---------------------------------------------------------------------------
+// Neuromorphic workbench (DVS-Gesture-class experiments)
+// ---------------------------------------------------------------------------
+
+/// Workbench over an event-stream dataset.
+class DvsWorkbench {
+ public:
+  struct Options {
+    snn::DvsNetOptions net;
+    snn::TrainConfig train;
+    /// Frames per stream fed to the SNN (T time bins).
+    long time_bins = 20;
+    attacks::SparseAttackConfig sparse;
+    attacks::FrameAttackConfig frame;
+    long eval_batch = 64;
+    /// Eq. (1) calibration constant for the DVS architecture: level 0.1
+    /// keeps clean accuracy (Table II operating point).
+    double threshold_gain = 0.3;
+    std::uint64_t seed = 17;
+  };
+
+  struct TrainedModel {
+    snn::Network net;
+    float v_threshold = 0.0f;
+    long time_bins = 0;
+    float train_accuracy_pct = 0.0f;
+    approx::CalibrationStats calibration;
+  };
+
+  DvsWorkbench(data::EventDataset train_set, data::EventDataset test_set,
+               Options options);
+
+  /// Trains an accurate SNN with the given threshold voltage.
+  TrainedModel Train(float vth) const;
+
+  /// Attacks the test streams (crafted on the accurate model for kSparse;
+  /// kFrame is model-free; kNone returns the clean streams).
+  data::EventDataset Craft(TrainedModel& model, AttackKind kind) const;
+
+  /// Builds the approximate variant.
+  snn::Network MakeAx(const TrainedModel& model, double level,
+                      approx::Precision precision) const;
+
+  /// Test accuracy [%] of `victim` on `streams`, optionally AQF-filtered
+  /// first (Alg. 1 lines 12-14 with the neuromorphic flag set).
+  float AccuracyPct(snn::Network& victim, const data::EventDataset& streams,
+                    const std::optional<AqfConfig>& aqf = std::nullopt) const;
+
+  const data::EventDataset& train_set() const { return train_; }
+  const data::EventDataset& test_set() const { return test_; }
+  const Options& options() const { return options_; }
+
+ private:
+  data::EventDataset train_;
+  data::EventDataset test_;
+  Tensor train_frames_;  // pre-binned [N, T, 2, H, W]
+  Options options_;
+};
+
+}  // namespace axsnn::core

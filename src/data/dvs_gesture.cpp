@@ -1,0 +1,251 @@
+#include "data/dvs_gesture.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/check.hpp"
+
+namespace axsnn::data {
+
+namespace {
+
+constexpr float kPi = 3.14159265358979323846f;
+
+struct Blob {
+  float x;  // normalized [0, 1]
+  float y;
+  float amplitude = 1.0f;
+};
+
+/// Per-sample randomized path parameters.
+struct PathJitter {
+  float phase;     // radians
+  float speed;     // multiplier around 1
+  float offset_x;  // normalized
+  float offset_y;
+  float radius;    // normalized orbit radius
+};
+
+/// Positions of the scene blobs at normalized time u in [0, 1).
+/// Classes: 0 circle CW, 1 circle CCW, 2 swipe left, 3 swipe right,
+/// 4 swipe up, 5 swipe down, 6 main diagonal, 7 anti diagonal,
+/// 8 zoom in (two blobs converge), 9 zoom out (diverge), 10 figure eight.
+void BlobsAt(int cls, float u, const PathJitter& j, Blob out[2],
+             int& blob_count) {
+  blob_count = 1;
+  const float w = 2.0f * kPi * j.speed;  // one revolution per stream
+  const float cx = 0.5f + j.offset_x;
+  const float cy = 0.5f + j.offset_y;
+  switch (cls) {
+    case 0:  // circle clockwise
+      out[0] = {cx + j.radius * std::cos(w * u + j.phase),
+                cy + j.radius * std::sin(w * u + j.phase)};
+      break;
+    case 1:  // circle counter-clockwise
+      out[0] = {cx + j.radius * std::cos(-w * u + j.phase),
+                cy + j.radius * std::sin(-w * u + j.phase)};
+      break;
+    case 2: {  // swipe left (right edge -> left edge, repeats)
+      const float p = std::fmod(u * j.speed * 2.0f + j.phase / (2.0f * kPi),
+                                1.0f);
+      out[0] = {1.05f - 1.1f * p, cy + 0.08f * std::sin(3.0f * w * u)};
+      break;
+    }
+    case 3: {  // swipe right
+      const float p = std::fmod(u * j.speed * 2.0f + j.phase / (2.0f * kPi),
+                                1.0f);
+      out[0] = {-0.05f + 1.1f * p, cy + 0.08f * std::sin(3.0f * w * u)};
+      break;
+    }
+    case 4: {  // swipe up (bottom -> top)
+      const float p = std::fmod(u * j.speed * 2.0f + j.phase / (2.0f * kPi),
+                                1.0f);
+      out[0] = {cx + 0.08f * std::sin(3.0f * w * u), 1.05f - 1.1f * p};
+      break;
+    }
+    case 5: {  // swipe down
+      const float p = std::fmod(u * j.speed * 2.0f + j.phase / (2.0f * kPi),
+                                1.0f);
+      out[0] = {cx + 0.08f * std::sin(3.0f * w * u), -0.05f + 1.1f * p};
+      break;
+    }
+    case 6: {  // main diagonal, back and forth
+      const float p = 0.5f + 0.5f * std::sin(w * u + j.phase);
+      out[0] = {0.15f + 0.7f * p, 0.15f + 0.7f * p};
+      break;
+    }
+    case 7: {  // anti diagonal
+      const float p = 0.5f + 0.5f * std::sin(w * u + j.phase);
+      out[0] = {0.85f - 0.7f * p, 0.15f + 0.7f * p};
+      break;
+    }
+    case 8: {  // zoom in: two blobs converge to the centre, restart
+      const float p = std::fmod(u * j.speed + j.phase / (2.0f * kPi), 1.0f);
+      const float d = 0.38f * (1.0f - p);
+      out[0] = {cx - d, cy - d};
+      out[1] = {cx + d, cy + d};
+      blob_count = 2;
+      break;
+    }
+    case 9: {  // zoom out: two blobs diverge from the centre, restart
+      const float p = std::fmod(u * j.speed + j.phase / (2.0f * kPi), 1.0f);
+      const float d = 0.38f * p;
+      out[0] = {cx - d, cy + d};
+      out[1] = {cx + d, cy - d};
+      blob_count = 2;
+      break;
+    }
+    case 10:  // figure eight (Lissajous 1:2)
+      out[0] = {cx + 1.2f * j.radius * std::sin(w * u + j.phase),
+                cy + 0.8f * j.radius * std::sin(2.0f * (w * u + j.phase))};
+      break;
+    default:
+      AXSNN_CHECK(false, "gesture class must be in [0, " << kGestureClasses
+                                                         << "), got " << cls);
+  }
+}
+
+}  // namespace
+
+std::string GestureName(int cls) {
+  static const char* kNames[kGestureClasses] = {
+      "circle_cw",  "circle_ccw", "swipe_left", "swipe_right",
+      "swipe_up",   "swipe_down", "diag_main",  "diag_anti",
+      "zoom_in",    "zoom_out",   "figure_eight"};
+  AXSNN_CHECK(cls >= 0 && cls < kGestureClasses, "bad gesture class " << cls);
+  return kNames[cls];
+}
+
+EventStream SimulateGesture(int cls, const DvsGestureOptions& options,
+                            Rng& rng) {
+  AXSNN_CHECK(options.width > 0 && options.height > 0, "bad sensor geometry");
+  AXSNN_CHECK(options.dt_ms > 0.0f && options.duration_ms > options.dt_ms,
+              "bad timing options");
+  AXSNN_CHECK(options.contrast_threshold > 0.0f,
+              "contrast threshold must be positive");
+
+  EventStream stream;
+  stream.width = options.width;
+  stream.height = options.height;
+  stream.duration_ms = options.duration_ms;
+
+  PathJitter jitter;
+  jitter.phase = static_cast<float>(rng.Uniform(0.0, 2.0 * kPi));
+  jitter.speed = static_cast<float>(rng.Uniform(0.85, 1.2));
+  jitter.offset_x = static_cast<float>(rng.Uniform(-0.06, 0.06));
+  jitter.offset_y = static_cast<float>(rng.Uniform(-0.06, 0.06));
+  jitter.radius = static_cast<float>(rng.Uniform(0.22, 0.3));
+
+  const long w = options.width;
+  const long h = options.height;
+  const float sigma_px = options.blob_sigma *
+                         static_cast<float>(rng.Uniform(0.9, 1.15));
+  const float inv2s2 = 1.0f / (2.0f * sigma_px * sigma_px);
+  const long steps =
+      static_cast<long>(options.duration_ms / options.dt_ms);
+
+  // Per-pixel DVS reference level (initialized to the first frame so the
+  // stream starts quiet, like a real sensor after settling).
+  std::vector<float> reference(static_cast<std::size_t>(w * h), 0.0f);
+  std::vector<float> intensity(static_cast<std::size_t>(w * h), 0.0f);
+
+  Blob blobs[2];
+  int blob_count = 0;
+
+  auto render = [&](float u, std::vector<float>& out) {
+    BlobsAt(cls, u, jitter, blobs, blob_count);
+    for (long y = 0; y < h; ++y) {
+      for (long x = 0; x < w; ++x) {
+        float v = 0.0f;
+        for (int b = 0; b < blob_count; ++b) {
+          const float bx = blobs[b].x * static_cast<float>(w);
+          const float by = blobs[b].y * static_cast<float>(h);
+          const float dx = static_cast<float>(x) + 0.5f - bx;
+          const float dy = static_cast<float>(y) + 0.5f - by;
+          v += blobs[b].amplitude * std::exp(-(dx * dx + dy * dy) * inv2s2);
+        }
+        out[static_cast<std::size_t>(y * w + x)] = v;
+      }
+    }
+  };
+
+  render(0.0f, reference);
+
+  const float threshold = options.contrast_threshold;
+  const double noise_p =
+      static_cast<double>(options.noise_rate_hz) * options.dt_ms * 1e-3;
+
+  for (long step = 1; step <= steps; ++step) {
+    const float t_ms = static_cast<float>(step) * options.dt_ms;
+    const float u = static_cast<float>(step) / static_cast<float>(steps);
+    render(u, intensity);
+
+    for (long y = 0; y < h; ++y) {
+      for (long x = 0; x < w; ++x) {
+        const std::size_t p = static_cast<std::size_t>(y * w + x);
+        // Emit one event per threshold crossing, stepping the reference —
+        // the standard DVS pixel model.
+        while (intensity[p] - reference[p] > threshold) {
+          stream.events.push_back(
+              {static_cast<std::int16_t>(x), static_cast<std::int16_t>(y),
+               std::int8_t{1},
+               t_ms - options.dt_ms *
+                          static_cast<float>(rng.Uniform(0.0, 1.0))});
+          reference[p] += threshold;
+        }
+        while (reference[p] - intensity[p] > threshold) {
+          stream.events.push_back(
+              {static_cast<std::int16_t>(x), static_cast<std::int16_t>(y),
+               std::int8_t{-1},
+               t_ms - options.dt_ms *
+                          static_cast<float>(rng.Uniform(0.0, 1.0))});
+          reference[p] -= threshold;
+        }
+        // Uncorrelated shot noise.
+        if (noise_p > 0.0 && rng.Bernoulli(noise_p)) {
+          stream.events.push_back(
+              {static_cast<std::int16_t>(x), static_cast<std::int16_t>(y),
+               rng.Bernoulli(0.5) ? std::int8_t{1} : std::int8_t{-1},
+               t_ms - options.dt_ms *
+                          static_cast<float>(rng.Uniform(0.0, 1.0))});
+        }
+      }
+    }
+  }
+
+  std::sort(stream.events.begin(), stream.events.end(),
+            [](const Event& a, const Event& b) { return a.t < b.t; });
+  return stream;
+}
+
+EventDataset MakeSyntheticDvsGesture(const DvsGestureOptions& options) {
+  AXSNN_CHECK(options.count > 0, "count must be positive");
+  EventDataset ds;
+  ds.width = options.width;
+  ds.height = options.height;
+  ds.duration_ms = options.duration_ms;
+  ds.num_classes = kGestureClasses;
+  ds.streams.resize(static_cast<std::size_t>(options.count));
+  ds.labels.resize(static_cast<std::size_t>(options.count));
+
+  Rng master(options.seed);
+  for (long i = 0; i < options.count; ++i)
+    ds.labels[static_cast<std::size_t>(i)] =
+        static_cast<int>(i % kGestureClasses);
+  for (long i = options.count - 1; i > 0; --i) {
+    const long j = static_cast<long>(
+        master.UniformInt(static_cast<std::uint64_t>(i + 1)));
+    std::swap(ds.labels[static_cast<std::size_t>(i)],
+              ds.labels[static_cast<std::size_t>(j)]);
+  }
+
+#pragma omp parallel for schedule(dynamic)
+  for (long i = 0; i < options.count; ++i) {
+    Rng rng = master.Fork(static_cast<std::uint64_t>(i) + 1000);
+    ds.streams[static_cast<std::size_t>(i)] = SimulateGesture(
+        ds.labels[static_cast<std::size_t>(i)], options, rng);
+  }
+  return ds;
+}
+
+}  // namespace axsnn::data

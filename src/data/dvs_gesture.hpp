@@ -1,0 +1,59 @@
+// Synthetic event-camera gesture dataset (DVS128-Gesture stand-in).
+//
+// The paper's neuromorphic experiments run on DVS128 Gesture (11 hand/arm
+// gesture classes recorded by a 128x128 event camera). Offline, we simulate
+// the sensor instead: a Gaussian "hand" blob follows a class-specific motion
+// path over the sensor plane, and a per-pixel DVS model emits (x, y, p, t)
+// events whenever the log-intensity change since the last event at that
+// pixel crosses the contrast threshold — the standard DVS emission model.
+// Background noise events are added at a configurable rate, so the AQF
+// filter has realistic uncorrelated noise to remove even before an attack.
+//
+// The 11 classes are distinct motion patterns (circles, swipes, diagonals,
+// zooms, figure-eight), preserving what the experiments need: an
+// 11-class, spatio-temporally structured event stream classification task.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "data/event.hpp"
+#include "tensor/random.hpp"
+
+namespace axsnn::data {
+
+/// Number of gesture classes (matches DVS128 Gesture).
+inline constexpr int kGestureClasses = 11;
+
+/// Human-readable class name for diagnostics and example output.
+std::string GestureName(int cls);
+
+/// Simulator options.
+struct DvsGestureOptions {
+  long count = 256;
+  long width = 32;
+  long height = 32;
+  float duration_ms = 200.0f;
+  /// Scene integration step; events get sub-step timestamp jitter.
+  float dt_ms = 1.0f;
+  /// Gaussian blob radius in pixels.
+  float blob_sigma = 2.4f;
+  /// DVS contrast threshold (intensity units). Chosen so one blob pass over
+  /// a pixel emits a handful of events — keeping genuine per-pixel rates
+  /// below the AQF hyperactivity threshold (T1 = 5 per 50 ms), as with a
+  /// real sensor's refractory behaviour.
+  float contrast_threshold = 0.30f;
+  /// Uncorrelated background noise, events per pixel per second.
+  float noise_rate_hz = 1.0f;
+  std::uint64_t seed = 321;
+};
+
+/// Simulates one gesture of class `cls` (in [0, kGestureClasses)).
+EventStream SimulateGesture(int cls, const DvsGestureOptions& options,
+                            Rng& rng);
+
+/// Generates a balanced, shuffled dataset of `options.count` streams.
+/// Deterministic in `options.seed`.
+EventDataset MakeSyntheticDvsGesture(const DvsGestureOptions& options);
+
+}  // namespace axsnn::data

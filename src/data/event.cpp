@@ -1,0 +1,43 @@
+#include "data/event.hpp"
+
+#include <algorithm>
+
+#include "tensor/check.hpp"
+
+namespace axsnn::data {
+
+Tensor BinEvents(const EventStream& stream, long time_bins) {
+  AXSNN_CHECK(time_bins > 0, "time_bins must be positive");
+  AXSNN_CHECK(stream.width > 0 && stream.height > 0,
+              "stream has no sensor geometry");
+  AXSNN_CHECK(stream.duration_ms > 0.0f, "stream duration must be positive");
+  Tensor frames({time_bins, 2, stream.height, stream.width});
+  const float bin_ms = stream.duration_ms / static_cast<float>(time_bins);
+  for (const Event& e : stream.events) {
+    if (e.x < 0 || e.x >= stream.width || e.y < 0 || e.y >= stream.height)
+      continue;
+    if (e.t < 0.0f || e.t >= stream.duration_ms) continue;
+    const long bin = std::min<long>(static_cast<long>(e.t / bin_ms),
+                                    time_bins - 1);
+    const long channel = e.polarity > 0 ? 1 : 0;
+    frames(bin, channel, e.y, e.x) = 1.0f;
+  }
+  return frames;
+}
+
+Tensor BinDataset(const EventDataset& dataset, long time_bins) {
+  AXSNN_CHECK(!dataset.streams.empty(), "empty event dataset");
+  const long n = dataset.size();
+  Tensor out({n, time_bins, 2, dataset.height, dataset.width});
+  const long per_sample = out.numel() / n;
+#pragma omp parallel for schedule(dynamic)
+  for (long i = 0; i < n; ++i) {
+    Tensor frames = BinEvents(dataset.streams[static_cast<std::size_t>(i)],
+                              time_bins);
+    std::copy(frames.data(), frames.data() + per_sample,
+              out.data() + i * per_sample);
+  }
+  return out;
+}
+
+}  // namespace axsnn::data

@@ -1,0 +1,117 @@
+#include "data/event_io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace axsnn::data {
+
+namespace {
+
+constexpr std::uint32_t kStreamMagic = 0x41584556;   // "AXEV"
+constexpr std::uint32_t kDatasetMagic = 0x41584544;  // "AXED"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+T ReadPod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!is) throw std::runtime_error("axsnn: truncated event stream data");
+  return v;
+}
+
+}  // namespace
+
+void WriteEventStream(std::ostream& os, const EventStream& stream) {
+  WritePod(os, kStreamMagic);
+  WritePod(os, kVersion);
+  WritePod(os, static_cast<std::int64_t>(stream.width));
+  WritePod(os, static_cast<std::int64_t>(stream.height));
+  WritePod(os, stream.duration_ms);
+  WritePod(os, static_cast<std::int64_t>(stream.events.size()));
+  for (const Event& e : stream.events) {
+    WritePod(os, e.x);
+    WritePod(os, e.y);
+    WritePod(os, e.polarity);
+    WritePod(os, e.t);
+  }
+}
+
+EventStream ReadEventStream(std::istream& is) {
+  if (ReadPod<std::uint32_t>(is) != kStreamMagic)
+    throw std::runtime_error("axsnn: bad event-stream magic");
+  if (ReadPod<std::uint32_t>(is) != kVersion)
+    throw std::runtime_error("axsnn: unsupported event-stream version");
+  EventStream s;
+  s.width = static_cast<long>(ReadPod<std::int64_t>(is));
+  s.height = static_cast<long>(ReadPod<std::int64_t>(is));
+  s.duration_ms = ReadPod<float>(is);
+  const std::int64_t count = ReadPod<std::int64_t>(is);
+  if (count < 0 || count > (1LL << 32))
+    throw std::runtime_error("axsnn: implausible event count");
+  s.events.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    Event e;
+    e.x = ReadPod<std::int16_t>(is);
+    e.y = ReadPod<std::int16_t>(is);
+    e.polarity = ReadPod<std::int8_t>(is);
+    e.t = ReadPod<float>(is);
+    s.events.push_back(e);
+  }
+  return s;
+}
+
+void WriteEventDataset(std::ostream& os, const EventDataset& dataset) {
+  WritePod(os, kDatasetMagic);
+  WritePod(os, kVersion);
+  WritePod(os, static_cast<std::int64_t>(dataset.width));
+  WritePod(os, static_cast<std::int64_t>(dataset.height));
+  WritePod(os, dataset.duration_ms);
+  WritePod(os, static_cast<std::int32_t>(dataset.num_classes));
+  WritePod(os, static_cast<std::int64_t>(dataset.streams.size()));
+  for (std::size_t i = 0; i < dataset.streams.size(); ++i) {
+    WritePod(os, static_cast<std::int32_t>(dataset.labels.at(i)));
+    WriteEventStream(os, dataset.streams[i]);
+  }
+}
+
+EventDataset ReadEventDataset(std::istream& is) {
+  if (ReadPod<std::uint32_t>(is) != kDatasetMagic)
+    throw std::runtime_error("axsnn: bad event-dataset magic");
+  if (ReadPod<std::uint32_t>(is) != kVersion)
+    throw std::runtime_error("axsnn: unsupported event-dataset version");
+  EventDataset ds;
+  ds.width = static_cast<long>(ReadPod<std::int64_t>(is));
+  ds.height = static_cast<long>(ReadPod<std::int64_t>(is));
+  ds.duration_ms = ReadPod<float>(is);
+  ds.num_classes = ReadPod<std::int32_t>(is);
+  const std::int64_t count = ReadPod<std::int64_t>(is);
+  if (count < 0 || count > (1LL << 24))
+    throw std::runtime_error("axsnn: implausible stream count");
+  for (std::int64_t i = 0; i < count; ++i) {
+    ds.labels.push_back(ReadPod<std::int32_t>(is));
+    ds.streams.push_back(ReadEventStream(is));
+  }
+  return ds;
+}
+
+void SaveEventDataset(const std::string& path, const EventDataset& dataset) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("axsnn: cannot open for write: " + path);
+  WriteEventDataset(os, dataset);
+}
+
+EventDataset LoadEventDataset(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("axsnn: cannot open for read: " + path);
+  return ReadEventDataset(is);
+}
+
+}  // namespace axsnn::data

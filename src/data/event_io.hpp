@@ -1,0 +1,34 @@
+// Binary (de)serialization for event streams and datasets.
+//
+// Lets benches/applications persist attacked or filtered event data (e.g.
+// craft the expensive Sparse Attack once and reuse it across defense
+// sweeps). Little-endian, versioned container; same portability contract as
+// tensor/serialize.hpp.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/event.hpp"
+
+namespace axsnn::data {
+
+/// Writes one stream (geometry, duration, packed events).
+void WriteEventStream(std::ostream& os, const EventStream& stream);
+
+/// Reads a stream written by WriteEventStream; throws std::runtime_error on
+/// malformed input.
+EventStream ReadEventStream(std::istream& is);
+
+/// Writes a full dataset (streams + labels + metadata).
+void WriteEventDataset(std::ostream& os, const EventDataset& dataset);
+
+/// Reads a dataset written by WriteEventDataset.
+EventDataset ReadEventDataset(std::istream& is);
+
+/// File conveniences; throw std::runtime_error when the file cannot be
+/// opened.
+void SaveEventDataset(const std::string& path, const EventDataset& dataset);
+EventDataset LoadEventDataset(const std::string& path);
+
+}  // namespace axsnn::data

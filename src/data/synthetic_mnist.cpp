@@ -1,0 +1,180 @@
+#include "data/synthetic_mnist.hpp"
+
+#include <array>
+#include <cmath>
+#include <numeric>
+
+#include "tensor/check.hpp"
+
+namespace axsnn::data {
+
+namespace {
+
+struct Point {
+  float x;
+  float y;
+};
+
+using Stroke = std::vector<Point>;
+
+/// Closed/open arc helper: samples `n` points of an ellipse arc centred at
+/// (cx, cy) with radii (rx, ry) from angle a0 to a1 (radians).
+Stroke Arc(float cx, float cy, float rx, float ry, float a0, float a1,
+           int n = 12) {
+  Stroke s;
+  s.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const float a = a0 + (a1 - a0) * static_cast<float>(i) /
+                             static_cast<float>(n - 1);
+    s.push_back({cx + rx * std::cos(a), cy + ry * std::sin(a)});
+  }
+  return s;
+}
+
+/// Canonical stroke sets per digit, coordinates in the unit square with the
+/// y-axis pointing down (image convention).
+std::vector<Stroke> DigitStrokes(int digit) {
+  constexpr float kPi = 3.14159265358979323846f;
+  switch (digit) {
+    case 0:
+      return {Arc(0.5f, 0.5f, 0.26f, 0.36f, 0.0f, 2.0f * kPi, 20)};
+    case 1:
+      return {{{0.38f, 0.28f}, {0.54f, 0.12f}, {0.54f, 0.88f}}};
+    case 2:
+      return {Arc(0.5f, 0.30f, 0.24f, 0.18f, -kPi, 0.0f, 10),
+              {{0.74f, 0.30f}, {0.28f, 0.86f}, {0.76f, 0.86f}}};
+    case 3:
+      return {Arc(0.47f, 0.30f, 0.22f, 0.17f, -kPi * 0.9f, kPi * 0.5f, 10),
+              Arc(0.47f, 0.68f, 0.24f, 0.19f, -kPi * 0.5f, kPi * 0.9f, 10)};
+    case 4:
+      return {{{0.62f, 0.10f}, {0.24f, 0.62f}, {0.82f, 0.62f}},
+              {{0.62f, 0.10f}, {0.62f, 0.90f}}};
+    case 5:
+      return {{{0.74f, 0.14f}, {0.32f, 0.14f}, {0.30f, 0.48f}},
+              Arc(0.48f, 0.66f, 0.24f, 0.21f, -kPi * 0.55f, kPi * 0.8f, 12)};
+    case 6:
+      return {{{0.66f, 0.10f}, {0.40f, 0.42f}, {0.32f, 0.62f}},
+              Arc(0.50f, 0.68f, 0.20f, 0.20f, 0.0f, 2.0f * kPi, 14)};
+    case 7:
+      return {{{0.24f, 0.14f}, {0.78f, 0.14f}, {0.42f, 0.88f}}};
+    case 8:
+      return {Arc(0.5f, 0.30f, 0.20f, 0.17f, 0.0f, 2.0f * kPi, 14),
+              Arc(0.5f, 0.68f, 0.23f, 0.20f, 0.0f, 2.0f * kPi, 14)};
+    case 9:
+      return {Arc(0.52f, 0.32f, 0.20f, 0.20f, 0.0f, 2.0f * kPi, 14),
+              {{0.72f, 0.34f}, {0.66f, 0.88f}}};
+    default:
+      AXSNN_CHECK(false, "digit must be in [0, 9], got " << digit);
+      return {};
+  }
+}
+
+/// Stamps a Gaussian pen dab at floating-point position (px, py).
+void StampPen(Tensor& image, float px, float py, float sigma) {
+  const long h = image.dim(1);
+  const long w = image.dim(2);
+  const long radius = static_cast<long>(std::ceil(3.0f * sigma));
+  const long cx = static_cast<long>(std::floor(px));
+  const long cy = static_cast<long>(std::floor(py));
+  const float inv2s2 = 1.0f / (2.0f * sigma * sigma);
+  for (long y = cy - radius; y <= cy + radius; ++y) {
+    if (y < 0 || y >= h) continue;
+    for (long x = cx - radius; x <= cx + radius; ++x) {
+      if (x < 0 || x >= w) continue;
+      const float dx = static_cast<float>(x) + 0.5f - px;
+      const float dy = static_cast<float>(y) + 0.5f - py;
+      const float v = std::exp(-(dx * dx + dy * dy) * inv2s2);
+      float& pixel = image(0, y, x);
+      pixel = std::max(pixel, v);
+    }
+  }
+}
+
+}  // namespace
+
+Tensor RenderDigit(int digit, const SyntheticMnistOptions& options, Rng& rng) {
+  AXSNN_CHECK(options.height >= 8 && options.width >= 8,
+              "image too small to render digits");
+  Tensor image({1, options.height, options.width});
+
+  // Per-sample jitter draw.
+  const float angle = static_cast<float>(
+      rng.Uniform(-options.max_rotation, options.max_rotation));
+  const float scale = static_cast<float>(
+      rng.Uniform(1.0 - options.scale_jitter, 1.0 + options.scale_jitter));
+  const float shift_x = static_cast<float>(
+      rng.Uniform(-options.max_shift, options.max_shift));
+  const float shift_y = static_cast<float>(
+      rng.Uniform(-options.max_shift, options.max_shift));
+  const float sigma = options.pen_sigma *
+                      static_cast<float>(rng.Uniform(0.85, 1.2));
+  const float cos_a = std::cos(angle);
+  const float sin_a = std::sin(angle);
+
+  const float sx = static_cast<float>(options.width);
+  const float sy = static_cast<float>(options.height);
+
+  for (Stroke stroke : DigitStrokes(digit)) {
+    // Handwriting wobble: independent per-vertex displacement.
+    if (options.wobble > 0.0f) {
+      for (Point& p : stroke) {
+        p.x += static_cast<float>(rng.Uniform(-options.wobble, options.wobble));
+        p.y += static_cast<float>(rng.Uniform(-options.wobble, options.wobble));
+      }
+    }
+    for (std::size_t i = 0; i + 1 < stroke.size(); ++i) {
+      const Point a = stroke[i];
+      const Point b = stroke[i + 1];
+      const float seg_len = std::hypot(b.x - a.x, b.y - a.y);
+      const int steps = std::max(2, static_cast<int>(seg_len * sx * 2.0f));
+      for (int s = 0; s <= steps; ++s) {
+        const float u = static_cast<float>(s) / static_cast<float>(steps);
+        // Point on the canonical stroke, centred for rotation/scale.
+        const float ux = a.x + (b.x - a.x) * u - 0.5f;
+        const float uy = a.y + (b.y - a.y) * u - 0.5f;
+        const float rx = scale * (cos_a * ux - sin_a * uy) + 0.5f + shift_x;
+        const float ry = scale * (sin_a * ux + cos_a * uy) + 0.5f + shift_y;
+        StampPen(image, rx * sx, ry * sy, sigma);
+      }
+    }
+  }
+
+  if (options.noise > 0.0f) {
+    for (float& v : image.flat())
+      v = std::min(1.0f, v + static_cast<float>(
+                                 rng.Uniform(0.0, options.noise)));
+  }
+  return image;
+}
+
+StaticDataset MakeSyntheticMnist(const SyntheticMnistOptions& options) {
+  AXSNN_CHECK(options.count > 0, "count must be positive");
+  StaticDataset ds;
+  ds.num_classes = 10;
+  ds.images = Tensor({options.count, 1, options.height, options.width});
+  ds.labels.resize(static_cast<std::size_t>(options.count));
+
+  Rng master(options.seed);
+  // Balanced class sequence, then a deterministic shuffle.
+  for (long i = 0; i < options.count; ++i)
+    ds.labels[static_cast<std::size_t>(i)] = static_cast<int>(i % 10);
+  for (long i = options.count - 1; i > 0; --i) {
+    const long j = static_cast<long>(
+        master.UniformInt(static_cast<std::uint64_t>(i + 1)));
+    std::swap(ds.labels[static_cast<std::size_t>(i)],
+              ds.labels[static_cast<std::size_t>(j)]);
+  }
+
+  const long per_sample = ds.images.numel() / options.count;
+#pragma omp parallel for schedule(dynamic)
+  for (long i = 0; i < options.count; ++i) {
+    Rng rng = master.Fork(static_cast<std::uint64_t>(i) + 1);
+    Tensor img =
+        RenderDigit(ds.labels[static_cast<std::size_t>(i)], options, rng);
+    std::copy(img.data(), img.data() + per_sample,
+              ds.images.data() + i * per_sample);
+  }
+  return ds;
+}
+
+}  // namespace axsnn::data

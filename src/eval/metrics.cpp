@@ -1,0 +1,58 @@
+#include "eval/metrics.hpp"
+
+#include "tensor/check.hpp"
+
+namespace axsnn::eval {
+
+float Accuracy(std::span<const int> predictions, std::span<const int> labels) {
+  AXSNN_CHECK(predictions.size() == labels.size() && !labels.empty(),
+              "Accuracy needs equal, non-empty prediction/label spans");
+  long correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    if (predictions[i] == labels[i]) ++correct;
+  return static_cast<float>(correct) / static_cast<float>(labels.size());
+}
+
+std::vector<std::vector<long>> ConfusionMatrix(
+    std::span<const int> predictions, std::span<const int> labels,
+    int num_classes) {
+  AXSNN_CHECK(predictions.size() == labels.size(), "span length mismatch");
+  AXSNN_CHECK(num_classes > 0, "num_classes must be positive");
+  std::vector<std::vector<long>> m(
+      static_cast<std::size_t>(num_classes),
+      std::vector<long>(static_cast<std::size_t>(num_classes), 0));
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    AXSNN_CHECK(labels[i] >= 0 && labels[i] < num_classes,
+                "label out of range");
+    AXSNN_CHECK(predictions[i] >= 0 && predictions[i] < num_classes,
+                "prediction out of range");
+    ++m[static_cast<std::size_t>(labels[i])]
+       [static_cast<std::size_t>(predictions[i])];
+  }
+  return m;
+}
+
+std::vector<float> PerClassRecall(std::span<const int> predictions,
+                                  std::span<const int> labels,
+                                  int num_classes) {
+  const auto m = ConfusionMatrix(predictions, labels, num_classes);
+  std::vector<float> recall(static_cast<std::size_t>(num_classes), 0.0f);
+  for (int k = 0; k < num_classes; ++k) {
+    long row_total = 0;
+    for (long v : m[static_cast<std::size_t>(k)]) row_total += v;
+    if (row_total > 0) {
+      recall[static_cast<std::size_t>(k)] =
+          static_cast<float>(m[static_cast<std::size_t>(k)]
+                              [static_cast<std::size_t>(k)]) /
+          static_cast<float>(row_total);
+    }
+  }
+  return recall;
+}
+
+float RobustnessPct(std::span<const int> predictions,
+                    std::span<const int> labels) {
+  return 100.0f * Accuracy(predictions, labels);
+}
+
+}  // namespace axsnn::eval

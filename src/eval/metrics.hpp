@@ -1,0 +1,27 @@
+// Classification metrics used by the tests and example applications.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace axsnn::eval {
+
+/// Top-1 accuracy in [0, 1]; requires equal, non-zero lengths.
+float Accuracy(std::span<const int> predictions, std::span<const int> labels);
+
+/// KxK confusion matrix; entry [true][predicted] counts samples.
+std::vector<std::vector<long>> ConfusionMatrix(
+    std::span<const int> predictions, std::span<const int> labels,
+    int num_classes);
+
+/// Per-class recall in [0, 1]; classes with no samples report 0.
+std::vector<float> PerClassRecall(std::span<const int> predictions,
+                                  std::span<const int> labels,
+                                  int num_classes);
+
+/// The paper's robustness metric R(eps) = (1 - adv/|Dts|) * 100: the
+/// percentage of test samples the attack failed to misclassify.
+float RobustnessPct(std::span<const int> predictions,
+                    std::span<const int> labels);
+
+}  // namespace axsnn::eval

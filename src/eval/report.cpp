@@ -1,0 +1,90 @@
+#include "eval/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "tensor/check.hpp"
+
+namespace axsnn::eval {
+
+std::string FormatValue(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void PrintSeriesTable(std::ostream& os, const std::string& title,
+                      const std::string& x_label,
+                      const std::vector<double>& xs,
+                      const std::vector<Series>& series) {
+  os << "== " << title << " ==\n";
+  os << std::left << std::setw(10) << x_label;
+  for (const Series& s : series) {
+    AXSNN_CHECK(s.values.size() == xs.size(),
+                "series '" << s.name << "' length mismatch");
+    os << std::right << std::setw(std::max<int>(10,
+                                                static_cast<int>(
+                                                    s.name.size()) + 2))
+       << s.name;
+  }
+  os << '\n';
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    os << std::left << std::setw(10) << FormatValue(xs[i], 2);
+    for (const Series& s : series) {
+      os << std::right << std::setw(std::max<int>(10,
+                                                  static_cast<int>(
+                                                      s.name.size()) + 2))
+         << FormatValue(s.values[i]);
+    }
+    os << '\n';
+  }
+  os << '\n';
+}
+
+void PrintHeatmap(std::ostream& os, const std::string& title,
+                  const std::string& row_label,
+                  const std::vector<double>& row_values,
+                  const std::string& col_label,
+                  const std::vector<double>& col_values,
+                  const std::vector<std::vector<double>>& cells) {
+  AXSNN_CHECK(cells.size() == row_values.size(), "heatmap row count mismatch");
+  os << "== " << title << " ==\n";
+  os << "rows: " << row_label << ", cols: " << col_label << '\n';
+  os << std::left << std::setw(10) << " ";
+  for (double c : col_values)
+    os << std::right << std::setw(8) << FormatValue(c, 2);
+  os << '\n';
+  for (std::size_t r = 0; r < cells.size(); ++r) {
+    AXSNN_CHECK(cells[r].size() == col_values.size(),
+                "heatmap column count mismatch in row " << r);
+    os << std::left << std::setw(10) << FormatValue(row_values[r], 0);
+    for (double v : cells[r]) os << std::right << std::setw(8) << FormatValue(v);
+    os << '\n';
+  }
+  os << '\n';
+}
+
+void PrintTable(std::ostream& os, const std::string& title,
+                const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows) {
+  os << "== " << title << " ==\n";
+  std::vector<std::size_t> widths(header.size());
+  for (std::size_t c = 0; c < header.size(); ++c) widths[c] = header[c].size();
+  for (const auto& row : rows) {
+    AXSNN_CHECK(row.size() == header.size(), "table row width mismatch");
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    os << '\n';
+  };
+  print_row(header);
+  for (const auto& row : rows) print_row(row);
+  os << '\n';
+}
+
+}  // namespace axsnn::eval

@@ -1,0 +1,46 @@
+// Plain-text reporting helpers shared by the benchmark harnesses.
+//
+// Every bench prints the same artifact shape the paper reports: accuracy
+// series over a perturbation-budget axis (Figs. 1-3), (Vth x T) heatmaps
+// (Figs. 4-7a), grouped bars (Fig. 7b) and settings tables (Tables I-II).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace axsnn::eval {
+
+/// A named series of values over a shared x-axis.
+struct Series {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Prints
+///   == title ==
+///   x      name1  name2 ...
+///   0.10   96.0   51.2  ...
+void PrintSeriesTable(std::ostream& os, const std::string& title,
+                      const std::string& x_label,
+                      const std::vector<double>& xs,
+                      const std::vector<Series>& series);
+
+/// Prints a (rows x cols) matrix with labelled axes, e.g. the paper's
+/// accuracy heatmaps (rows = time steps, cols = threshold voltage).
+void PrintHeatmap(std::ostream& os, const std::string& title,
+                  const std::string& row_label,
+                  const std::vector<double>& row_values,
+                  const std::string& col_label,
+                  const std::vector<double>& col_values,
+                  const std::vector<std::vector<double>>& cells);
+
+/// Prints a generic table with a header row; columns are padded.
+void PrintTable(std::ostream& os, const std::string& title,
+                const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows);
+
+/// Formats a double with the given precision (helper for table rows).
+std::string FormatValue(double v, int precision = 1);
+
+}  // namespace axsnn::eval

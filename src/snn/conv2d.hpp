@@ -1,0 +1,58 @@
+// 2-D convolution layer (stride 1, symmetric zero padding).
+//
+// Spiking networks apply the same synaptic weights at every time step, so the
+// convolution treats the leading [T, B] axes of a time-major activation as
+// one large batch. Backward accumulates weight/bias gradients summed over
+// time and returns the input gradient, enabling both training (BPTT) and
+// input-space adversarial attacks.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "snn/layer.hpp"
+#include "tensor/random.hpp"
+#include "tensor/tensor.hpp"
+
+namespace axsnn::snn {
+
+/// Convolution over [*, C_in, H, W] -> [*, C_out, H_out, W_out] where * is
+/// the flattened [T, B] prefix. Weights are [C_out, C_in, K, K].
+class Conv2d final : public Layer {
+ public:
+  /// Creates a convolution with Kaiming-uniform initialized weights.
+  /// `pad` is symmetric zero padding (K=3, pad=1 keeps H, W unchanged).
+  Conv2d(std::string name, long in_channels, long out_channels, long kernel,
+         long pad, Rng& rng);
+
+  Tensor Forward(const Tensor& x, bool train) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::vector<Tensor*> Params() override { return {&weight_, &bias_}; }
+  std::vector<Tensor*> Grads() override { return {&dweight_, &dbias_}; }
+  std::string Name() const override { return name_; }
+  std::unique_ptr<Layer> Clone() const override;
+
+  long in_channels() const { return in_channels_; }
+  long out_channels() const { return out_channels_; }
+  long kernel() const { return kernel_; }
+
+  /// Direct weight access for quantization / approximation passes.
+  Tensor& weight() { return weight_; }
+  const Tensor& weight() const { return weight_; }
+  Tensor& bias() { return bias_; }
+  const Tensor& bias() const { return bias_; }
+
+ private:
+  std::string name_;
+  long in_channels_ = 0;
+  long out_channels_ = 0;
+  long kernel_ = 0;
+  long pad_ = 0;
+  Tensor weight_;   // [C_out, C_in, K, K]
+  Tensor bias_;     // [C_out]
+  Tensor dweight_;
+  Tensor dbias_;
+  Tensor cached_input_;  // saved activation for Backward
+};
+
+}  // namespace axsnn::snn

@@ -1,0 +1,114 @@
+#include "snn/dense.hpp"
+
+#include <cmath>
+
+#include "tensor/check.hpp"
+
+namespace axsnn::snn {
+
+Dense::Dense(std::string name, long in_features, long out_features, Rng& rng)
+    : name_(std::move(name)),
+      in_features_(in_features),
+      out_features_(out_features) {
+  AXSNN_CHECK(in_features > 0 && out_features > 0,
+              "Dense dimensions must be positive");
+  const float bound = std::sqrt(6.0f / static_cast<float>(in_features));
+  weight_ = Tensor::Uniform({out_features, in_features}, -bound, bound, rng);
+  bias_ = Tensor::Zeros({out_features});
+  dweight_ = Tensor::Zeros(weight_.shape());
+  dbias_ = Tensor::Zeros(bias_.shape());
+}
+
+Tensor Dense::Forward(const Tensor& x, bool /*train*/) {
+  AXSNN_CHECK(x.rank() >= 1, "Dense expects at least rank 1");
+  // Accept [*, C, H, W] inputs too: anything after the [T, B] prefix is
+  // flattened into features. We infer the prefix length from divisibility.
+  AXSNN_CHECK(x.numel() % in_features_ == 0,
+              "Dense " << name_ << ": input numel " << x.numel()
+                       << " not divisible by in_features " << in_features_);
+  const long n = x.numel() / in_features_;
+
+  cached_input_ = x;
+
+  // Output keeps the [T, B] prefix when present, else collapses to [n, F].
+  Shape out_shape;
+  if (x.rank() >= 3) {
+    out_shape = {x.dim(0), x.dim(1), out_features_};
+    AXSNN_CHECK(x.dim(0) * x.dim(1) == n,
+                "Dense: [T, B] prefix does not match feature count");
+  } else {
+    out_shape = {n, out_features_};
+  }
+  Tensor out(std::move(out_shape));
+
+  const float* xd = x.data();
+  const float* wd = weight_.data();
+  const float* bd = bias_.data();
+  float* od = out.data();
+
+#pragma omp parallel for schedule(static)
+  for (long s = 0; s < n; ++s) {
+    const float* xs = xd + s * in_features_;
+    float* os = od + s * out_features_;
+    for (long o = 0; o < out_features_; ++o) {
+      const float* wr = wd + o * in_features_;
+      float acc = bd[o];
+      for (long i = 0; i < in_features_; ++i) acc += wr[i] * xs[i];
+      os[o] = acc;
+    }
+  }
+  return out;
+}
+
+Tensor Dense::Backward(const Tensor& grad_out) {
+  AXSNN_CHECK(!cached_input_.empty(), "Dense::Backward called before Forward");
+  const Tensor& x = cached_input_;
+  const long n = x.numel() / in_features_;
+  AXSNN_CHECK(grad_out.numel() == n * out_features_,
+              "Dense::Backward gradient shape mismatch");
+
+  Tensor grad_in(x.shape());
+  const float* xd = x.data();
+  const float* wd = weight_.data();
+  const float* gd = grad_out.data();
+  float* gid = grad_in.data();
+  float* gwd = dweight_.data();
+  float* gbd = dbias_.data();
+
+  // dW/db: each thread owns one output row of dweight_.
+#pragma omp parallel for schedule(static)
+  for (long o = 0; o < out_features_; ++o) {
+    float* gw = gwd + o * in_features_;
+    double gb = 0.0;
+    for (long s = 0; s < n; ++s) {
+      const float g = gd[s * out_features_ + o];
+      if (g == 0.0f) continue;
+      gb += g;
+      const float* xs = xd + s * in_features_;
+      for (long i = 0; i < in_features_; ++i) gw[i] += g * xs[i];
+    }
+    gbd[o] += static_cast<float>(gb);
+  }
+
+  // dX: each thread owns one sample row of grad_in.
+#pragma omp parallel for schedule(static)
+  for (long s = 0; s < n; ++s) {
+    const float* gs = gd + s * out_features_;
+    float* gi = gid + s * in_features_;
+    for (long o = 0; o < out_features_; ++o) {
+      const float g = gs[o];
+      if (g == 0.0f) continue;
+      const float* wr = wd + o * in_features_;
+      for (long i = 0; i < in_features_; ++i) gi[i] += g * wr[i];
+    }
+  }
+  return grad_in;
+}
+
+std::unique_ptr<Layer> Dense::Clone() const {
+  auto copy = std::make_unique<Dense>(*this);
+  copy->cached_input_ = Tensor();
+  return copy;
+}
+
+}  // namespace axsnn::snn

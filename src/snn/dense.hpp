@@ -1,0 +1,49 @@
+// Fully-connected layer over the trailing feature axis.
+//
+// Input [*, F_in] -> output [*, F_out], where * is the flattened [T, B]
+// prefix. Like Conv2d, the same synaptic weights are applied at every time
+// step; Backward sums parameter gradients over time.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "snn/layer.hpp"
+#include "tensor/random.hpp"
+#include "tensor/tensor.hpp"
+
+namespace axsnn::snn {
+
+/// Fully-connected (linear) layer. Weights are [F_out, F_in].
+class Dense final : public Layer {
+ public:
+  /// Creates a dense layer with Kaiming-uniform initialized weights.
+  Dense(std::string name, long in_features, long out_features, Rng& rng);
+
+  Tensor Forward(const Tensor& x, bool train) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::vector<Tensor*> Params() override { return {&weight_, &bias_}; }
+  std::vector<Tensor*> Grads() override { return {&dweight_, &dbias_}; }
+  std::string Name() const override { return name_; }
+  std::unique_ptr<Layer> Clone() const override;
+
+  long in_features() const { return in_features_; }
+  long out_features() const { return out_features_; }
+
+  Tensor& weight() { return weight_; }
+  const Tensor& weight() const { return weight_; }
+  Tensor& bias() { return bias_; }
+  const Tensor& bias() const { return bias_; }
+
+ private:
+  std::string name_;
+  long in_features_ = 0;
+  long out_features_ = 0;
+  Tensor weight_;   // [F_out, F_in]
+  Tensor bias_;     // [F_out]
+  Tensor dweight_;
+  Tensor dbias_;
+  Tensor cached_input_;
+};
+
+}  // namespace axsnn::snn

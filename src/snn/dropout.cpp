@@ -1,0 +1,60 @@
+#include "snn/dropout.hpp"
+
+#include "tensor/check.hpp"
+
+namespace axsnn::snn {
+
+Dropout::Dropout(std::string name, float rate, std::uint64_t seed)
+    : name_(std::move(name)), rate_(rate), rng_(seed) {
+  AXSNN_CHECK(rate >= 0.0f && rate < 1.0f, "dropout rate must be in [0, 1)");
+}
+
+Tensor Dropout::Forward(const Tensor& x, bool train) {
+  AXSNN_CHECK(x.rank() >= 2, "Dropout expects [T, B, F...]");
+  last_was_train_ = train;
+  if (!train || rate_ == 0.0f) return x;
+
+  const long t_steps = x.dim(0);
+  const long slice = x.numel() / t_steps;  // one [B, F...] slice
+  const float keep = 1.0f - rate_;
+  const float scale = 1.0f / keep;
+
+  mask_ = Tensor({slice});
+  for (long i = 0; i < slice; ++i)
+    mask_[i] = rng_.Bernoulli(keep) ? scale : 0.0f;
+
+  Tensor out = x;
+  float* od = out.data();
+  const float* md = mask_.data();
+#pragma omp parallel for schedule(static)
+  for (long t = 0; t < t_steps; ++t) {
+    float* slice_ptr = od + t * slice;
+    for (long i = 0; i < slice; ++i) slice_ptr[i] *= md[i];
+  }
+  return out;
+}
+
+Tensor Dropout::Backward(const Tensor& grad_out) {
+  if (!last_was_train_ || rate_ == 0.0f) return grad_out;
+  AXSNN_CHECK(!mask_.empty(), "Dropout::Backward called before Forward");
+  const long t_steps = grad_out.dim(0);
+  const long slice = grad_out.numel() / t_steps;
+  AXSNN_CHECK(slice == mask_.numel(), "Dropout::Backward shape mismatch");
+  Tensor grad_in = grad_out;
+  float* gd = grad_in.data();
+  const float* md = mask_.data();
+#pragma omp parallel for schedule(static)
+  for (long t = 0; t < t_steps; ++t) {
+    float* slice_ptr = gd + t * slice;
+    for (long i = 0; i < slice; ++i) slice_ptr[i] *= md[i];
+  }
+  return grad_in;
+}
+
+std::unique_ptr<Layer> Dropout::Clone() const {
+  auto copy = std::make_unique<Dropout>(*this);
+  copy->mask_ = Tensor();
+  return copy;
+}
+
+}  // namespace axsnn::snn

@@ -1,0 +1,41 @@
+// Inverted dropout for spiking activations.
+//
+// The DVS-Gesture classifier in the paper contains one dropout layer. The
+// mask is drawn once per forward pass over the [B, F...] slice and shared
+// across time steps, which matches how dropout is used in SNN training
+// frameworks (a synapse is either present or absent for the whole stimulus
+// presentation, not flickering per time step).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "snn/layer.hpp"
+#include "tensor/random.hpp"
+#include "tensor/tensor.hpp"
+
+namespace axsnn::snn {
+
+/// Inverted dropout; identity in inference mode.
+class Dropout final : public Layer {
+ public:
+  /// `rate` is the drop probability in [0, 1). `seed` fixes the mask
+  /// sequence so training runs are reproducible.
+  Dropout(std::string name, float rate, std::uint64_t seed);
+
+  Tensor Forward(const Tensor& x, bool train) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::string Name() const override { return name_; }
+  std::unique_ptr<Layer> Clone() const override;
+
+  float rate() const { return rate_; }
+
+ private:
+  std::string name_;
+  float rate_ = 0.0f;
+  Rng rng_;
+  Tensor mask_;  // [B, F...] scaled keep mask from the last training forward
+  bool last_was_train_ = false;
+};
+
+}  // namespace axsnn::snn

@@ -1,0 +1,108 @@
+#include "snn/encoding.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/check.hpp"
+
+namespace axsnn::snn {
+
+Tensor EncodeRate(const Tensor& images, long time_steps, Rng& rng) {
+  AXSNN_CHECK(time_steps > 0, "time_steps must be positive");
+  AXSNN_CHECK(images.rank() >= 2, "EncodeRate expects [B, ...]");
+  Shape out_shape;
+  out_shape.push_back(time_steps);
+  for (long d : images.shape()) out_shape.push_back(d);
+  Tensor out(std::move(out_shape));
+  const long n = images.numel();
+  const float* src = images.data();
+  float* dst = out.data();
+  for (long t = 0; t < time_steps; ++t) {
+    float* frame = dst + t * n;
+    for (long i = 0; i < n; ++i)
+      frame[i] = rng.Bernoulli(src[i]) ? 1.0f : 0.0f;
+  }
+  return out;
+}
+
+Tensor EncodeDirect(const Tensor& images, long time_steps) {
+  AXSNN_CHECK(time_steps > 0, "time_steps must be positive");
+  AXSNN_CHECK(images.rank() >= 2, "EncodeDirect expects [B, ...]");
+  Shape out_shape;
+  out_shape.push_back(time_steps);
+  for (long d : images.shape()) out_shape.push_back(d);
+  Tensor out(std::move(out_shape));
+  const long n = images.numel();
+  const float* src = images.data();
+  float* dst = out.data();
+  for (long t = 0; t < time_steps; ++t)
+    std::copy(src, src + n, dst + t * n);
+  return out;
+}
+
+Tensor EncodeTtfs(const Tensor& images, long time_steps) {
+  AXSNN_CHECK(time_steps > 0, "time_steps must be positive");
+  AXSNN_CHECK(images.rank() >= 2, "EncodeTtfs expects [B, ...]");
+  Shape out_shape;
+  out_shape.push_back(time_steps);
+  for (long d : images.shape()) out_shape.push_back(d);
+  Tensor out(std::move(out_shape));
+  const long n = images.numel();
+  const float* src = images.data();
+  float* dst = out.data();
+  for (long i = 0; i < n; ++i) {
+    const float v = std::clamp(src[i], 0.0f, 1.0f);
+    if (v <= 0.0f) continue;  // black pixels stay silent
+    const long t = std::lround((1.0f - v) * static_cast<float>(time_steps - 1));
+    dst[t * n + i] = 1.0f;
+  }
+  return out;
+}
+
+Tensor Encode(const Tensor& images, long time_steps, Encoding mode, Rng& rng) {
+  switch (mode) {
+    case Encoding::kRate:
+      return EncodeRate(images, time_steps, rng);
+    case Encoding::kDirect:
+      return EncodeDirect(images, time_steps);
+    case Encoding::kTtfs:
+      return EncodeTtfs(images, time_steps);
+  }
+  AXSNN_CHECK(false, "unknown encoding mode");
+  return {};
+}
+
+Tensor CollapseTimeGradient(const Tensor& grad_tbx) {
+  AXSNN_CHECK(grad_tbx.rank() >= 2, "expected [T, B, ...] gradient");
+  const long t_steps = grad_tbx.dim(0);
+  const long n = grad_tbx.numel() / t_steps;
+  Shape out_shape(grad_tbx.shape().begin() + 1, grad_tbx.shape().end());
+  Tensor out(std::move(out_shape));
+  const float* g = grad_tbx.data();
+  float* o = out.data();
+  for (long t = 0; t < t_steps; ++t) {
+    const float* frame = g + t * n;
+    for (long i = 0; i < n; ++i) o[i] += frame[i];
+  }
+  return out;
+}
+
+Tensor TimeMajor(const Tensor& frames_btx) {
+  AXSNN_CHECK(frames_btx.rank() >= 3, "TimeMajor expects [B, T, ...]");
+  const long b = frames_btx.dim(0);
+  const long t_steps = frames_btx.dim(1);
+  const long feat = frames_btx.numel() / (b * t_steps);
+  Shape out_shape = frames_btx.shape();
+  std::swap(out_shape[0], out_shape[1]);
+  Tensor out(std::move(out_shape));
+  const float* src = frames_btx.data();
+  float* dst = out.data();
+  for (long i = 0; i < b; ++i)
+    for (long t = 0; t < t_steps; ++t)
+      std::copy(src + (i * t_steps + t) * feat,
+                src + (i * t_steps + t + 1) * feat,
+                dst + (t * b + i) * feat);
+  return out;
+}
+
+}  // namespace axsnn::snn

@@ -1,0 +1,39 @@
+// Batched inference helpers shared by evaluation, attacks and defenses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "snn/encoding.hpp"
+#include "snn/network.hpp"
+#include "tensor/tensor.hpp"
+
+namespace axsnn::snn {
+
+/// Logits [B, K] for a batch of static images [B, C, H, W].
+Tensor LogitsStatic(Network& net, const Tensor& images, long time_steps,
+                    Encoding mode, Rng& rng);
+
+/// Logits [B, K] for a batch of pre-binned frames [B, T, C, H, W].
+Tensor LogitsTemporal(Network& net, const Tensor& frames);
+
+/// Top-1 accuracy in [0, 1] on static images, evaluated in mini-batches of
+/// `batch_size` to bound peak memory. Deterministic given `seed`.
+float AccuracyStatic(Network& net, const Tensor& images,
+                     std::span<const int> labels, long time_steps,
+                     Encoding mode, std::uint64_t seed, long batch_size = 64);
+
+/// Top-1 accuracy in [0, 1] on temporal frames [N, T, C, H, W].
+float AccuracyTemporal(Network& net, const Tensor& frames,
+                       std::span<const int> labels, long batch_size = 32);
+
+/// Predicted class ids for static images.
+std::vector<int> PredictStatic(Network& net, const Tensor& images,
+                               long time_steps, Encoding mode,
+                               std::uint64_t seed, long batch_size = 64);
+
+/// Predicted class ids for temporal frames.
+std::vector<int> PredictTemporal(Network& net, const Tensor& frames,
+                                 long batch_size = 32);
+
+}  // namespace axsnn::snn

@@ -1,0 +1,60 @@
+// Layer abstraction for time-major spiking networks.
+//
+// All layers consume and produce *time-major* activations shaped
+// [T, B, ...feature dims...]; stateless layers (conv, dense, pool) treat
+// T*B as one large batch, while the LIF layer runs its membrane recursion
+// across the leading time axis. Each layer caches what it needs during
+// Forward so that a subsequent Backward can run full
+// backpropagation-through-time, including the gradient with respect to the
+// *input* — which is what the gradient-based adversarial attacks consume.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace axsnn::snn {
+
+/// Abstract base class of all network layers.
+///
+/// Contract: Backward(g) must be called at most once after each Forward and
+/// receives dL/d(output); it accumulates parameter gradients internally and
+/// returns dL/d(input) of the same shape as the Forward input.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  Layer() = default;
+  Layer(const Layer&) = default;
+  Layer& operator=(const Layer&) = default;
+
+  /// Runs the layer on a time-major activation tensor.
+  /// `train` enables stochastic behaviour (dropout) and gradient caching.
+  virtual Tensor Forward(const Tensor& x, bool train) = 0;
+
+  /// Backpropagates through the cached forward pass; returns dL/d(input).
+  virtual Tensor Backward(const Tensor& grad_out) = 0;
+
+  /// Trainable parameter tensors (may be empty). Order is stable and matches
+  /// Grads().
+  virtual std::vector<Tensor*> Params() { return {}; }
+
+  /// Accumulated parameter gradients, aligned with Params().
+  virtual std::vector<Tensor*> Grads() { return {}; }
+
+  /// Clears accumulated parameter gradients.
+  void ZeroGrad() {
+    for (Tensor* g : Grads()) g->Zero();
+  }
+
+  /// Short identifier used in diagnostics and state dicts, e.g. "conv1".
+  virtual std::string Name() const = 0;
+
+  /// Deep copy, preserving weights but not cached activations. Approximation
+  /// experiments clone a trained network once per (precision, level) variant.
+  virtual std::unique_ptr<Layer> Clone() const = 0;
+};
+
+}  // namespace axsnn::snn

@@ -1,0 +1,119 @@
+#include "snn/lif_layer.hpp"
+
+#include "tensor/check.hpp"
+
+namespace axsnn::snn {
+
+LifLayer::LifLayer(std::string name, LifParams params)
+    : name_(std::move(name)), params_(params) {
+  params_.Validate();
+}
+
+void LifLayer::set_params(LifParams params) {
+  params.Validate();
+  params_ = params;
+  cached_membrane_ = Tensor();
+  cached_spikes_ = Tensor();
+}
+
+Tensor LifLayer::Forward(const Tensor& x, bool /*train*/) {
+  AXSNN_CHECK(x.rank() >= 2, "LifLayer expects [T, B, F...]");
+  const long t_steps = x.dim(0);
+  const long n = x.numel() / t_steps;  // neurons x batch
+
+  cached_membrane_ = Tensor(x.shape());
+  cached_spikes_ = Tensor(x.shape());
+  Tensor& u = cached_membrane_;
+  Tensor& s = cached_spikes_;
+
+  const float* xd = x.data();
+  float* ud = u.data();
+  float* sd = s.data();
+  const float beta = params_.beta;
+  const float vth = params_.v_threshold;
+  const float vreset = params_.v_reset;
+
+  double total_spikes = 0.0;
+  double total_membrane = 0.0;
+  double total_drive = 0.0;
+
+  // The time recursion is sequential; parallelism is across neurons.
+#pragma omp parallel for schedule(static) \
+    reduction(+ : total_spikes, total_membrane, total_drive)
+  for (long i = 0; i < n; ++i) {
+    float u_prev = 0.0f;
+    float s_prev = 0.0f;
+    for (long t = 0; t < t_steps; ++t) {
+      const long off = t * n + i;
+      // Hard reset: a spike at t-1 pulls the membrane back to v_reset.
+      const float u_carry = s_prev > 0.0f ? vreset : u_prev;
+      const float u_t = beta * u_carry + xd[off];
+      const float s_t = u_t >= vth ? 1.0f : 0.0f;
+      ud[off] = u_t;
+      sd[off] = s_t;
+      total_spikes += s_t;
+      total_membrane += u_t;
+      if (u_t > 0.0f) total_drive += u_t;
+      u_prev = u_t;
+      s_prev = s_t;
+    }
+  }
+
+  const double count = static_cast<double>(x.numel());
+  last_total_spikes_ = total_spikes;
+  last_mean_rate_ = static_cast<float>(total_spikes / count);
+  last_mean_membrane_ = static_cast<float>(total_membrane / count);
+  last_mean_drive_ = static_cast<float>(total_drive / count);
+  return s;
+}
+
+Tensor LifLayer::Backward(const Tensor& grad_out) {
+  AXSNN_CHECK(!cached_membrane_.empty(),
+              "LifLayer::Backward called before Forward");
+  const Tensor& u = cached_membrane_;
+  const Tensor& s = cached_spikes_;
+  AXSNN_CHECK(grad_out.shape() == u.shape(),
+              "LifLayer::Backward gradient shape mismatch");
+
+  const long t_steps = u.dim(0);
+  const long n = u.numel() / t_steps;
+  Tensor grad_in(u.shape());
+
+  const float* ud = u.data();
+  const float* sd = s.data();
+  const float* gd = grad_out.data();
+  float* gi = grad_in.data();
+  const float beta = params_.beta;
+  const float vth = params_.v_threshold;
+  const float alpha = params_.surrogate_alpha;
+
+  // Reverse-time recursion per neuron. With hard reset,
+  //   u[t+1] = beta * (1 - s[t]) * u[t] + beta * v_reset * s[t] + x[t+1]
+  // so d u[t+1]/d u[t] = beta (1 - s[t]) and
+  //    d u[t+1]/d s[t] = beta (v_reset - u[t]).
+#pragma omp parallel for schedule(static)
+  for (long i = 0; i < n; ++i) {
+    float du_next = 0.0f;  // dL/du[t+1] flowing backwards
+    for (long t = t_steps - 1; t >= 0; --t) {
+      const long off = t * n + i;
+      const float u_t = ud[off];
+      const float s_t = sd[off];
+      // Total gradient reaching the spike s[t]: from the layer output and
+      // from the reset path of the next membrane update.
+      const float ds =
+          gd[off] + du_next * beta * (params_.v_reset - u_t);
+      // Spike -> membrane via surrogate; plus the leak path from u[t+1].
+      const float du =
+          ds * SurrogateGrad(u_t, vth, alpha) + du_next * beta * (1.0f - s_t);
+      gi[off] = du;  // du[t]/dx[t] = 1
+      du_next = du;
+    }
+  }
+  return grad_in;
+}
+
+std::unique_ptr<Layer> LifLayer::Clone() const {
+  return std::make_unique<LifLayer>(name_, params_);
+}
+
+}  // namespace axsnn::snn

@@ -1,0 +1,84 @@
+#include "snn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/check.hpp"
+
+namespace axsnn::snn {
+
+Tensor ReadoutMean(const Tensor& seq_tbk) {
+  AXSNN_CHECK(seq_tbk.rank() == 3, "ReadoutMean expects [T, B, K]");
+  const long t_steps = seq_tbk.dim(0);
+  const long b = seq_tbk.dim(1);
+  const long k = seq_tbk.dim(2);
+  Tensor logits({b, k});
+  const float* src = seq_tbk.data();
+  float* dst = logits.data();
+  const float inv = 1.0f / static_cast<float>(t_steps);
+  for (long t = 0; t < t_steps; ++t) {
+    const float* frame = src + t * b * k;
+    for (long i = 0; i < b * k; ++i) dst[i] += frame[i];
+  }
+  for (long i = 0; i < b * k; ++i) dst[i] *= inv;
+  return logits;
+}
+
+Tensor ReadoutMeanBackward(const Tensor& grad_logits, long time_steps) {
+  AXSNN_CHECK(grad_logits.rank() == 2, "expected [B, K] gradient");
+  AXSNN_CHECK(time_steps > 0, "time_steps must be positive");
+  const long b = grad_logits.dim(0);
+  const long k = grad_logits.dim(1);
+  Tensor out({time_steps, b, k});
+  const float inv = 1.0f / static_cast<float>(time_steps);
+  const float* g = grad_logits.data();
+  float* o = out.data();
+  for (long t = 0; t < time_steps; ++t)
+    for (long i = 0; i < b * k; ++i) o[t * b * k + i] = g[i] * inv;
+  return out;
+}
+
+LossResult SoftmaxCrossEntropy(const Tensor& logits,
+                               std::span<const int> labels) {
+  AXSNN_CHECK(logits.rank() == 2, "SoftmaxCrossEntropy expects [B, K]");
+  const long b = logits.dim(0);
+  const long k = logits.dim(1);
+  AXSNN_CHECK(static_cast<long>(labels.size()) == b,
+              "label count " << labels.size() << " != batch " << b);
+
+  LossResult result;
+  result.grad_logits = Tensor({b, k});
+  double total_loss = 0.0;
+
+  const float* ld = logits.data();
+  float* gd = result.grad_logits.data();
+  const float inv_b = 1.0f / static_cast<float>(b);
+
+  for (long i = 0; i < b; ++i) {
+    const int label = labels[static_cast<std::size_t>(i)];
+    AXSNN_CHECK(label >= 0 && label < k,
+                "label " << label << " out of range [0, " << k << ")");
+    const float* row = ld + i * k;
+    const float m = *std::max_element(row, row + k);
+    double denom = 0.0;
+    for (long j = 0; j < k; ++j) denom += std::exp(static_cast<double>(row[j] - m));
+    const double log_denom = std::log(denom);
+    total_loss += log_denom - (row[label] - m);
+
+    long arg = 0;
+    for (long j = 1; j < k; ++j)
+      if (row[j] > row[arg]) arg = j;
+    if (arg == label) ++result.correct;
+
+    float* grow = gd + i * k;
+    for (long j = 0; j < k; ++j) {
+      const float p = static_cast<float>(
+          std::exp(static_cast<double>(row[j] - m) - log_denom));
+      grow[j] = (p - (j == label ? 1.0f : 0.0f)) * inv_b;
+    }
+  }
+  result.loss = static_cast<float>(total_loss / b);
+  return result;
+}
+
+}  // namespace axsnn::snn

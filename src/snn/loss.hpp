@@ -1,0 +1,33 @@
+// Rate-readout and softmax cross-entropy loss for spiking classifiers.
+//
+// The network's final layer emits a time sequence [T, B, K]; classification
+// uses the mean over time as logits (spike-count readout). The loss provides
+// both the scalar objective and the gradient that seeds BPTT.
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace axsnn::snn {
+
+/// Mean over the time axis: [T, B, K] -> [B, K].
+Tensor ReadoutMean(const Tensor& seq_tbk);
+
+/// Adjoint of ReadoutMean: spreads dL/d(logits) [B, K] uniformly over
+/// `time_steps` -> [T, B, K].
+Tensor ReadoutMeanBackward(const Tensor& grad_logits, long time_steps);
+
+/// Result of a softmax cross-entropy evaluation.
+struct LossResult {
+  float loss = 0.0f;        ///< mean cross-entropy over the batch
+  Tensor grad_logits;       ///< dL/d(logits), [B, K]
+  long correct = 0;         ///< argmax(logits) == label count
+};
+
+/// Numerically stable softmax cross-entropy with integer class labels.
+/// `logits` is [B, K]; `labels` holds B class ids in [0, K).
+LossResult SoftmaxCrossEntropy(const Tensor& logits,
+                               std::span<const int> labels);
+
+}  // namespace axsnn::snn

@@ -1,0 +1,59 @@
+#include "snn/models.hpp"
+
+#include "snn/conv2d.hpp"
+#include "snn/dense.hpp"
+#include "snn/dropout.hpp"
+#include "snn/lif_layer.hpp"
+#include "snn/pool.hpp"
+#include "tensor/check.hpp"
+
+namespace axsnn::snn {
+
+Network BuildStaticNet(const StaticNetOptions& opts) {
+  AXSNN_CHECK(opts.height % 4 == 0 && opts.width % 4 == 0,
+              "static net needs spatial dims divisible by 4 (two 2x pools)");
+  opts.lif.Validate();
+  Rng rng(opts.seed);
+  Network net;
+  net.Emplace<Conv2d>("conv1", opts.channels, opts.conv1_channels, 3L, 1L, rng);
+  net.Emplace<LifLayer>("lif1", opts.lif);
+  net.Emplace<AvgPool2d>("pool1", 2L);
+  net.Emplace<Conv2d>("conv2", opts.conv1_channels, opts.conv2_channels, 3L,
+                      1L, rng);
+  net.Emplace<LifLayer>("lif2", opts.lif);
+  net.Emplace<AvgPool2d>("pool2", 2L);
+  net.Emplace<Conv2d>("conv3", opts.conv2_channels, opts.conv3_channels, 3L,
+                      1L, rng);
+  net.Emplace<LifLayer>("lif3", opts.lif);
+  const long feat =
+      opts.conv3_channels * (opts.height / 4) * (opts.width / 4);
+  net.Emplace<Dense>("fc1", feat, opts.hidden, rng);
+  net.Emplace<LifLayer>("lif4", opts.lif);
+  net.Emplace<Dense>("fc2", opts.hidden, opts.classes, rng);
+  return net;
+}
+
+Network BuildDvsNet(const DvsNetOptions& opts) {
+  AXSNN_CHECK(opts.height % 8 == 0 && opts.width % 8 == 0,
+              "DVS net needs spatial dims divisible by 8 (three 2x pools)");
+  opts.lif.Validate();
+  Rng rng(opts.seed);
+  Network net;
+  net.Emplace<Conv2d>("conv1", opts.channels, opts.conv1_channels, 3L, 1L, rng);
+  net.Emplace<LifLayer>("lif1", opts.lif);
+  net.Emplace<AvgPool2d>("pool1", 2L);
+  net.Emplace<Conv2d>("conv2", opts.conv1_channels, opts.conv2_channels, 3L,
+                      1L, rng);
+  net.Emplace<LifLayer>("lif2", opts.lif);
+  net.Emplace<AvgPool2d>("pool2", 2L);
+  net.Emplace<AvgPool2d>("pool3", 2L);
+  net.Emplace<Dropout>("drop1", opts.dropout_rate, opts.seed ^ 0xD50ULL);
+  const long feat =
+      opts.conv2_channels * (opts.height / 8) * (opts.width / 8);
+  net.Emplace<Dense>("fc1", feat, opts.hidden, rng);
+  net.Emplace<LifLayer>("lif3", opts.lif);
+  net.Emplace<Dense>("fc2", opts.hidden, opts.classes, rng);
+  return net;
+}
+
+}  // namespace axsnn::snn

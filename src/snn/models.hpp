@@ -1,0 +1,53 @@
+// The two classifier architectures evaluated in the paper, scaled to
+// CPU-trainable sizes (channel counts reduced; depth and layer mix kept).
+#pragma once
+
+#include <cstdint>
+
+#include "snn/lif.hpp"
+#include "snn/network.hpp"
+
+namespace axsnn::snn {
+
+/// Options for the static-image (MNIST-class) network: a 7-layer SNN with
+/// 3 convolutional, 2 pooling and 2 fully-connected layers (paper §V-A).
+struct StaticNetOptions {
+  long height = 16;
+  long width = 16;
+  long channels = 1;
+  long classes = 10;
+  long conv1_channels = 8;
+  long conv2_channels = 16;
+  long conv3_channels = 16;
+  long hidden = 64;
+  LifParams lif;
+  std::uint64_t seed = 7;
+};
+
+/// Builds the static-image classifier:
+/// Conv3x3 -> LIF -> AvgPool2 -> Conv3x3 -> LIF -> AvgPool2 -> Conv3x3 ->
+/// LIF -> Dense -> LIF -> Dense (readout).
+Network BuildStaticNet(const StaticNetOptions& opts);
+
+/// Options for the DVS-Gesture-class network: an 8-layer SNN with 2
+/// convolutional, 3 pooling, 1 dropout and 2 fully-connected layers
+/// (paper §V-A).
+struct DvsNetOptions {
+  long height = 32;
+  long width = 32;
+  long channels = 2;  // event polarities
+  long classes = 11;
+  long conv1_channels = 12;
+  long conv2_channels = 24;
+  long hidden = 96;
+  float dropout_rate = 0.25f;
+  LifParams lif;
+  std::uint64_t seed = 11;
+};
+
+/// Builds the DVS classifier:
+/// Conv3x3 -> LIF -> AvgPool2 -> Conv3x3 -> LIF -> AvgPool2 -> AvgPool2 ->
+/// Dropout -> Dense -> LIF -> Dense (readout).
+Network BuildDvsNet(const DvsNetOptions& opts);
+
+}  // namespace axsnn::snn

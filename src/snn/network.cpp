@@ -1,0 +1,114 @@
+#include "snn/network.hpp"
+
+#include <sstream>
+
+#include "snn/lif_layer.hpp"
+#include "tensor/check.hpp"
+
+namespace axsnn::snn {
+
+Layer& Network::Add(std::unique_ptr<Layer> layer) {
+  AXSNN_CHECK(layer != nullptr, "cannot add a null layer");
+  layers_.push_back(std::move(layer));
+  return *layers_.back();
+}
+
+Tensor Network::Forward(const Tensor& x, bool train) {
+  AXSNN_CHECK(!layers_.empty(), "Forward on an empty network");
+  Tensor a = x;
+  for (auto& layer : layers_) a = layer->Forward(a, train);
+  return a;
+}
+
+Tensor Network::Backward(const Tensor& grad_out) {
+  AXSNN_CHECK(!layers_.empty(), "Backward on an empty network");
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->Backward(g);
+  return g;
+}
+
+void Network::ZeroGrad() {
+  for (auto& layer : layers_) layer->ZeroGrad();
+}
+
+std::vector<Tensor*> Network::Params() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_)
+    for (Tensor* p : layer->Params()) out.push_back(p);
+  return out;
+}
+
+std::vector<Tensor*> Network::Grads() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_)
+    for (Tensor* g : layer->Grads()) out.push_back(g);
+  return out;
+}
+
+long Network::ParameterCount() const {
+  long n = 0;
+  for (const auto& layer : layers_) {
+    // Params() is non-const by design (optimizer mutates); cast for counting.
+    for (Tensor* p : const_cast<Layer&>(*layer).Params()) n += p->numel();
+  }
+  return n;
+}
+
+std::vector<LifLayer*> Network::LifLayers() {
+  std::vector<LifLayer*> out;
+  for (auto& layer : layers_)
+    if (auto* lif = dynamic_cast<LifLayer*>(layer.get())) out.push_back(lif);
+  return out;
+}
+
+std::vector<const LifLayer*> Network::LifLayers() const {
+  std::vector<const LifLayer*> out;
+  for (const auto& layer : layers_)
+    if (const auto* lif = dynamic_cast<const LifLayer*>(layer.get()))
+      out.push_back(lif);
+  return out;
+}
+
+void Network::SetLifParams(const LifParams& params) {
+  for (LifLayer* lif : LifLayers()) lif->set_params(params);
+}
+
+Network Network::Clone() const {
+  Network copy;
+  for (const auto& layer : layers_) copy.Add(layer->Clone());
+  return copy;
+}
+
+std::map<std::string, Tensor> Network::StateDict() const {
+  std::map<std::string, Tensor> state;
+  for (const auto& layer : layers_) {
+    auto params = const_cast<Layer&>(*layer).Params();
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      std::ostringstream key;
+      key << layer->Name() << '.' << i;
+      AXSNN_CHECK(state.find(key.str()) == state.end(),
+                  "duplicate layer name in state dict: " << layer->Name());
+      state.emplace(key.str(), *params[i]);
+    }
+  }
+  return state;
+}
+
+void Network::LoadStateDict(const std::map<std::string, Tensor>& state) {
+  for (auto& layer : layers_) {
+    auto params = layer->Params();
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      std::ostringstream key;
+      key << layer->Name() << '.' << i;
+      auto it = state.find(key.str());
+      AXSNN_CHECK(it != state.end(),
+                  "state dict missing key " << key.str());
+      AXSNN_CHECK(it->second.shape() == params[i]->shape(),
+                  "state dict shape mismatch for " << key.str());
+      *params[i] = it->second;
+    }
+  }
+}
+
+}  // namespace axsnn::snn

@@ -1,0 +1,93 @@
+// Sequential spiking network container.
+//
+// A Network is an ordered list of layers processing time-major activations.
+// It provides:
+//  * Forward/Backward over the whole stack (Backward returns dL/d(input),
+//    which the gradient-based attacks consume directly);
+//  * parameter/gradient aggregation for the optimizer;
+//  * deep cloning and state-dict (de)serialization so approximation
+//    experiments can derive many AxSNN variants from one trained checkpoint;
+//  * structural-parameter editing (set every LIF layer's Vth and leak at
+//    once) for the paper's (Vth, T) sweeps.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "snn/layer.hpp"
+#include "snn/lif.hpp"
+#include "tensor/tensor.hpp"
+
+namespace axsnn::snn {
+
+class LifLayer;
+
+/// Ordered stack of layers; owns them.
+class Network {
+ public:
+  Network() = default;
+
+  // Move-only: layers own training caches that must not be shallow-shared.
+  Network(Network&&) = default;
+  Network& operator=(Network&&) = default;
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Appends a layer; returns a reference to the stored layer.
+  Layer& Add(std::unique_ptr<Layer> layer);
+
+  /// Constructs a layer in place, e.g. net.Emplace<Conv2d>("c1", 1, 8, 3, 1, rng).
+  template <typename L, typename... Args>
+  L& Emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    Add(std::move(layer));
+    return ref;
+  }
+
+  /// Runs all layers on a time-major activation [T, B, ...].
+  Tensor Forward(const Tensor& x, bool train = false);
+
+  /// Backpropagates through the last Forward; returns dL/d(input).
+  Tensor Backward(const Tensor& grad_out);
+
+  /// Clears all parameter gradients.
+  void ZeroGrad();
+
+  std::size_t size() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+  const Layer& layer(std::size_t i) const { return *layers_.at(i); }
+
+  /// All trainable parameters (layer order, Params() order within a layer).
+  std::vector<Tensor*> Params();
+  /// Gradients aligned with Params().
+  std::vector<Tensor*> Grads();
+
+  /// Total number of trainable scalars.
+  long ParameterCount() const;
+
+  /// Pointers to every LIF layer in the stack (non-owning).
+  std::vector<LifLayer*> LifLayers();
+  std::vector<const LifLayer*> LifLayers() const;
+
+  /// Overwrites the neuron parameters of every LIF layer — the paper's
+  /// "structural parameter" knob (threshold voltage sweep).
+  void SetLifParams(const LifParams& params);
+
+  /// Deep copy: same weights, fresh caches.
+  Network Clone() const;
+
+  /// Weights keyed "layer_name.param_index" (e.g. "conv1.0" for the kernel).
+  std::map<std::string, Tensor> StateDict() const;
+
+  /// Restores weights saved by StateDict. Throws when a key is missing or a
+  /// shape differs — a checkpoint must match the architecture exactly.
+  void LoadStateDict(const std::map<std::string, Tensor>& state);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace axsnn::snn

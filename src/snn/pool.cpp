@@ -1,0 +1,166 @@
+#include "snn/pool.hpp"
+
+#include "tensor/check.hpp"
+
+namespace axsnn::snn {
+
+namespace {
+
+/// Splits [*, C, H, W] into (n = prod(*)·C plane count, H, W).
+void PlaneDims(const Tensor& x, long window, long& planes, long& h, long& w) {
+  AXSNN_CHECK(x.rank() >= 3, "pooling expects [*, C, H, W]");
+  const std::size_t r = x.rank();
+  h = x.dim(r - 2);
+  w = x.dim(r - 1);
+  AXSNN_CHECK(h % window == 0 && w % window == 0,
+              "pooling window " << window << " must divide spatial dims " << h
+                                << "x" << w);
+  planes = x.numel() / (h * w);
+}
+
+Shape PooledShape(const Tensor& x, long window) {
+  Shape s = x.shape();
+  s[s.size() - 2] /= window;
+  s[s.size() - 1] /= window;
+  return s;
+}
+
+}  // namespace
+
+AvgPool2d::AvgPool2d(std::string name, long window)
+    : name_(std::move(name)), window_(window) {
+  AXSNN_CHECK(window >= 1, "pooling window must be >= 1");
+}
+
+Tensor AvgPool2d::Forward(const Tensor& x, bool /*train*/) {
+  long planes = 0, h = 0, w = 0;
+  PlaneDims(x, window_, planes, h, w);
+  cached_in_shape_ = x.shape();
+  const long ho = h / window_;
+  const long wo = w / window_;
+  Tensor out(PooledShape(x, window_));
+  const float inv = 1.0f / static_cast<float>(window_ * window_);
+  const float* xd = x.data();
+  float* od = out.data();
+#pragma omp parallel for schedule(static)
+  for (long p = 0; p < planes; ++p) {
+    const float* xp = xd + p * h * w;
+    float* op = od + p * ho * wo;
+    for (long oy = 0; oy < ho; ++oy) {
+      for (long ox = 0; ox < wo; ++ox) {
+        float acc = 0.0f;
+        for (long ky = 0; ky < window_; ++ky)
+          for (long kx = 0; kx < window_; ++kx)
+            acc += xp[(oy * window_ + ky) * w + ox * window_ + kx];
+        op[oy * wo + ox] = acc * inv;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor AvgPool2d::Backward(const Tensor& grad_out) {
+  AXSNN_CHECK(!cached_in_shape_.empty(),
+              "AvgPool2d::Backward called before Forward");
+  Tensor grad_in(cached_in_shape_);
+  const std::size_t r = cached_in_shape_.size();
+  const long h = cached_in_shape_[r - 2];
+  const long w = cached_in_shape_[r - 1];
+  const long planes = grad_in.numel() / (h * w);
+  const long ho = h / window_;
+  const long wo = w / window_;
+  AXSNN_CHECK(grad_out.numel() == planes * ho * wo,
+              "AvgPool2d::Backward gradient shape mismatch");
+  const float inv = 1.0f / static_cast<float>(window_ * window_);
+  const float* gd = grad_out.data();
+  float* gi = grad_in.data();
+#pragma omp parallel for schedule(static)
+  for (long p = 0; p < planes; ++p) {
+    const float* gp = gd + p * ho * wo;
+    float* gip = gi + p * h * w;
+    for (long oy = 0; oy < ho; ++oy) {
+      for (long ox = 0; ox < wo; ++ox) {
+        const float g = gp[oy * wo + ox] * inv;
+        for (long ky = 0; ky < window_; ++ky)
+          for (long kx = 0; kx < window_; ++kx)
+            gip[(oy * window_ + ky) * w + ox * window_ + kx] = g;
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::unique_ptr<Layer> AvgPool2d::Clone() const {
+  return std::make_unique<AvgPool2d>(name_, window_);
+}
+
+MaxPool2d::MaxPool2d(std::string name, long window)
+    : name_(std::move(name)), window_(window) {
+  AXSNN_CHECK(window >= 1, "pooling window must be >= 1");
+}
+
+Tensor MaxPool2d::Forward(const Tensor& x, bool /*train*/) {
+  long planes = 0, h = 0, w = 0;
+  PlaneDims(x, window_, planes, h, w);
+  cached_in_shape_ = x.shape();
+  const long ho = h / window_;
+  const long wo = w / window_;
+  Tensor out(PooledShape(x, window_));
+  argmax_.assign(static_cast<std::size_t>(out.numel()), 0);
+  const float* xd = x.data();
+  float* od = out.data();
+#pragma omp parallel for schedule(static)
+  for (long p = 0; p < planes; ++p) {
+    const float* xp = xd + p * h * w;
+    float* op = od + p * ho * wo;
+    long* am = argmax_.data() + p * ho * wo;
+    for (long oy = 0; oy < ho; ++oy) {
+      for (long ox = 0; ox < wo; ++ox) {
+        float best = xp[(oy * window_) * w + ox * window_];
+        long best_off = (oy * window_) * w + ox * window_;
+        for (long ky = 0; ky < window_; ++ky) {
+          for (long kx = 0; kx < window_; ++kx) {
+            const long off = (oy * window_ + ky) * w + ox * window_ + kx;
+            if (xp[off] > best) {
+              best = xp[off];
+              best_off = off;
+            }
+          }
+        }
+        op[oy * wo + ox] = best;
+        am[oy * wo + ox] = best_off;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::Backward(const Tensor& grad_out) {
+  AXSNN_CHECK(!cached_in_shape_.empty(),
+              "MaxPool2d::Backward called before Forward");
+  Tensor grad_in(cached_in_shape_);
+  const std::size_t r = cached_in_shape_.size();
+  const long h = cached_in_shape_[r - 2];
+  const long w = cached_in_shape_[r - 1];
+  const long planes = grad_in.numel() / (h * w);
+  const long ho = h / window_;
+  const long wo = w / window_;
+  AXSNN_CHECK(grad_out.numel() == planes * ho * wo,
+              "MaxPool2d::Backward gradient shape mismatch");
+  const float* gd = grad_out.data();
+  float* gi = grad_in.data();
+#pragma omp parallel for schedule(static)
+  for (long p = 0; p < planes; ++p) {
+    const float* gp = gd + p * ho * wo;
+    const long* am = argmax_.data() + p * ho * wo;
+    float* gip = gi + p * h * w;
+    for (long o = 0; o < ho * wo; ++o) gip[am[o]] += gp[o];
+  }
+  return grad_in;
+}
+
+std::unique_ptr<Layer> MaxPool2d::Clone() const {
+  return std::make_unique<MaxPool2d>(name_, window_);
+}
+
+}  // namespace axsnn::snn

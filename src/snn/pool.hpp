@@ -1,0 +1,55 @@
+// Spatial pooling layers (average and max) over [*, C, H, W] activations.
+//
+// The paper's classifiers use pooling between convolution stages (2 pooling
+// layers in the MNIST net, 3 in the DVS net). Average pooling of spike
+// trains yields fractional firing rates, which downstream LIF layers
+// integrate naturally; max pooling propagates the strongest spike.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "snn/layer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace axsnn::snn {
+
+/// Non-overlapping average pooling with a square window.
+class AvgPool2d final : public Layer {
+ public:
+  AvgPool2d(std::string name, long window);
+
+  Tensor Forward(const Tensor& x, bool train) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::string Name() const override { return name_; }
+  std::unique_ptr<Layer> Clone() const override;
+
+  long window() const { return window_; }
+
+ private:
+  std::string name_;
+  long window_ = 2;
+  Shape cached_in_shape_;
+};
+
+/// Non-overlapping max pooling with a square window.
+class MaxPool2d final : public Layer {
+ public:
+  MaxPool2d(std::string name, long window);
+
+  Tensor Forward(const Tensor& x, bool train) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::string Name() const override { return name_; }
+  std::unique_ptr<Layer> Clone() const override;
+
+  long window() const { return window_; }
+
+ private:
+  std::string name_;
+  long window_ = 2;
+  Shape cached_in_shape_;
+  std::vector<long> argmax_;  // winning input offset per output element
+};
+
+}  // namespace axsnn::snn

@@ -1,0 +1,81 @@
+// Surrogate-gradient training loop (Adam + BPTT) for spiking networks.
+//
+// Implements the `trainAccurateSNN(v, ts, Dtr)` step of the paper's
+// Algorithm 1: given structural parameters already baked into the network
+// (Vth via LifParams, T via the config), it minimizes softmax cross-entropy
+// on the spike-count readout with backpropagation-through-time.
+//
+// Two entry points cover the paper's two data modalities:
+//  * FitStatic    — static images, (re-)encoded into spikes each batch;
+//  * FitTemporal  — pre-binned event frames [N, T, C, H, W] (DVS data).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "snn/encoding.hpp"
+#include "snn/network.hpp"
+#include "tensor/tensor.hpp"
+
+namespace axsnn::snn {
+
+/// Hyperparameters for one training run.
+struct TrainConfig {
+  long epochs = 6;
+  long batch_size = 32;
+  float learning_rate = 2e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float adam_eps = 1e-8f;
+  float weight_decay = 0.0f;
+  /// Time steps used while training (the paper's T; evaluation may use a
+  /// larger T — rate statistics are stationary, see DESIGN.md scale note).
+  long time_steps = 12;
+  /// How static images are encoded each batch (ignored by FitTemporal).
+  Encoding encoding = Encoding::kRate;
+  std::uint64_t seed = 1;
+  bool shuffle = true;
+  /// When true, prints one line per epoch to stderr.
+  bool verbose = false;
+};
+
+/// Loss/accuracy after each epoch.
+struct EpochStats {
+  float mean_loss = 0.0f;
+  float accuracy = 0.0f;  // in [0, 1]
+};
+
+/// Outcome of a training run.
+struct TrainResult {
+  std::vector<EpochStats> epochs;
+  /// Training accuracy of the final epoch, in [0, 1].
+  float final_accuracy = 0.0f;
+};
+
+/// Adam optimizer over an externally owned parameter list.
+class AdamOptimizer {
+ public:
+  AdamOptimizer(std::vector<Tensor*> params, const TrainConfig& cfg);
+
+  /// Applies one update from gradients aligned with the parameter list.
+  void Step(const std::vector<Tensor*>& grads);
+
+ private:
+  std::vector<Tensor*> params_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  long step_count_ = 0;
+};
+
+/// Trains on static images [N, C, H, W] with labels in [0, K).
+TrainResult FitStatic(Network& net, const Tensor& images,
+                      std::span<const int> labels, const TrainConfig& cfg);
+
+/// Trains on pre-binned temporal frames [N, T, C, H, W]. cfg.time_steps must
+/// equal the frame count T of the dataset.
+TrainResult FitTemporal(Network& net, const Tensor& frames,
+                        std::span<const int> labels, const TrainConfig& cfg);
+
+}  // namespace axsnn::snn

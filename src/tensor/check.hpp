@@ -1,0 +1,41 @@
+// Lightweight runtime-check utilities shared by every axsnn module.
+//
+// The library follows the C++ Core Guidelines error-handling philosophy:
+// precondition violations on public interfaces throw std::invalid_argument /
+// std::out_of_range with a message describing the violated contract, so a
+// misuse is diagnosable rather than silently corrupting a simulation.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace axsnn {
+
+namespace detail {
+
+/// Builds the exception message "<what> (at <file>:<line>)".
+inline std::string FormatCheckMessage(const char* expr, const std::string& msg,
+                                      const char* file, int line) {
+  std::ostringstream os;
+  os << "axsnn check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  os << " (at " << file << ':' << line << ')';
+  return os.str();
+}
+
+}  // namespace detail
+
+}  // namespace axsnn
+
+/// Throws std::invalid_argument when `cond` does not hold. `msg` may use
+/// stream syntax, e.g. AXSNN_CHECK(i < n, "index " << i << " out of range").
+#define AXSNN_CHECK(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream axsnn_check_os_;                                   \
+      axsnn_check_os_ << msg;                                               \
+      throw std::invalid_argument(::axsnn::detail::FormatCheckMessage(      \
+          #cond, axsnn_check_os_.str(), __FILE__, __LINE__));               \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,111 @@
+#include "tensor/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace axsnn {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x41585342;  // "AXSB"
+
+void WriteU32(std::ostream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void WriteI64(std::ostream& os, std::int64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+std::uint32_t ReadU32(std::istream& is) {
+  std::uint32_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!is) throw std::runtime_error("axsnn: truncated tensor stream (u32)");
+  return v;
+}
+
+std::int64_t ReadI64(std::istream& is) {
+  std::int64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!is) throw std::runtime_error("axsnn: truncated tensor stream (i64)");
+  return v;
+}
+
+void WriteString(std::ostream& os, const std::string& s) {
+  WriteU32(os, static_cast<std::uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string ReadString(std::istream& is) {
+  const std::uint32_t n = ReadU32(is);
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  if (!is) throw std::runtime_error("axsnn: truncated tensor stream (string)");
+  return s;
+}
+
+}  // namespace
+
+void WriteTensor(std::ostream& os, const Tensor& t) {
+  WriteU32(os, kMagic);
+  WriteU32(os, static_cast<std::uint32_t>(t.rank()));
+  for (std::size_t d = 0; d < t.rank(); ++d) WriteI64(os, t.dim(d));
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.numel() * sizeof(float)));
+}
+
+Tensor ReadTensor(std::istream& is) {
+  if (ReadU32(is) != kMagic)
+    throw std::runtime_error("axsnn: bad tensor magic");
+  const std::uint32_t rank = ReadU32(is);
+  if (rank > 16) throw std::runtime_error("axsnn: implausible tensor rank");
+  Shape shape(rank);
+  for (auto& d : shape) {
+    d = static_cast<long>(ReadI64(is));
+    if (d < 0) throw std::runtime_error("axsnn: negative tensor dim");
+  }
+  Tensor t(shape);
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!is) throw std::runtime_error("axsnn: truncated tensor payload");
+  return t;
+}
+
+void WriteTensorMap(std::ostream& os, const std::map<std::string, Tensor>& m) {
+  WriteU32(os, kMagic);
+  WriteU32(os, static_cast<std::uint32_t>(m.size()));
+  for (const auto& [name, tensor] : m) {
+    WriteString(os, name);
+    WriteTensor(os, tensor);
+  }
+}
+
+std::map<std::string, Tensor> ReadTensorMap(std::istream& is) {
+  if (ReadU32(is) != kMagic)
+    throw std::runtime_error("axsnn: bad tensor-map magic");
+  const std::uint32_t n = ReadU32(is);
+  std::map<std::string, Tensor> m;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string name = ReadString(is);
+    m.emplace(std::move(name), ReadTensor(is));
+  }
+  return m;
+}
+
+void SaveTensorMap(const std::string& path,
+                   const std::map<std::string, Tensor>& m) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("axsnn: cannot open for write: " + path);
+  WriteTensorMap(os, m);
+}
+
+std::map<std::string, Tensor> LoadTensorMap(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("axsnn: cannot open for read: " + path);
+  return ReadTensorMap(is);
+}
+
+}  // namespace axsnn

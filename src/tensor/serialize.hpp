@@ -1,0 +1,37 @@
+// Minimal binary (de)serialization for tensors and named tensor maps.
+//
+// Used to persist trained SNN weights between benchmark phases (Algorithm 1
+// trains one accurate model per (Vth, T) cell and all precision-scaled
+// variants re-start from the same checkpoint). The format is a tiny tagged
+// little-endian container — stable across runs on the same platform, which is
+// all a reproduction harness needs.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace axsnn {
+
+/// Writes a single tensor: rank, dims, raw float payload.
+void WriteTensor(std::ostream& os, const Tensor& t);
+
+/// Reads a tensor written by WriteTensor. Throws std::runtime_error on a
+/// malformed stream.
+Tensor ReadTensor(std::istream& is);
+
+/// Writes a name -> tensor map (e.g. a network state dict).
+void WriteTensorMap(std::ostream& os, const std::map<std::string, Tensor>& m);
+
+/// Reads a map written by WriteTensorMap.
+std::map<std::string, Tensor> ReadTensorMap(std::istream& is);
+
+/// File-based conveniences; throw std::runtime_error when the file cannot be
+/// opened.
+void SaveTensorMap(const std::string& path,
+                   const std::map<std::string, Tensor>& m);
+std::map<std::string, Tensor> LoadTensorMap(const std::string& path);
+
+}  // namespace axsnn

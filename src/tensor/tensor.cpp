@@ -1,0 +1,282 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+#include "tensor/check.hpp"
+
+namespace axsnn {
+
+long NumElements(const Shape& shape) {
+  long n = 1;
+  for (long d : shape) {
+    AXSNN_CHECK(d >= 0, "negative dimension in shape " << ShapeToString(shape));
+    n *= d;
+  }
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(NumElements(shape_)), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float value)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(NumElements(shape_)), value) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  AXSNN_CHECK(static_cast<long>(data_.size()) == NumElements(shape_),
+              "data size " << data_.size() << " does not match shape "
+                           << ShapeToString(shape_));
+}
+
+Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::Ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
+
+Tensor Tensor::Full(Shape shape, float value) {
+  return Tensor(std::move(shape), value);
+}
+
+Tensor Tensor::Uniform(Shape shape, float lo, float hi, Rng& rng) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) v = static_cast<float>(rng.Uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::Normal(Shape shape, float mean, float stddev, Rng& rng) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) v = static_cast<float>(rng.Normal(mean, stddev));
+  return t;
+}
+
+long Tensor::dim(std::size_t axis) const {
+  AXSNN_CHECK(axis < shape_.size(),
+              "axis " << axis << " out of range for rank " << shape_.size());
+  return shape_[axis];
+}
+
+Tensor Tensor::Reshaped(Shape new_shape) const {
+  Tensor t = *this;
+  t.Reshape(std::move(new_shape));
+  return t;
+}
+
+void Tensor::Reshape(Shape new_shape) {
+  AXSNN_CHECK(NumElements(new_shape) == numel(),
+              "cannot reshape " << ShapeToString(shape_) << " ("
+                                << numel() << " elements) to "
+                                << ShapeToString(new_shape));
+  shape_ = std::move(new_shape);
+}
+
+float& Tensor::at(long i) {
+  AXSNN_CHECK(i >= 0 && i < numel(), "index " << i << " out of range");
+  return data_[static_cast<std::size_t>(i)];
+}
+
+float Tensor::at(long i) const {
+  AXSNN_CHECK(i >= 0 && i < numel(), "index " << i << " out of range");
+  return data_[static_cast<std::size_t>(i)];
+}
+
+float& Tensor::operator()(long i0) { return data_[static_cast<std::size_t>(i0)]; }
+
+float& Tensor::operator()(long i0, long i1) {
+  return data_[static_cast<std::size_t>(i0 * shape_[1] + i1)];
+}
+
+float& Tensor::operator()(long i0, long i1, long i2) {
+  return data_[static_cast<std::size_t>((i0 * shape_[1] + i1) * shape_[2] + i2)];
+}
+
+float& Tensor::operator()(long i0, long i1, long i2, long i3) {
+  return data_[static_cast<std::size_t>(
+      ((i0 * shape_[1] + i1) * shape_[2] + i2) * shape_[3] + i3)];
+}
+
+float& Tensor::operator()(long i0, long i1, long i2, long i3, long i4) {
+  return data_[static_cast<std::size_t>(
+      (((i0 * shape_[1] + i1) * shape_[2] + i2) * shape_[3] + i3) * shape_[4] +
+      i4)];
+}
+
+float Tensor::operator()(long i0) const {
+  return data_[static_cast<std::size_t>(i0)];
+}
+
+float Tensor::operator()(long i0, long i1) const {
+  return data_[static_cast<std::size_t>(i0 * shape_[1] + i1)];
+}
+
+float Tensor::operator()(long i0, long i1, long i2) const {
+  return data_[static_cast<std::size_t>((i0 * shape_[1] + i1) * shape_[2] + i2)];
+}
+
+float Tensor::operator()(long i0, long i1, long i2, long i3) const {
+  return data_[static_cast<std::size_t>(
+      ((i0 * shape_[1] + i1) * shape_[2] + i2) * shape_[3] + i3)];
+}
+
+float Tensor::operator()(long i0, long i1, long i2, long i3, long i4) const {
+  return data_[static_cast<std::size_t>(
+      (((i0 * shape_[1] + i1) * shape_[2] + i2) * shape_[3] + i3) * shape_[4] +
+      i4)];
+}
+
+long Tensor::Offset(std::span<const long> index) const {
+  AXSNN_CHECK(index.size() == shape_.size(),
+              "index rank " << index.size() << " vs tensor rank "
+                            << shape_.size());
+  long off = 0;
+  for (std::size_t d = 0; d < shape_.size(); ++d) {
+    AXSNN_CHECK(index[d] >= 0 && index[d] < shape_[d],
+                "index " << index[d] << " out of range on axis " << d);
+    off = off * shape_[d] + index[d];
+  }
+  return off;
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor& Tensor::Add(const Tensor& other) {
+  AXSNN_CHECK(shape_ == other.shape_, "shape mismatch in Add");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::Sub(const Tensor& other) {
+  AXSNN_CHECK(shape_ == other.shape_, "shape mismatch in Sub");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::Mul(const Tensor& other) {
+  AXSNN_CHECK(shape_ == other.shape_, "shape mismatch in Mul");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::Axpy(float scale, const Tensor& other) {
+  AXSNN_CHECK(shape_ == other.shape_, "shape mismatch in Axpy");
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    data_[i] += scale * other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::Scale(float scale) {
+  for (float& v : data_) v *= scale;
+  return *this;
+}
+
+Tensor& Tensor::Clamp(float lo, float hi) {
+  AXSNN_CHECK(lo <= hi, "Clamp requires lo <= hi");
+  for (float& v : data_) v = std::clamp(v, lo, hi);
+  return *this;
+}
+
+float Tensor::Sum() const {
+  // Double accumulator keeps long reductions (e.g. loss over a big batch)
+  // stable.
+  double s = 0.0;
+  for (float v : data_) s += v;
+  return static_cast<float>(s);
+}
+
+float Tensor::Mean() const {
+  AXSNN_CHECK(!data_.empty(), "Mean of empty tensor");
+  return Sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::Min() const {
+  AXSNN_CHECK(!data_.empty(), "Min of empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::Max() const {
+  AXSNN_CHECK(!data_.empty(), "Max of empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::MeanAbs() const {
+  AXSNN_CHECK(!data_.empty(), "MeanAbs of empty tensor");
+  double s = 0.0;
+  for (float v : data_) s += std::fabs(v);
+  return static_cast<float>(s / static_cast<double>(data_.size()));
+}
+
+long Tensor::Argmax() const {
+  AXSNN_CHECK(!data_.empty(), "Argmax of empty tensor");
+  return static_cast<long>(
+      std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+long Tensor::CountGreater(float threshold) const {
+  return static_cast<long>(
+      std::count_if(data_.begin(), data_.end(),
+                    [threshold](float v) { return v > threshold; }));
+}
+
+bool Tensor::AllClose(const Tensor& other, float tol) const {
+  if (shape_ != other.shape_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out.Add(b);
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out.Sub(b);
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out.Mul(b);
+  return out;
+}
+
+Tensor Sign(const Tensor& a) {
+  Tensor out = a;
+  for (float& v : out.flat()) v = (v > 0.0f) ? 1.0f : (v < 0.0f ? -1.0f : 0.0f);
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Tensor& t) {
+  os << "Tensor" << ShapeToString(t.shape());
+  if (t.numel() <= 32) {
+    os << " {";
+    for (long i = 0; i < t.numel(); ++i) {
+      if (i != 0) os << ", ";
+      os << t[i];
+    }
+    os << '}';
+  }
+  return os;
+}
+
+}  // namespace axsnn

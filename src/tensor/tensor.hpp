@@ -1,0 +1,164 @@
+// Dense row-major float tensor — the numeric substrate for the SNN stack.
+//
+// Design notes:
+//  * float32 storage only: SNN activations are spike trains (0/1) and the
+//    precision-scaling experiments (FP16/INT8) are value-level emulations on
+//    top of float storage, exactly as the paper's "precision scale" knob
+//    quantizes weights rather than changing the compute datatype.
+//  * Shapes are std::vector<long> and tensors are row-major ("C order").
+//    The SNN layers adopt the convention [T, B, C, H, W] for spiking
+//    activations (time-major), and [B, ...] for static batches.
+//  * The class is a regular value type (copy = deep copy) so networks can be
+//    cloned for approximation experiments without aliasing surprises.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/random.hpp"
+
+namespace axsnn {
+
+/// Shape of a tensor; one extent per dimension.
+using Shape = std::vector<long>;
+
+/// Returns the number of elements implied by `shape` (1 for a scalar shape).
+long NumElements(const Shape& shape);
+
+/// Returns a human-readable rendering, e.g. "[2, 3, 4]".
+std::string ShapeToString(const Shape& shape);
+
+/// Dense row-major float tensor.
+class Tensor {
+ public:
+  /// Creates an empty tensor (rank 0, zero elements).
+  Tensor() = default;
+
+  /// Creates a zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Creates a tensor of the given shape filled with `value`.
+  Tensor(Shape shape, float value);
+
+  /// Creates a tensor of the given shape from existing data.
+  /// Requires data.size() == NumElements(shape).
+  Tensor(Shape shape, std::vector<float> data);
+
+  /// Convenience factory: zeros of the given shape.
+  static Tensor Zeros(Shape shape);
+
+  /// Convenience factory: ones of the given shape.
+  static Tensor Ones(Shape shape);
+
+  /// Convenience factory: all elements equal to `value`.
+  static Tensor Full(Shape shape, float value);
+
+  /// Uniform random tensor in [lo, hi).
+  static Tensor Uniform(Shape shape, float lo, float hi, Rng& rng);
+
+  /// Normal random tensor with given mean and stddev.
+  static Tensor Normal(Shape shape, float mean, float stddev, Rng& rng);
+
+  // --- shape/metadata -------------------------------------------------------
+
+  const Shape& shape() const { return shape_; }
+  long dim(std::size_t axis) const;
+  std::size_t rank() const { return shape_.size(); }
+  long numel() const { return static_cast<long>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  /// Returns a tensor sharing no storage with this one but holding the same
+  /// data reinterpreted with a new shape. Requires equal element counts.
+  Tensor Reshaped(Shape new_shape) const;
+
+  /// In-place reshape; requires equal element counts.
+  void Reshape(Shape new_shape);
+
+  // --- element access -------------------------------------------------------
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> flat() { return {data_.data(), data_.size()}; }
+  std::span<const float> flat() const { return {data_.data(), data_.size()}; }
+
+  float& operator[](long i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](long i) const { return data_[static_cast<std::size_t>(i)]; }
+
+  /// Bounds-checked linear access (throws std::out_of_range).
+  float& at(long i);
+  float at(long i) const;
+
+  /// Multi-index access for up to 5 dimensions, unchecked in release hot
+  /// paths but validated on rank mismatch.
+  float& operator()(long i0);
+  float& operator()(long i0, long i1);
+  float& operator()(long i0, long i1, long i2);
+  float& operator()(long i0, long i1, long i2, long i3);
+  float& operator()(long i0, long i1, long i2, long i3, long i4);
+  float operator()(long i0) const;
+  float operator()(long i0, long i1) const;
+  float operator()(long i0, long i1, long i2) const;
+  float operator()(long i0, long i1, long i2, long i3) const;
+  float operator()(long i0, long i1, long i2, long i3, long i4) const;
+
+  /// Linear offset of a multi-index (row-major).
+  long Offset(std::span<const long> index) const;
+
+  // --- elementwise mutation -------------------------------------------------
+
+  void Fill(float value);
+  void Zero() { Fill(0.0f); }
+
+  /// this += other (same shape required).
+  Tensor& Add(const Tensor& other);
+  /// this -= other (same shape required).
+  Tensor& Sub(const Tensor& other);
+  /// this *= other, elementwise (same shape required).
+  Tensor& Mul(const Tensor& other);
+  /// this += scale * other (same shape required).
+  Tensor& Axpy(float scale, const Tensor& other);
+  /// this *= scale.
+  Tensor& Scale(float scale);
+  /// Clamps every element into [lo, hi].
+  Tensor& Clamp(float lo, float hi);
+
+  // --- reductions -----------------------------------------------------------
+
+  float Sum() const;
+  float Mean() const;
+  float Min() const;
+  float Max() const;
+  /// Mean of absolute values (used by the Eq. (1) weight term).
+  float MeanAbs() const;
+  /// Index of the maximum element (first on ties). Requires numel() > 0.
+  long Argmax() const;
+  /// Number of elements strictly greater than `threshold`.
+  long CountGreater(float threshold) const;
+
+  /// True when shapes match and elements differ by at most `tol`.
+  bool AllClose(const Tensor& other, float tol = 1e-6f) const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+// --- free functions making new tensors --------------------------------------
+
+/// Elementwise a + b.
+Tensor Add(const Tensor& a, const Tensor& b);
+/// Elementwise a - b.
+Tensor Sub(const Tensor& a, const Tensor& b);
+/// Elementwise a * b.
+Tensor Mul(const Tensor& a, const Tensor& b);
+/// Elementwise sign (returns -1, 0, or +1 per element).
+Tensor Sign(const Tensor& a);
+
+/// Prints shape and (for small tensors) contents; for diagnostics and tests.
+std::ostream& operator<<(std::ostream& os, const Tensor& t);
+
+}  // namespace axsnn

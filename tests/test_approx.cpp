@@ -1,0 +1,285 @@
+// Tests for precision scaling (FP16/INT8 quantizers), the Eq. (1)
+// approximation pass, and the energy model.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "approx/approximation.hpp"
+#include "approx/energy.hpp"
+#include "approx/precision.hpp"
+#include "snn/dense.hpp"
+#include "snn/encoding.hpp"
+#include "snn/lif_layer.hpp"
+#include "snn/models.hpp"
+
+namespace axsnn::approx {
+namespace {
+
+TEST(Precision, Names) {
+  EXPECT_EQ(PrecisionName(Precision::kFp32), "FP32");
+  EXPECT_EQ(PrecisionName(Precision::kFp16), "FP16");
+  EXPECT_EQ(PrecisionName(Precision::kInt8), "INT8");
+}
+
+TEST(Fp16Round, ExactValuesPassThrough) {
+  // Values exactly representable in binary16 are unchanged.
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 0.25f, 1.5f, 2048.0f, -0.125f})
+    EXPECT_EQ(Fp16Round(v), v);
+}
+
+TEST(Fp16Round, RoundsToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and the next half (1 + 2^-10);
+  // round-to-nearest-even picks 1.0 (even mantissa).
+  const float halfway = 1.0f + std::ldexp(1.0f, -11);
+  EXPECT_EQ(Fp16Round(halfway), 1.0f);
+  // Slightly above halfway rounds up.
+  const float above = 1.0f + std::ldexp(1.0f, -11) + std::ldexp(1.0f, -13);
+  EXPECT_EQ(Fp16Round(above), 1.0f + std::ldexp(1.0f, -10));
+}
+
+TEST(Fp16Round, ClampsOverflowToMaxHalf) {
+  EXPECT_EQ(Fp16Round(1e6f), 65504.0f);
+  EXPECT_EQ(Fp16Round(-1e6f), -65504.0f);
+  EXPECT_EQ(Fp16Round(65504.0f), 65504.0f);
+}
+
+TEST(Fp16Round, FlushesTinyToSignedZero) {
+  EXPECT_EQ(Fp16Round(1e-30f), 0.0f);
+  EXPECT_EQ(Fp16Round(-1e-30f), 0.0f);
+}
+
+TEST(Fp16Round, HandlesDenormals) {
+  // Smallest positive half denormal is 2^-24; half of it rounds to 0 or
+  // 2^-24 and stays finite.
+  const float denorm = std::ldexp(1.0f, -24);
+  EXPECT_EQ(Fp16Round(denorm), denorm);
+  const float half_denorm = std::ldexp(1.0f, -25);
+  const float r = Fp16Round(half_denorm);
+  EXPECT_TRUE(r == 0.0f || r == denorm);
+}
+
+TEST(Fp16Round, ErrorBoundedByHalfUlp) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = static_cast<float>(rng.Uniform(-8.0, 8.0));
+    const float q = Fp16Round(v);
+    // binary16 has 11 significand bits: relative error <= 2^-11.
+    EXPECT_LE(std::fabs(q - v), std::max(std::fabs(v), 0.01f) * 0.000489f)
+        << "v=" << v << " q=" << q;
+  }
+}
+
+TEST(QuantizeTensor, Fp32IsIdentity) {
+  Rng rng(2);
+  Tensor t = Tensor::Normal({64}, 0.0f, 1.0f, rng);
+  Tensor original = t;
+  QuantizeTensor(t, Precision::kFp32);
+  EXPECT_TRUE(t.AllClose(original, 0.0f));
+}
+
+TEST(QuantizeTensor, Int8SymmetricProperties) {
+  Tensor t({5}, {-1.0f, -0.5f, 0.0f, 0.5f, 1.0f});
+  const float scale = QuantizeTensor(t, Precision::kInt8);
+  EXPECT_FLOAT_EQ(scale, 1.0f / 127.0f);
+  // Max magnitude is preserved exactly; zero stays zero.
+  EXPECT_FLOAT_EQ(t[0], -1.0f);
+  EXPECT_FLOAT_EQ(t[2], 0.0f);
+  EXPECT_FLOAT_EQ(t[4], 1.0f);
+  // All values are integer multiples of the scale.
+  for (long i = 0; i < t.numel(); ++i) {
+    const float steps = t[i] / scale;
+    EXPECT_NEAR(steps, std::nearbyint(steps), 1e-3f);
+  }
+}
+
+TEST(QuantizeTensor, Int8ErrorBounded) {
+  Rng rng(3);
+  Tensor t = Tensor::Uniform({256}, -2.0f, 2.0f, rng);
+  Tensor original = t;
+  const float scale = QuantizeTensor(t, Precision::kInt8);
+  for (long i = 0; i < t.numel(); ++i)
+    EXPECT_LE(std::fabs(t[i] - original[i]), scale * 0.5f + 1e-6f);
+}
+
+TEST(QuantizeTensor, Int8ZeroTensorStaysZero) {
+  Tensor t({8});
+  EXPECT_FLOAT_EQ(QuantizeTensor(t, Precision::kInt8), 1.0f);
+  EXPECT_FLOAT_EQ(t.Sum(), 0.0f);
+}
+
+TEST(RelativeMacEnergy, OrderedByPrecision) {
+  EXPECT_EQ(RelativeMacEnergy(Precision::kFp32), 1.0);
+  EXPECT_LT(RelativeMacEnergy(Precision::kFp16),
+            RelativeMacEnergy(Precision::kFp32));
+  EXPECT_LT(RelativeMacEnergy(Precision::kInt8),
+            RelativeMacEnergy(Precision::kFp16));
+}
+
+// --- Eq. (1) approximation pass --------------------------------------------
+
+/// Builds the reference static classifier and calibrates it on random input.
+struct CalibratedNet {
+  snn::Network net;
+  CalibrationStats stats;
+};
+
+CalibratedNet MakeCalibrated(float vth = 0.5f) {
+  snn::StaticNetOptions opts;
+  opts.lif.v_threshold = vth;
+  CalibratedNet out{snn::BuildStaticNet(opts), {}};
+  Rng rng(5);
+  Tensor input = Tensor::Uniform({8, 4, 1, 16, 16}, 0.0f, 1.0f, rng);
+  out.stats = Calibrate(out.net, input);
+  return out;
+}
+
+TEST(Calibrate, CollectsOneEntryPerLifLayer) {
+  CalibratedNet c = MakeCalibrated();
+  EXPECT_EQ(c.stats.lif.size(), 4u);
+  for (const LayerCalibration& l : c.stats.lif) {
+    EXPECT_GE(l.mean_rate, 0.0f);
+    EXPECT_LE(l.mean_rate, 1.0f);
+    EXPECT_GE(l.mean_drive, 0.0f);
+    EXPECT_FLOAT_EQ(l.v_threshold, 0.5f);
+  }
+}
+
+TEST(ApplyApproximation, LevelZeroOnlyQuantizes) {
+  CalibratedNet c = MakeCalibrated();
+  ApproxConfig cfg;
+  cfg.level = 0.0;
+  cfg.precision = Precision::kFp32;
+  ApproxReport report = ApplyApproximation(c.net, cfg, c.stats);
+  EXPECT_EQ(report.pruned_fraction, 0.0);
+  for (const LayerApproxReport& l : report.layers) EXPECT_EQ(l.pruned, 0);
+}
+
+TEST(ApplyApproximation, PrunedFractionMonotoneInLevel) {
+  CalibratedNet c = MakeCalibrated();
+  double last = -1.0;
+  for (double level : {0.0, 0.001, 0.01, 0.1, 1.0}) {
+    ApproxConfig cfg;
+    cfg.level = level;
+    auto [ax, report] = MakeApproximate(c.net, cfg, c.stats);
+    EXPECT_GE(report.pruned_fraction, last)
+        << "pruning not monotone at level " << level;
+    last = report.pruned_fraction;
+  }
+  EXPECT_GT(last, 0.5);  // level 1.0 removes most connections
+}
+
+TEST(ApplyApproximation, PrunedWeightsAreZero) {
+  CalibratedNet c = MakeCalibrated();
+  ApproxConfig cfg;
+  cfg.level = 0.1;
+  auto [ax, report] = MakeApproximate(c.net, cfg, c.stats);
+  // Count zeros in the approximate network's weights; must equal the report.
+  long zeros = 0, report_pruned = 0;
+  for (Tensor* p : ax.Params()) {
+    if (p->rank() < 2) continue;  // skip biases
+    for (long i = 0; i < p->numel(); ++i)
+      if ((*p)[i] == 0.0f) ++zeros;
+  }
+  for (const auto& l : report.layers) report_pruned += l.pruned;
+  EXPECT_GE(zeros, report_pruned);
+}
+
+TEST(ApplyApproximation, OriginalNetworkUntouchedByMakeApproximate) {
+  CalibratedNet c = MakeCalibrated();
+  const long count_before = c.net.Params()[0]->numel();
+  Tensor first_before = *c.net.Params()[0];
+  ApproxConfig cfg;
+  cfg.level = 1.0;
+  auto [ax, report] = MakeApproximate(c.net, cfg, c.stats);
+  EXPECT_TRUE(c.net.Params()[0]->AllClose(first_before, 0.0f));
+  EXPECT_EQ(c.net.Params()[0]->numel(), count_before);
+}
+
+TEST(ApplyApproximation, HigherGainPrunesMore) {
+  CalibratedNet c = MakeCalibrated();
+  ApproxConfig lo;
+  lo.level = 0.05;
+  lo.threshold_gain = 1.0;
+  ApproxConfig hi = lo;
+  hi.threshold_gain = 5.0;
+  auto [ax1, r1] = MakeApproximate(c.net, lo, c.stats);
+  auto [ax2, r2] = MakeApproximate(c.net, hi, c.stats);
+  EXPECT_GT(r2.pruned_fraction, r1.pruned_fraction);
+}
+
+TEST(ApplyApproximation, Int8PrecisionAppliedToWeights) {
+  CalibratedNet c = MakeCalibrated();
+  ApproxConfig cfg;
+  cfg.level = 0.0;
+  cfg.precision = Precision::kInt8;
+  ApplyApproximation(c.net, cfg, c.stats);
+  // Every weight tensor must now be on an int8 lattice.
+  for (Tensor* p : c.net.Params()) {
+    if (p->numel() == 0) continue;
+    float max_abs = 0.0f;
+    for (long i = 0; i < p->numel(); ++i)
+      max_abs = std::max(max_abs, std::fabs((*p)[i]));
+    if (max_abs == 0.0f) continue;
+    const float scale = max_abs / 127.0f;
+    for (long i = 0; i < p->numel(); ++i) {
+      const float steps = (*p)[i] / scale;
+      EXPECT_NEAR(steps, std::nearbyint(steps), 1e-2f);
+    }
+  }
+}
+
+TEST(ApplyApproximation, RejectsInvalidConfig) {
+  CalibratedNet c = MakeCalibrated();
+  ApproxConfig cfg;
+  cfg.level = -1.0;
+  EXPECT_THROW(ApplyApproximation(c.net, cfg, c.stats),
+               std::invalid_argument);
+  cfg.level = 0.1;
+  cfg.threshold_gain = 0.0;
+  EXPECT_THROW(ApplyApproximation(c.net, cfg, c.stats),
+               std::invalid_argument);
+}
+
+// --- Energy model ----------------------------------------------------------
+
+TEST(Energy, ApproximationReducesEnergy) {
+  CalibratedNet c = MakeCalibrated();
+  Rng rng(6);
+  Tensor probe = Tensor::Uniform({8, 2, 1, 16, 16}, 0.0f, 1.0f, rng);
+  EnergyReport before = EstimateEnergy(c.net, probe, Precision::kFp32);
+  ApproxConfig cfg;
+  cfg.level = 0.1;
+  auto [ax, report] = MakeApproximate(c.net, cfg, c.stats);
+  EnergyReport after = EstimateEnergy(ax, probe, Precision::kFp32);
+  EXPECT_LT(after.total_ops, before.total_ops);
+  EXPECT_GT(before.total_ops, 0.0);
+  // Energy scales with ops at fixed precision.
+  EXPECT_NEAR(after.total_energy / before.total_energy,
+              after.total_ops / before.total_ops, 1e-6);
+}
+
+TEST(Energy, Int8CheaperThanFp32AtSameOps) {
+  CalibratedNet c = MakeCalibrated();
+  Rng rng(7);
+  Tensor probe = Tensor::Uniform({4, 2, 1, 16, 16}, 0.0f, 1.0f, rng);
+  EnergyReport fp32 = EstimateEnergy(c.net, probe, Precision::kFp32);
+  EnergyReport int8 = EstimateEnergy(c.net, probe, Precision::kInt8);
+  EXPECT_NEAR(int8.total_ops, fp32.total_ops, fp32.total_ops * 1e-6);
+  EXPECT_LT(int8.total_energy, fp32.total_energy * 0.1);
+}
+
+TEST(Energy, ReportsPerWeightLayer) {
+  CalibratedNet c = MakeCalibrated();
+  Rng rng(8);
+  Tensor probe = Tensor::Uniform({4, 2, 1, 16, 16}, 0.0f, 1.0f, rng);
+  EnergyReport r = EstimateEnergy(c.net, probe, Precision::kFp32);
+  ASSERT_EQ(r.layers.size(), 5u);  // conv1..3, fc1, fc2
+  for (const LayerEnergy& l : r.layers) {
+    EXPECT_GE(l.synaptic_ops, 0.0);
+    EXPECT_GE(l.nnz_fraction, 0.0);
+    EXPECT_LE(l.nnz_fraction, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace axsnn::approx

@@ -1,0 +1,265 @@
+// Tests for the AQF defense (Algorithm 2): quantization, noise removal,
+// hyperactivity flagging, correlated-activity retention.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "attacks/neuromorphic_attacks.hpp"
+#include "core/aqf.hpp"
+#include "data/dvs_gesture.hpp"
+
+namespace axsnn::core {
+namespace {
+
+/// A tight cluster of spatio-temporally correlated events (a moving edge).
+data::EventStream MakeCorrelatedStream() {
+  data::EventStream s;
+  s.width = 16;
+  s.height = 16;
+  s.duration_ms = 100.0f;
+  // An edge sweeping left->right: at time 10*x ms, pixels (x, 4..6) fire.
+  for (int x = 2; x < 10; ++x)
+    for (int y = 4; y <= 6; ++y)
+      s.events.push_back({static_cast<std::int16_t>(x),
+                          static_cast<std::int16_t>(y), 1,
+                          10.0f * static_cast<float>(x)});
+  return s;
+}
+
+TEST(AqfFilter, KeepsCorrelatedEvents) {
+  data::EventStream s = MakeCorrelatedStream();
+  AqfConfig cfg;
+  cfg.quantization_step_s = 0.0f;
+  AqfStats stats;
+  data::EventStream out = AqfFilter(s, cfg, &stats);
+  // Only the very first spatio-temporal group can lack support.
+  EXPECT_GE(out.size(), s.size() - 3);
+  EXPECT_EQ(stats.input_events, s.size());
+  EXPECT_EQ(stats.output_events, out.size());
+}
+
+TEST(AqfFilter, RemovesIsolatedNoise) {
+  data::EventStream s = MakeCorrelatedStream();
+  // Add isolated noise far from the edge, spatially and temporally.
+  s.events.push_back({14, 14, 1, 7.0f});
+  s.events.push_back({1, 13, -1, 55.0f});
+  s.events.push_back({13, 1, 1, 93.0f});
+  std::sort(s.events.begin(), s.events.end(),
+            [](const data::Event& a, const data::Event& b) {
+              return a.t < b.t;
+            });
+  AqfConfig cfg;
+  cfg.quantization_step_s = 0.0f;
+  AqfStats stats;
+  data::EventStream out = AqfFilter(s, cfg, &stats);
+  EXPECT_GE(stats.removed_uncorrelated, 3);
+  for (const data::Event& e : out.events) {
+    EXPECT_FALSE(e.x == 14 && e.y == 14);
+    EXPECT_FALSE(e.x == 1 && e.y == 13);
+    EXPECT_FALSE(e.x == 13 && e.y == 1);
+  }
+}
+
+TEST(AqfFilter, FlagsHyperactivePixels) {
+  data::EventStream s = MakeCorrelatedStream();
+  // A "stuck" pixel firing every 2 ms — 50 events in 100 ms, far above
+  // T1 = 5 per 50 ms.
+  for (int k = 0; k < 50; ++k)
+    s.events.push_back({8, 12, 1, 2.0f * static_cast<float>(k)});
+  std::sort(s.events.begin(), s.events.end(),
+            [](const data::Event& a, const data::Event& b) {
+              return a.t < b.t;
+            });
+  AqfConfig cfg;
+  cfg.quantization_step_s = 0.0f;
+  AqfStats stats;
+  data::EventStream out = AqfFilter(s, cfg, &stats);
+  EXPECT_GE(stats.removed_hyperactive, 50);
+  for (const data::Event& e : out.events)
+    EXPECT_FALSE(e.x == 8 && e.y == 12);
+}
+
+TEST(AqfFilter, QuantizesTimestamps) {
+  data::EventStream s;
+  s.width = 8;
+  s.height = 8;
+  s.duration_ms = 100.0f;
+  // Two neighbouring events so they support each other.
+  s.events = {{3, 3, 1, 12.3f}, {4, 3, 1, 13.9f}};
+  AqfConfig cfg;
+  cfg.quantization_step_s = 0.01f;  // 10 ms buckets
+  data::EventStream out = AqfFilter(s, cfg);
+  for (const data::Event& e : out.events) {
+    const float steps = e.t / 10.0f;
+    EXPECT_NEAR(steps, std::nearbyint(steps), 1e-4f);
+  }
+}
+
+TEST(AqfFilter, ZeroQuantizationKeepsTimestamps) {
+  data::EventStream s;
+  s.width = 8;
+  s.height = 8;
+  s.duration_ms = 100.0f;
+  s.events = {{3, 3, 1, 12.3f}, {4, 3, 1, 13.9f}};
+  AqfConfig cfg;
+  cfg.quantization_step_s = 0.0f;
+  data::EventStream out = AqfFilter(s, cfg);
+  // The first event lacks support (empty map) and is removed; the second is
+  // supported by the first and keeps its *unquantized* timestamp.
+  ASSERT_EQ(out.size(), 1);
+  EXPECT_FLOAT_EQ(out.events[0].t, 13.9f);
+}
+
+TEST(AqfFilter, SupportIsPolarityAware) {
+  data::EventStream s;
+  s.width = 8;
+  s.height = 8;
+  s.duration_ms = 100.0f;
+  // ON activity cluster; an OFF event in the middle of it is uncorrelated.
+  for (int x = 2; x <= 5; ++x)
+    s.events.push_back({static_cast<std::int16_t>(x), 4, 1,
+                        10.0f + static_cast<float>(x)});
+  s.events.push_back({4, 4, -1, 16.0f});
+  std::sort(s.events.begin(), s.events.end(),
+            [](const data::Event& a, const data::Event& b) {
+              return a.t < b.t;
+            });
+  AqfConfig cfg;
+  cfg.quantization_step_s = 0.0f;
+  data::EventStream out = AqfFilter(s, cfg);
+  for (const data::Event& e : out.events) EXPECT_EQ(e.polarity, 1);
+}
+
+TEST(AqfFilter, TemporalThresholdBoundsSupport) {
+  data::EventStream s;
+  s.width = 8;
+  s.height = 8;
+  s.duration_ms = 400.0f;
+  // Two neighbours 100 ms apart: outside T2 = 50 ms, so the second gets no
+  // support from the first.
+  s.events = {{3, 3, 1, 100.0f}, {4, 3, 1, 200.0f}};
+  AqfConfig cfg;
+  cfg.quantization_step_s = 0.0f;
+  AqfStats stats;
+  data::EventStream out = AqfFilter(s, cfg, &stats);
+  EXPECT_EQ(out.size(), 0);
+  EXPECT_EQ(stats.removed_uncorrelated, 2);
+  // Within T2 both the second survives.
+  s.events = {{3, 3, 1, 100.0f}, {4, 3, 1, 130.0f}};
+  out = AqfFilter(s, cfg, &stats);
+  EXPECT_EQ(out.size(), 1);
+  EXPECT_EQ(out.events[0].x, 4);
+}
+
+TEST(AqfFilter, SpatialWindowBoundsSupport) {
+  data::EventStream s;
+  s.width = 16;
+  s.height = 16;
+  s.duration_ms = 100.0f;
+  // Two events 3 pixels apart: outside the default s = 2 window.
+  s.events = {{3, 3, 1, 10.0f}, {6, 3, 1, 12.0f}};
+  AqfConfig cfg;
+  cfg.quantization_step_s = 0.0f;
+  data::EventStream out = AqfFilter(s, cfg);
+  EXPECT_EQ(out.size(), 0);
+  // Widening the window to 3 rescues the second event.
+  cfg.spatial_window = 3;
+  out = AqfFilter(s, cfg);
+  EXPECT_EQ(out.size(), 1);
+}
+
+TEST(AqfFilter, RemovesFrameAttackInjection) {
+  data::DvsGestureOptions opts;
+  opts.seed = 5;
+  Rng rng(5);
+  data::EventStream clean = data::SimulateGesture(0, opts, rng);
+  attacks::FrameAttackConfig fa;
+  data::EventStream attacked = attacks::FrameAttack(clean, fa);
+  AqfConfig cfg;
+  AqfStats stats;
+  data::EventStream filtered = AqfFilter(attacked, cfg, &stats);
+  // The bulk of the injected boundary events must be gone.
+  const long injected = attacked.size() - clean.size();
+  EXPECT_GT(stats.removed_hyperactive, injected * 8 / 10);
+  // Boundary pixels carry (almost) nothing afterwards.
+  long boundary_left = 0;
+  for (const data::Event& e : filtered.events) {
+    if (e.x == 0 || e.y == 0 || e.x == opts.width - 1 ||
+        e.y == opts.height - 1)
+      ++boundary_left;
+  }
+  EXPECT_LT(boundary_left, injected / 50);
+}
+
+TEST(AqfFilter, PreservesMostCleanGestureEvents) {
+  data::DvsGestureOptions opts;
+  opts.seed = 6;
+  opts.noise_rate_hz = 0.0f;  // no sensor noise: everything is signal
+  Rng rng(6);
+  data::EventStream clean = data::SimulateGesture(4, opts, rng);
+  AqfConfig cfg;
+  data::EventStream filtered = AqfFilter(clean, cfg);
+  EXPECT_GT(filtered.size(), clean.size() * 6 / 10)
+      << "AQF removed too much genuine signal: " << clean.size() << " -> "
+      << filtered.size();
+}
+
+TEST(AqfFilter, RejectsInvalidConfig) {
+  data::EventStream s;
+  s.width = 4;
+  s.height = 4;
+  s.duration_ms = 10.0f;
+  AqfConfig cfg;
+  cfg.spatial_window = 0;
+  EXPECT_THROW(AqfFilter(s, cfg), std::invalid_argument);
+  cfg = AqfConfig{};
+  cfg.temporal_threshold_ms = 0.0f;
+  EXPECT_THROW(AqfFilter(s, cfg), std::invalid_argument);
+  cfg = AqfConfig{};
+  cfg.quantization_step_s = -1.0f;
+  EXPECT_THROW(AqfFilter(s, cfg), std::invalid_argument);
+}
+
+TEST(AqfFilterDataset, FiltersEveryStream) {
+  data::DvsGestureOptions opts;
+  opts.count = 11;
+  opts.noise_rate_hz = 30.0f;  // lots of noise to remove
+  data::EventDataset ds = data::MakeSyntheticDvsGesture(opts);
+  AqfConfig cfg;
+  data::EventDataset filtered = AqfFilterDataset(ds, cfg);
+  ASSERT_EQ(filtered.size(), ds.size());
+  for (long i = 0; i < ds.size(); ++i)
+    EXPECT_LT(filtered.streams[i].size(), ds.streams[i].size());
+  EXPECT_EQ(filtered.labels, ds.labels);
+}
+
+// --- Parameterized sweep over quantization steps (Table II's qt axis) ------
+
+class QtSweepTest : public ::testing::TestWithParam<float> {};
+
+TEST_P(QtSweepTest, FilterIsWellBehavedAtAllQt) {
+  data::DvsGestureOptions opts;
+  opts.seed = 11;
+  Rng rng(11);
+  data::EventStream s = data::SimulateGesture(2, opts, rng);
+  AqfConfig cfg;
+  cfg.quantization_step_s = GetParam();
+  AqfStats stats;
+  data::EventStream out = AqfFilter(s, cfg, &stats);
+  EXPECT_EQ(stats.input_events, s.size());
+  EXPECT_EQ(stats.output_events, out.size());
+  EXPECT_EQ(stats.input_events - stats.output_events,
+            stats.removed_hyperactive + stats.removed_uncorrelated);
+  EXPECT_GT(out.size(), 0);
+  // Timestamps stay within the recording window.
+  for (const data::Event& e : out.events) {
+    EXPECT_GE(e.t, 0.0f);
+    EXPECT_LE(e.t, s.duration_ms + 1e-3f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(QtGrid, QtSweepTest,
+                         ::testing::Values(0.0f, 0.001f, 0.01f, 0.015f));
+
+}  // namespace
+}  // namespace axsnn::core

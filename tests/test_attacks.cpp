@@ -1,0 +1,322 @@
+// Tests for the adversarial attacks: PGD/BIM budget compliance and
+// effectiveness, sparse/frame neuromorphic attack properties.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "attacks/gradient_attacks.hpp"
+#include "attacks/neuromorphic_attacks.hpp"
+#include "data/dvs_gesture.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "snn/dense.hpp"
+#include "snn/inference.hpp"
+#include "snn/lif_layer.hpp"
+#include "snn/models.hpp"
+#include "snn/trainer.hpp"
+
+namespace axsnn::attacks {
+namespace {
+
+/// Small trained classifier over the synthetic digits (shared by tests).
+struct Victim {
+  snn::Network net;
+  data::StaticDataset test;
+};
+
+Victim MakeVictim() {
+  data::SyntheticMnistOptions d;
+  d.count = 512;
+  d.seed = 1;
+  data::StaticDataset train = data::MakeSyntheticMnist(d);
+  d.count = 128;
+  d.seed = 2;
+  Victim v{snn::Network{}, data::MakeSyntheticMnist(d)};
+  snn::StaticNetOptions no;
+  no.lif.v_threshold = 0.25f;
+  v.net = snn::BuildStaticNet(no);
+  snn::TrainConfig tc;
+  tc.epochs = 3;
+  tc.time_steps = 8;
+  snn::FitStatic(v.net, train.images, train.labels, tc);
+  return v;
+}
+
+Victim& SharedVictim() {
+  static Victim v = MakeVictim();
+  return v;
+}
+
+TEST(PgdAttack, RespectsEpsilonBallAndPixelRange) {
+  Victim& v = SharedVictim();
+  GradientAttackConfig cfg;
+  cfg.epsilon = 0.05f;
+  cfg.steps = 5;
+  cfg.time_steps = 6;
+  Tensor adv = PgdAttack(v.net, v.test.images, v.test.labels, cfg);
+  ASSERT_EQ(adv.shape(), v.test.images.shape());
+  for (long i = 0; i < adv.numel(); ++i) {
+    EXPECT_LE(std::fabs(adv[i] - v.test.images[i]), cfg.epsilon + 1e-5f);
+    EXPECT_GE(adv[i], 0.0f);
+    EXPECT_LE(adv[i], 1.0f);
+  }
+}
+
+TEST(PgdAttack, ZeroEpsilonReturnsClean) {
+  Victim& v = SharedVictim();
+  GradientAttackConfig cfg;
+  cfg.epsilon = 0.0f;
+  Tensor adv = PgdAttack(v.net, v.test.images, v.test.labels, cfg);
+  EXPECT_TRUE(adv.AllClose(v.test.images, 0.0f));
+}
+
+TEST(PgdAttack, ReducesAccuracy) {
+  Victim& v = SharedVictim();
+  const float clean = snn::AccuracyStatic(v.net, v.test.images, v.test.labels,
+                                          16, snn::Encoding::kRate, 42);
+  GradientAttackConfig cfg;
+  cfg.epsilon = 0.08f;
+  cfg.steps = 10;
+  cfg.time_steps = 8;
+  Tensor adv = PgdAttack(v.net, v.test.images, v.test.labels, cfg);
+  const float attacked = snn::AccuracyStatic(v.net, adv, v.test.labels, 16,
+                                             snn::Encoding::kRate, 42);
+  EXPECT_LT(attacked, clean - 0.15f)
+      << "clean " << clean << " vs attacked " << attacked;
+}
+
+TEST(PgdAttack, StrongerWithLargerBudget) {
+  Victim& v = SharedVictim();
+  GradientAttackConfig weak;
+  weak.epsilon = 0.01f;
+  weak.steps = 5;
+  weak.time_steps = 6;
+  GradientAttackConfig strong = weak;
+  strong.epsilon = 0.1f;
+  Tensor adv_w = PgdAttack(v.net, v.test.images, v.test.labels, weak);
+  Tensor adv_s = PgdAttack(v.net, v.test.images, v.test.labels, strong);
+  const float acc_w = snn::AccuracyStatic(v.net, adv_w, v.test.labels, 16,
+                                          snn::Encoding::kRate, 42);
+  const float acc_s = snn::AccuracyStatic(v.net, adv_s, v.test.labels, 16,
+                                          snn::Encoding::kRate, 42);
+  EXPECT_LE(acc_s, acc_w);
+}
+
+TEST(BimAttack, RespectsBudgetAndDeterministic) {
+  Victim& v = SharedVictim();
+  GradientAttackConfig cfg;
+  cfg.epsilon = 0.04f;
+  cfg.steps = 5;
+  cfg.time_steps = 6;
+  cfg.encoding = snn::Encoding::kDirect;  // deterministic gradient path
+  Tensor a = BimAttack(v.net, v.test.images, v.test.labels, cfg);
+  Tensor b = BimAttack(v.net, v.test.images, v.test.labels, cfg);
+  EXPECT_TRUE(a.AllClose(b, 0.0f));  // no random start, deterministic grads
+  for (long i = 0; i < a.numel(); ++i)
+    EXPECT_LE(std::fabs(a[i] - v.test.images[i]), cfg.epsilon + 1e-5f);
+}
+
+TEST(BimAttack, FirstStepWithinEpsOverSteps) {
+  Victim& v = SharedVictim();
+  GradientAttackConfig cfg;
+  cfg.epsilon = 0.1f;
+  cfg.steps = 1;
+  cfg.time_steps = 6;
+  cfg.encoding = snn::Encoding::kDirect;
+  Tensor adv = BimAttack(v.net, v.test.images, v.test.labels, cfg);
+  // One BIM step moves each pixel by at most eps/steps = 0.1.
+  for (long i = 0; i < adv.numel(); ++i)
+    EXPECT_LE(std::fabs(adv[i] - v.test.images[i]), 0.1f + 1e-5f);
+}
+
+TEST(GradientAttack, InvalidConfigThrows) {
+  Victim& v = SharedVictim();
+  GradientAttackConfig cfg;
+  cfg.steps = 0;
+  EXPECT_THROW(PgdAttack(v.net, v.test.images, v.test.labels, cfg),
+               std::invalid_argument);
+  cfg.steps = 5;
+  cfg.epsilon = -1.0f;
+  EXPECT_THROW(PgdAttack(v.net, v.test.images, v.test.labels, cfg),
+               std::invalid_argument);
+}
+
+// --- Neuromorphic attacks --------------------------------------------------
+
+struct DvsVictim {
+  snn::Network net;
+  data::EventDataset test;
+  long time_bins = 16;
+};
+
+DvsVictim& SharedDvsVictim() {
+  static DvsVictim v = [] {
+    data::DvsGestureOptions d;
+    d.count = 110;
+    d.seed = 1;
+    data::EventDataset train = data::MakeSyntheticDvsGesture(d);
+    d.count = 33;
+    d.seed = 2;
+    DvsVictim out{snn::Network{}, data::MakeSyntheticDvsGesture(d), 16};
+    snn::DvsNetOptions no;
+    out.net = snn::BuildDvsNet(no);
+    Tensor frames = data::BinDataset(train, out.time_bins);
+    snn::TrainConfig tc;
+    tc.epochs = 10;
+    tc.time_steps = out.time_bins;
+    snn::FitTemporal(out.net, frames, train.labels, tc);
+    return out;
+  }();
+  return v;
+}
+
+TEST(SparseAttack, OnlyAddsEvents) {
+  DvsVictim& v = SharedDvsVictim();
+  SparseAttackConfig cfg;
+  cfg.time_bins = v.time_bins;
+  cfg.max_iterations = 3;
+  data::EventStream attacked =
+      SparseAttack(v.net, v.test.streams[0], v.test.labels[0], cfg);
+  EXPECT_GE(attacked.size(), v.test.streams[0].size());
+  // All original events are still present (attack only injects).
+  // Injected events are in-range.
+  for (const data::Event& e : attacked.events) {
+    EXPECT_GE(e.x, 0);
+    EXPECT_LT(e.x, attacked.width);
+    EXPECT_GE(e.t, 0.0f);
+    EXPECT_LE(e.t, attacked.duration_ms);
+  }
+}
+
+TEST(SparseAttack, InjectionBudgetBounded) {
+  DvsVictim& v = SharedDvsVictim();
+  SparseAttackConfig cfg;
+  cfg.time_bins = v.time_bins;
+  cfg.max_iterations = 4;
+  cfg.events_per_iteration = 10;
+  data::EventStream attacked =
+      SparseAttack(v.net, v.test.streams[1], v.test.labels[1], cfg);
+  EXPECT_LE(attacked.size() - v.test.streams[1].size(),
+            cfg.max_iterations * cfg.events_per_iteration);
+}
+
+TEST(SparseAttack, RespectsSpacingConstraint) {
+  DvsVictim& v = SharedDvsVictim();
+  SparseAttackConfig cfg;
+  cfg.time_bins = v.time_bins;
+  cfg.max_iterations = 1;
+  cfg.events_per_iteration = 16;
+  cfg.min_spacing = 5;
+  data::EventStream attacked =
+      SparseAttack(v.net, v.test.streams[2], v.test.labels[2], cfg);
+  // Collect only the injected events (those not in the original stream).
+  std::vector<data::Event> injected;
+  std::vector<data::Event> original = v.test.streams[2].events;
+  for (const data::Event& e : attacked.events) {
+    auto it = std::find(original.begin(), original.end(), e);
+    if (it != original.end())
+      original.erase(it);
+    else
+      injected.push_back(e);
+  }
+  const float bin_ms = attacked.duration_ms / cfg.time_bins;
+  for (std::size_t i = 0; i < injected.size(); ++i)
+    for (std::size_t j = i + 1; j < injected.size(); ++j) {
+      if (static_cast<long>(injected[i].t / bin_ms) !=
+          static_cast<long>(injected[j].t / bin_ms))
+        continue;
+      const long dist = std::max(std::labs(injected[i].x - injected[j].x),
+                                 std::labs(injected[i].y - injected[j].y));
+      EXPECT_GE(dist, cfg.min_spacing);
+    }
+}
+
+TEST(SparseAttack, DatasetAttackDropsAccuracy) {
+  DvsVictim& v = SharedDvsVictim();
+  Tensor clean_frames = data::BinDataset(v.test, v.time_bins);
+  const float clean =
+      snn::AccuracyTemporal(v.net, clean_frames, v.test.labels);
+  SparseAttackConfig cfg;
+  cfg.time_bins = v.time_bins;
+  data::EventDataset attacked = SparseAttackDataset(v.net, v.test, cfg);
+  Tensor adv_frames = data::BinDataset(attacked, v.time_bins);
+  const float adv = snn::AccuracyTemporal(v.net, adv_frames, v.test.labels);
+  EXPECT_LT(adv, clean - 0.3f) << "clean " << clean << " adv " << adv;
+}
+
+TEST(FrameAttack, AddsBoundaryEventsEverywhere) {
+  data::EventStream s;
+  s.width = 8;
+  s.height = 8;
+  s.duration_ms = 20.0f;
+  FrameAttackConfig cfg;
+  cfg.period_ms = 5.0f;
+  data::EventStream attacked = FrameAttack(s, cfg);
+  // 28 boundary pixels x 4 ticks x 2 polarities.
+  EXPECT_EQ(attacked.size(), 28 * 4 * 2);
+  for (const data::Event& e : attacked.events) {
+    const bool on_border =
+        e.x == 0 || e.y == 0 || e.x == 7 || e.y == 7;
+    EXPECT_TRUE(on_border);
+  }
+}
+
+TEST(FrameAttack, PreservesOriginalEvents) {
+  data::EventStream s;
+  s.width = 8;
+  s.height = 8;
+  s.duration_ms = 20.0f;
+  s.events = {{4, 4, 1, 3.0f}};
+  FrameAttackConfig cfg;
+  data::EventStream attacked = FrameAttack(s, cfg);
+  const long interior = std::count_if(
+      attacked.events.begin(), attacked.events.end(),
+      [](const data::Event& e) { return e.x == 4 && e.y == 4; });
+  EXPECT_EQ(interior, 1);
+}
+
+TEST(FrameAttack, WiderBorderAttacksMorePixels) {
+  data::EventStream s;
+  s.width = 8;
+  s.height = 8;
+  s.duration_ms = 10.0f;
+  FrameAttackConfig one;
+  one.period_ms = 5.0f;
+  FrameAttackConfig two = one;
+  two.border = 2;
+  EXPECT_GT(FrameAttack(s, two).size(), FrameAttack(s, one).size());
+}
+
+TEST(FrameAttack, DropsAccuracy) {
+  DvsVictim& v = SharedDvsVictim();
+  Tensor clean_frames = data::BinDataset(v.test, v.time_bins);
+  const float clean =
+      snn::AccuracyTemporal(v.net, clean_frames, v.test.labels);
+  FrameAttackConfig cfg;
+  data::EventDataset attacked = FrameAttackDataset(v.test, cfg);
+  Tensor adv_frames = data::BinDataset(attacked, v.time_bins);
+  const float adv = snn::AccuracyTemporal(v.net, adv_frames, v.test.labels);
+  EXPECT_LT(adv, clean - 0.15f);
+}
+
+// --- Parameterized budget sweep: attacks never exceed the eps ball ---------
+
+class EpsilonSweepTest : public ::testing::TestWithParam<float> {};
+
+TEST_P(EpsilonSweepTest, PerturbationWithinBudget) {
+  Victim& v = SharedVictim();
+  GradientAttackConfig cfg;
+  cfg.epsilon = GetParam();
+  cfg.steps = 4;
+  cfg.time_steps = 4;
+  Tensor adv = PgdAttack(v.net, v.test.images, v.test.labels, cfg);
+  float max_delta = 0.0f;
+  for (long i = 0; i < adv.numel(); ++i)
+    max_delta = std::max(max_delta, std::fabs(adv[i] - v.test.images[i]));
+  EXPECT_LE(max_delta, cfg.epsilon + 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, EpsilonSweepTest,
+                         ::testing::Values(0.01f, 0.03f, 0.05f, 0.1f, 0.15f));
+
+}  // namespace
+}  // namespace axsnn::attacks

@@ -1,0 +1,97 @@
+// Tests for the evaluation metrics and the plain-text report helpers.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.hpp"
+#include "eval/report.hpp"
+
+namespace axsnn::eval {
+namespace {
+
+TEST(Metrics, Accuracy) {
+  const int preds[] = {0, 1, 2, 1};
+  const int labels[] = {0, 1, 1, 1};
+  EXPECT_FLOAT_EQ(Accuracy(preds, labels), 0.75f);
+  EXPECT_THROW(Accuracy({}, {}), std::invalid_argument);
+  const int short_labels[] = {0};
+  EXPECT_THROW(Accuracy(preds, short_labels), std::invalid_argument);
+}
+
+TEST(Metrics, RobustnessPctIsAccuracyTimes100) {
+  const int preds[] = {0, 1, 2, 3};
+  const int labels[] = {0, 1, 0, 0};
+  EXPECT_FLOAT_EQ(RobustnessPct(preds, labels), 50.0f);
+}
+
+TEST(Metrics, ConfusionMatrix) {
+  const int preds[] = {0, 1, 1, 2};
+  const int labels[] = {0, 1, 2, 2};
+  auto m = ConfusionMatrix(preds, labels, 3);
+  EXPECT_EQ(m[0][0], 1);
+  EXPECT_EQ(m[1][1], 1);
+  EXPECT_EQ(m[2][1], 1);
+  EXPECT_EQ(m[2][2], 1);
+  EXPECT_EQ(m[0][1], 0);
+  const int bad[] = {5};
+  const int lab[] = {0};
+  EXPECT_THROW(ConfusionMatrix(bad, lab, 3), std::invalid_argument);
+}
+
+TEST(Metrics, PerClassRecall) {
+  const int preds[] = {0, 0, 1, 1};
+  const int labels[] = {0, 1, 1, 1};
+  auto r = PerClassRecall(preds, labels, 3);
+  EXPECT_FLOAT_EQ(r[0], 1.0f);
+  EXPECT_NEAR(r[1], 2.0f / 3.0f, 1e-6f);
+  EXPECT_FLOAT_EQ(r[2], 0.0f);  // no samples -> 0
+}
+
+TEST(Report, SeriesTableFormatsValues) {
+  std::ostringstream os;
+  PrintSeriesTable(os, "Fig. X", "eps", {0.0, 0.5},
+                   {{"AccSNN", {96.0, 90.0}}, {"AxSNN", {52.0, 40.0}}});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== Fig. X =="), std::string::npos);
+  EXPECT_NE(out.find("AccSNN"), std::string::npos);
+  EXPECT_NE(out.find("96.0"), std::string::npos);
+  EXPECT_NE(out.find("52.0"), std::string::npos);
+}
+
+TEST(Report, SeriesLengthMismatchThrows) {
+  std::ostringstream os;
+  EXPECT_THROW(
+      PrintSeriesTable(os, "t", "x", {0.0, 1.0}, {{"s", {1.0}}}),
+      std::invalid_argument);
+}
+
+TEST(Report, HeatmapFormatsGrid) {
+  std::ostringstream os;
+  PrintHeatmap(os, "Fig. 4a", "timesteps", {32, 40}, "vth", {0.25, 0.5},
+               {{20.0, 78.0}, {58.0, 67.0}});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Fig. 4a"), std::string::npos);
+  EXPECT_NE(out.find("78.0"), std::string::npos);
+  EXPECT_THROW(PrintHeatmap(os, "t", "r", {1}, "c", {1, 2}, {{1.0}}),
+               std::invalid_argument);
+}
+
+TEST(Report, TablePadsColumns) {
+  std::ostringstream os;
+  PrintTable(os, "Table I", {"(Vth,T)", "Attack", "Acc"},
+             {{"(0.25,32)", "PGD", "88"}, {"(1.0,48)", "BIM", "96"}});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Table I"), std::string::npos);
+  EXPECT_NE(out.find("(0.25,32)"), std::string::npos);
+  EXPECT_THROW(PrintTable(os, "t", {"a", "b"}, {{"only-one"}}),
+               std::invalid_argument);
+}
+
+TEST(Report, FormatValuePrecision) {
+  EXPECT_EQ(FormatValue(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatValue(2.0, 0), "2");
+  EXPECT_EQ(FormatValue(96.04, 1), "96.0");
+}
+
+}  // namespace
+}  // namespace axsnn::eval

@@ -1,0 +1,247 @@
+// Tests for the extension features: TTFS encoding, Corner/Dash attacks,
+// the BAF baseline filter, and event-dataset serialization.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "attacks/extra_neuromorphic.hpp"
+#include "attacks/neuromorphic_attacks.hpp"
+#include "core/aqf.hpp"
+#include "core/baf.hpp"
+#include "data/dvs_gesture.hpp"
+#include "data/event_io.hpp"
+#include "snn/encoding.hpp"
+
+namespace axsnn {
+namespace {
+
+// --- TTFS encoding ----------------------------------------------------------
+
+TEST(EncodeTtfs, OneSpikePerNonBlackPixel) {
+  Tensor images({1, 1, 2, 2}, {0.0f, 0.3f, 0.7f, 1.0f});
+  Tensor spikes = snn::EncodeTtfs(images, 10);
+  EXPECT_EQ(spikes.shape(), (Shape{10, 1, 1, 2, 2}));
+  // Per-pixel spike count: 0 for black, exactly 1 otherwise.
+  for (long p = 0; p < 4; ++p) {
+    float count = 0.0f;
+    for (long t = 0; t < 10; ++t) count += spikes[t * 4 + p];
+    EXPECT_FLOAT_EQ(count, p == 0 ? 0.0f : 1.0f);
+  }
+}
+
+TEST(EncodeTtfs, BrighterSpikesEarlier) {
+  Tensor images({1, 1, 1, 3}, {0.2f, 0.5f, 0.9f});
+  const long T = 20;
+  Tensor spikes = snn::EncodeTtfs(images, T);
+  auto first_spike = [&](long pixel) {
+    for (long t = 0; t < T; ++t)
+      if (spikes[t * 3 + pixel] > 0.0f) return t;
+    return T;
+  };
+  EXPECT_LT(first_spike(2), first_spike(1));
+  EXPECT_LT(first_spike(1), first_spike(0));
+  // Full intensity spikes at t = 0.
+  Tensor bright({1, 1, 1, 1}, {1.0f});
+  Tensor s = snn::EncodeTtfs(bright, T);
+  EXPECT_FLOAT_EQ(s[0], 1.0f);
+}
+
+TEST(EncodeTtfs, DispatchedThroughEncode) {
+  Rng rng(1);
+  Tensor images({2, 1, 2, 2}, std::vector<float>(8, 0.5f));
+  Tensor a = snn::EncodeTtfs(images, 8);
+  Tensor b = snn::Encode(images, 8, snn::Encoding::kTtfs, rng);
+  EXPECT_TRUE(a.AllClose(b, 0.0f));
+}
+
+// --- Corner attack ----------------------------------------------------------
+
+data::EventStream EmptyStream(long w = 16, long h = 16,
+                              float duration = 40.0f) {
+  data::EventStream s;
+  s.width = w;
+  s.height = h;
+  s.duration_ms = duration;
+  return s;
+}
+
+TEST(CornerAttack, InjectsOnlyInCorners) {
+  attacks::CornerAttackConfig cfg;
+  cfg.patch = 2;
+  cfg.period_ms = 10.0f;
+  data::EventStream attacked = attacks::CornerAttack(EmptyStream(), cfg);
+  EXPECT_GT(attacked.size(), 0);
+  for (const data::Event& e : attacked.events) {
+    const bool in_x = e.x < 2 || e.x >= 14;
+    const bool in_y = e.y < 2 || e.y >= 14;
+    EXPECT_TRUE(in_x && in_y) << "event at (" << e.x << "," << e.y
+                              << ") outside corners";
+  }
+}
+
+TEST(CornerAttack, EventCountMatchesGeometry) {
+  attacks::CornerAttackConfig cfg;
+  cfg.patch = 2;
+  cfg.period_ms = 10.0f;
+  cfg.both_polarities = false;
+  data::EventStream attacked = attacks::CornerAttack(EmptyStream(), cfg);
+  // 4 corners x 4 pixels x 4 ticks (5, 15, 25, 35 ms), ON only.
+  EXPECT_EQ(attacked.size(), 4 * 4 * 4);
+}
+
+TEST(CornerAttack, PreservesOriginalEvents) {
+  data::EventStream s = EmptyStream();
+  s.events.push_back({8, 8, 1, 3.0f});
+  attacks::CornerAttackConfig cfg;
+  data::EventStream attacked = attacks::CornerAttack(s, cfg);
+  const long interior =
+      std::count_if(attacked.events.begin(), attacked.events.end(),
+                    [](const data::Event& e) { return e.x == 8; });
+  EXPECT_EQ(interior, 1);
+}
+
+// --- Dash attack ------------------------------------------------------------
+
+TEST(DashAttack, SweepsAcrossTheLane) {
+  attacks::DashAttackConfig cfg;
+  cfg.patch = 2;
+  cfg.period_ms = 2.0f;
+  data::EventStream attacked = attacks::DashAttack(EmptyStream(), cfg);
+  EXPECT_GT(attacked.size(), 0);
+  // All events stay inside the configured lane rows.
+  long min_x = 1000, max_x = -1;
+  for (const data::Event& e : attacked.events) {
+    EXPECT_GE(e.y, 6);  // lane 0.5 of 16-2 -> y0 = 7; patch rows 7..8
+    EXPECT_LE(e.y, 9);
+    min_x = std::min<long>(min_x, e.x);
+    max_x = std::max<long>(max_x, e.x);
+  }
+  // The dash actually moves.
+  EXPECT_GT(max_x - min_x, 3);
+}
+
+TEST(DashAttack, BothPolaritiesEmitted) {
+  attacks::DashAttackConfig cfg;
+  data::EventStream attacked = attacks::DashAttack(EmptyStream(), cfg);
+  long on = 0, off = 0;
+  for (const data::Event& e : attacked.events)
+    (e.polarity > 0 ? on : off)++;
+  EXPECT_GT(on, 0);
+  EXPECT_GT(off, 0);
+}
+
+TEST(DashAttack, RejectsBadConfig) {
+  attacks::DashAttackConfig cfg;
+  cfg.lane = 2.0f;
+  EXPECT_THROW(attacks::DashAttack(EmptyStream(), cfg),
+               std::invalid_argument);
+}
+
+// --- BAF baseline filter ----------------------------------------------------
+
+TEST(BafFilter, KeepsSupportedRemovesIsolated) {
+  data::EventStream s = EmptyStream();
+  s.events = {{5, 5, 1, 10.0f},   // no support (first event)
+              {6, 5, 1, 12.0f},   // supported by the first
+              {14, 14, 1, 30.0f}};  // isolated
+  core::BafConfig cfg;
+  data::EventStream out = core::BafFilter(s, cfg);
+  ASSERT_EQ(out.size(), 1);
+  EXPECT_EQ(out.events[0].x, 6);
+}
+
+TEST(BafFilter, DoesNotFlagHyperactivePixels) {
+  // A stuck pixel pair supports itself forever under BAF — the failure mode
+  // AQF's hyperactivity rule fixes.
+  data::EventStream s = EmptyStream(16, 16, 100.0f);
+  for (int k = 0; k < 50; ++k) {
+    s.events.push_back({3, 3, 1, 2.0f * k});
+    s.events.push_back({4, 3, 1, 2.0f * k + 1.0f});
+  }
+  core::BafConfig baf;
+  data::EventStream out = core::BafFilter(s, baf);
+  EXPECT_GT(out.size(), 90);  // nearly everything survives BAF
+  core::AqfConfig aqf;
+  aqf.quantization_step_s = 0.0f;
+  data::EventStream aqf_out = core::AqfFilter(s, aqf);
+  EXPECT_EQ(aqf_out.size(), 0);  // AQF removes the hyperactive pair
+}
+
+TEST(BafFilter, FrameAttackSurvivesBafButNotAqf) {
+  data::DvsGestureOptions opts;
+  Rng rng(9);
+  data::EventStream clean = data::SimulateGesture(1, opts, rng);
+  attacks::FrameAttackConfig fa;
+  data::EventStream attacked = attacks::FrameAttack(clean, fa);
+  const long injected = attacked.size() - clean.size();
+
+  core::BafConfig baf;
+  data::EventStream baf_out = core::BafFilter(attacked, baf);
+  long baf_border = 0;
+  for (const data::Event& e : baf_out.events)
+    if (e.x == 0 || e.y == 0 || e.x == opts.width - 1 ||
+        e.y == opts.height - 1)
+      ++baf_border;
+  // BAF keeps the bulk of the border flood (neighbouring border pixels
+  // support each other).
+  EXPECT_GT(baf_border, injected / 2);
+
+  core::AqfConfig aqf;
+  data::EventStream aqf_out = core::AqfFilter(attacked, aqf);
+  long aqf_border = 0;
+  for (const data::Event& e : aqf_out.events)
+    if (e.x == 0 || e.y == 0 || e.x == opts.width - 1 ||
+        e.y == opts.height - 1)
+      ++aqf_border;
+  EXPECT_LT(aqf_border, injected / 20);
+}
+
+// --- Event serialization ----------------------------------------------------
+
+TEST(EventIo, StreamRoundTrip) {
+  data::DvsGestureOptions opts;
+  Rng rng(4);
+  data::EventStream s = data::SimulateGesture(5, opts, rng);
+  std::stringstream ss;
+  data::WriteEventStream(ss, s);
+  data::EventStream back = data::ReadEventStream(ss);
+  EXPECT_EQ(back.width, s.width);
+  EXPECT_EQ(back.height, s.height);
+  EXPECT_FLOAT_EQ(back.duration_ms, s.duration_ms);
+  ASSERT_EQ(back.size(), s.size());
+  for (long i = 0; i < s.size(); ++i)
+    EXPECT_EQ(back.events[static_cast<std::size_t>(i)],
+              s.events[static_cast<std::size_t>(i)]);
+}
+
+TEST(EventIo, DatasetRoundTrip) {
+  data::DvsGestureOptions opts;
+  opts.count = 11;
+  data::EventDataset ds = data::MakeSyntheticDvsGesture(opts);
+  std::stringstream ss;
+  data::WriteEventDataset(ss, ds);
+  data::EventDataset back = data::ReadEventDataset(ss);
+  EXPECT_EQ(back.size(), ds.size());
+  EXPECT_EQ(back.labels, ds.labels);
+  EXPECT_EQ(back.num_classes, ds.num_classes);
+  for (long i = 0; i < ds.size(); ++i)
+    EXPECT_EQ(back.streams[static_cast<std::size_t>(i)].size(),
+              ds.streams[static_cast<std::size_t>(i)].size());
+}
+
+TEST(EventIo, FileRoundTripAndErrors) {
+  data::DvsGestureOptions opts;
+  opts.count = 3;
+  data::EventDataset ds = data::MakeSyntheticDvsGesture(opts);
+  const std::string path = ::testing::TempDir() + "/axsnn_events.bin";
+  data::SaveEventDataset(path, ds);
+  data::EventDataset back = data::LoadEventDataset(path);
+  EXPECT_EQ(back.size(), ds.size());
+  EXPECT_THROW(data::LoadEventDataset(path + ".missing"),
+               std::runtime_error);
+  std::stringstream garbage("garbage bytes here");
+  EXPECT_THROW(data::ReadEventDataset(garbage), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace axsnn

@@ -1,0 +1,244 @@
+// Unit tests for the tensor substrate: shapes, ops, reductions, RNG,
+// serialization.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "tensor/random.hpp"
+#include "tensor/serialize.hpp"
+#include "tensor/tensor.hpp"
+
+namespace axsnn {
+namespace {
+
+TEST(Shape, NumElements) {
+  EXPECT_EQ(NumElements({}), 1);
+  EXPECT_EQ(NumElements({4}), 4);
+  EXPECT_EQ(NumElements({2, 3, 4}), 24);
+  EXPECT_EQ(NumElements({5, 0, 2}), 0);
+  EXPECT_THROW(NumElements({-1, 3}), std::invalid_argument);
+}
+
+TEST(Shape, ToString) {
+  EXPECT_EQ(ShapeToString({2, 3}), "[2, 3]");
+  EXPECT_EQ(ShapeToString({}), "[]");
+}
+
+TEST(Tensor, ConstructsZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.rank(), 2u);
+  for (long i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, ConstructsFromData) {
+  Tensor t({2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_EQ(t(1, 0), 3.0f);
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1.0f}),
+               std::invalid_argument);
+}
+
+TEST(Tensor, MultiIndexAccessIsRowMajor) {
+  Tensor t({2, 3, 4});
+  t(1, 2, 3) = 7.0f;
+  EXPECT_EQ(t[1 * 12 + 2 * 4 + 3], 7.0f);
+  t(0, 0, 0) = 1.0f;
+  EXPECT_EQ(t[0], 1.0f);
+}
+
+TEST(Tensor, OffsetValidatesBounds) {
+  Tensor t({2, 3});
+  const long idx_ok[] = {1, 2};
+  EXPECT_EQ(t.Offset(idx_ok), 5);
+  const long idx_bad[] = {2, 0};
+  EXPECT_THROW(t.Offset(idx_bad), std::invalid_argument);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.Reshaped({3, 2});
+  EXPECT_EQ(r(2, 1), 6.0f);
+  EXPECT_THROW(t.Reshape({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, ElementwiseOps) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {10, 20, 30});
+  EXPECT_TRUE(Add(a, b).AllClose(Tensor({3}, {11, 22, 33})));
+  EXPECT_TRUE(Sub(b, a).AllClose(Tensor({3}, {9, 18, 27})));
+  EXPECT_TRUE(Mul(a, b).AllClose(Tensor({3}, {10, 40, 90})));
+  Tensor c = a;
+  c.Axpy(2.0f, b);
+  EXPECT_TRUE(c.AllClose(Tensor({3}, {21, 42, 63})));
+  c.Scale(0.5f);
+  EXPECT_TRUE(c.AllClose(Tensor({3}, {10.5f, 21, 31.5f})));
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+  Tensor a({3});
+  Tensor b({4});
+  EXPECT_THROW(a.Add(b), std::invalid_argument);
+  EXPECT_THROW(a.Mul(b), std::invalid_argument);
+}
+
+TEST(Tensor, Clamp) {
+  Tensor t({4}, {-1.0f, 0.25f, 0.75f, 2.0f});
+  t.Clamp(0.0f, 1.0f);
+  EXPECT_TRUE(t.AllClose(Tensor({4}, {0.0f, 0.25f, 0.75f, 1.0f})));
+  EXPECT_THROW(t.Clamp(1.0f, 0.0f), std::invalid_argument);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t({4}, {-2, 1, 3, -1});
+  EXPECT_FLOAT_EQ(t.Sum(), 1.0f);
+  EXPECT_FLOAT_EQ(t.Mean(), 0.25f);
+  EXPECT_FLOAT_EQ(t.Min(), -2.0f);
+  EXPECT_FLOAT_EQ(t.Max(), 3.0f);
+  EXPECT_FLOAT_EQ(t.MeanAbs(), 1.75f);
+  EXPECT_EQ(t.Argmax(), 2);
+  EXPECT_EQ(t.CountGreater(0.0f), 2);
+}
+
+TEST(Tensor, SignFunction) {
+  Tensor t({3}, {-5.0f, 0.0f, 2.0f});
+  EXPECT_TRUE(Sign(t).AllClose(Tensor({3}, {-1.0f, 0.0f, 1.0f})));
+}
+
+TEST(Tensor, AllCloseToleratesSmallDiffs) {
+  Tensor a({2}, {1.0f, 2.0f});
+  Tensor b({2}, {1.0f + 1e-7f, 2.0f});
+  EXPECT_TRUE(a.AllClose(b));
+  Tensor c({2}, {1.1f, 2.0f});
+  EXPECT_FALSE(a.AllClose(c));
+  EXPECT_FALSE(a.AllClose(Tensor({3})));
+}
+
+TEST(Tensor, StreamPrintSmall) {
+  Tensor t({2}, {1.0f, 2.0f});
+  std::ostringstream os;
+  os << t;
+  EXPECT_EQ(os.str(), "Tensor[2] {1, 2}");
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.NextU64() == b.NextU64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntIsUnbiasedEnough) {
+  Rng rng(11);
+  long counts[5] = {0, 0, 0, 0, 0};
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.UniformInt(5)];
+  for (long c : counts) {
+    EXPECT_GT(c, draws / 5 * 0.9);
+    EXPECT_LT(c, draws / 5 * 1.1);
+  }
+  EXPECT_THROW(rng.UniformInt(0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(17);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent(23);
+  Rng f1 = parent.Fork(1);
+  Rng f2 = parent.Fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (f1.NextU64() == f2.NextU64()) ++same;
+  EXPECT_EQ(same, 0);
+  // Forking is deterministic.
+  Rng parent2(23);
+  Rng f1b = parent2.Fork(1);
+  Rng f1c(23);
+  (void)f1c;
+  Rng f1a = Rng(23).Fork(1);
+  EXPECT_EQ(f1a.NextU64(), f1b.NextU64());
+}
+
+TEST(Rng, RandomTensorFactories) {
+  Rng rng(3);
+  Tensor u = Tensor::Uniform({1000}, -1.0f, 1.0f, rng);
+  EXPECT_GE(u.Min(), -1.0f);
+  EXPECT_LT(u.Max(), 1.0f);
+  Tensor g = Tensor::Normal({1000}, 5.0f, 0.1f, rng);
+  EXPECT_NEAR(g.Mean(), 5.0f, 0.05f);
+}
+
+TEST(Serialize, TensorRoundTrip) {
+  Rng rng(5);
+  Tensor t = Tensor::Normal({3, 4, 5}, 0.0f, 1.0f, rng);
+  std::stringstream ss;
+  WriteTensor(ss, t);
+  Tensor back = ReadTensor(ss);
+  EXPECT_EQ(back.shape(), t.shape());
+  EXPECT_TRUE(back.AllClose(t, 0.0f));
+}
+
+TEST(Serialize, TensorMapRoundTrip) {
+  Rng rng(6);
+  std::map<std::string, Tensor> m;
+  m.emplace("conv1.0", Tensor::Normal({8, 1, 3, 3}, 0.0f, 0.5f, rng));
+  m.emplace("fc.1", Tensor::Ones({10}));
+  std::stringstream ss;
+  WriteTensorMap(ss, m);
+  auto back = ReadTensorMap(ss);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_TRUE(back.at("conv1.0").AllClose(m.at("conv1.0"), 0.0f));
+  EXPECT_TRUE(back.at("fc.1").AllClose(m.at("fc.1"), 0.0f));
+}
+
+TEST(Serialize, RejectsGarbage) {
+  std::stringstream ss("not a tensor stream");
+  EXPECT_THROW(ReadTensor(ss), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  std::map<std::string, Tensor> m;
+  m.emplace("w", Tensor({2, 2}, {1, 2, 3, 4}));
+  const std::string path = ::testing::TempDir() + "/axsnn_state.bin";
+  SaveTensorMap(path, m);
+  auto back = LoadTensorMap(path);
+  EXPECT_TRUE(back.at("w").AllClose(m.at("w"), 0.0f));
+  EXPECT_THROW(LoadTensorMap(path + ".missing"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace axsnn
