@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "eval/report.hpp"
+#include "runtime/parallel_for.hpp"
 #include "snn/lif_layer.hpp"
 #include "tensor/serialize.hpp"
 
@@ -176,14 +177,17 @@ void ForEachHeatmapCell(
   const auto times = TimeGrid();
   const long total = static_cast<long>(vths.size() * times.size());
   // Cells are independent; outer parallelism wins because each cell's inner
-  // loops are small (nested OpenMP regions serialize, which is intended).
-#pragma omp parallel for schedule(dynamic)
-  for (long idx = 0; idx < total; ++idx) {
-    const std::size_t row = static_cast<std::size_t>(idx) / vths.size();
-    const std::size_t col = static_cast<std::size_t>(idx) % vths.size();
-    HeatmapCell cell = MakeHeatmapCell(bench, vths[col], times[row]);
-    fn(cell, row, col);
-  }
+  // loops are small (the pool throttles nested parallelism to inline, which
+  // is intended). grain 1 = one sweep cell per pool task.
+  runtime::ParallelFor(
+      0, total,
+      [&](long idx) {
+        const std::size_t row = static_cast<std::size_t>(idx) / vths.size();
+        const std::size_t col = static_cast<std::size_t>(idx) % vths.size();
+        HeatmapCell cell = MakeHeatmapCell(bench, vths[col], times[row]);
+        fn(cell, row, col);
+      },
+      /*grain=*/1);
 }
 
 void PrintBanner(const std::string& artifact, const std::string& paper_claim) {

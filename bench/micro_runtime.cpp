@@ -1,0 +1,168 @@
+// Micro-benchmark for the runtime subsystem:
+//  1. ParallelFor scaling — one conv-forward-heavy workload timed at pool
+//     sizes 1, 2, 4 and hardware_concurrency;
+//  2. allocation behaviour — heap allocations per forward pass for the
+//     allocating Network::Forward vs the workspace-backed ForwardShared
+//     (steady state), counted with an operator-new hook local to this
+//     binary.
+//
+// Prints a human-readable table and emits BENCH_runtime.json next to the
+// working directory so baselines can be recorded in-tree.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "runtime/parallel_for.hpp"
+#include "runtime/thread_pool.hpp"
+#include "snn/models.hpp"
+#include "tensor/random.hpp"
+#include "tensor/tensor.hpp"
+
+// --- allocation counting (this translation unit only) ------------------------
+
+namespace {
+std::atomic<long> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace axsnn {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+snn::Network MakeBenchNet() {
+  snn::StaticNetOptions opts;
+  opts.height = 16;
+  opts.width = 16;
+  return snn::BuildStaticNet(opts);
+}
+
+/// One forward workload: [T=8, B=16, 1, 16, 16] through the static net.
+Tensor MakeBenchInput() {
+  Rng rng(123);
+  return Tensor::Uniform({8, 16, 1, 16, 16}, 0.0f, 1.0f, rng);
+}
+
+struct ScalingPoint {
+  int threads;
+  double seconds_per_pass;
+};
+
+std::vector<ScalingPoint> RunScaling(int repeats) {
+  std::vector<int> sizes = {1, 2, 4};
+  const int hw = runtime::DefaultThreadCount();
+  if (hw > 4) sizes.push_back(hw);
+
+  std::vector<ScalingPoint> points;
+  snn::Network net = MakeBenchNet();
+  Tensor x = MakeBenchInput();
+  for (int threads : sizes) {
+    runtime::SetGlobalThreads(threads);
+    net.ForwardShared(x, false);  // warm up workspace + pool
+    const auto start = Clock::now();
+    for (int r = 0; r < repeats; ++r) net.ForwardShared(x, false);
+    points.push_back({threads, SecondsSince(start) / repeats});
+  }
+  runtime::SetGlobalThreads(0);
+  return points;
+}
+
+struct AllocationCounts {
+  long allocating_forward;
+  long shared_first_pass;
+  long shared_steady_state;
+};
+
+AllocationCounts CountAllocations() {
+  // Pool size 1 keeps the count deterministic (no worker-thread allocs).
+  runtime::SetGlobalThreads(1);
+  snn::Network net = MakeBenchNet();
+  Tensor x = MakeBenchInput();
+  AllocationCounts counts{};
+
+  long before = g_allocations.load();
+  Tensor y = net.Forward(x, false);
+  counts.allocating_forward = g_allocations.load() - before;
+
+  snn::Network shared_net = MakeBenchNet();
+  before = g_allocations.load();
+  shared_net.ForwardShared(x, false);
+  counts.shared_first_pass = g_allocations.load() - before;
+
+  before = g_allocations.load();
+  for (int r = 0; r < 10; ++r) shared_net.ForwardShared(x, false);
+  counts.shared_steady_state = (g_allocations.load() - before) / 10;
+
+  runtime::SetGlobalThreads(0);
+  return counts;
+}
+
+}  // namespace
+}  // namespace axsnn
+
+int main(int argc, char** argv) {
+  const int repeats = argc > 1 ? std::atoi(argv[1]) : 50;
+
+  std::printf("== runtime micro-benchmark ==\n");
+  std::printf("hardware threads: %d\n", axsnn::runtime::DefaultThreadCount());
+
+  const auto scaling = axsnn::RunScaling(repeats);
+  const double base = scaling.front().seconds_per_pass;
+  std::printf("\npool scaling (forward pass [8,16,1,16,16], %d repeats):\n",
+              repeats);
+  std::printf("  threads   ms/pass   speedup\n");
+  for (const auto& p : scaling)
+    std::printf("  %7d   %7.3f   %6.2fx\n", p.threads,
+                p.seconds_per_pass * 1e3, base / p.seconds_per_pass);
+
+  const auto counts = axsnn::CountAllocations();
+  std::printf("\nheap allocations per forward pass:\n");
+  std::printf("  Forward (allocating):        %ld\n",
+              counts.allocating_forward);
+  std::printf("  ForwardShared (first pass):  %ld\n",
+              counts.shared_first_pass);
+  std::printf("  ForwardShared (steady):      %ld\n",
+              counts.shared_steady_state);
+
+  if (FILE* f = std::fopen("BENCH_runtime.json", "w")) {
+    std::fprintf(f, "{\n  \"workload\": \"static_net_forward[8,16,1,16,16]\",\n");
+    std::fprintf(f, "  \"repeats\": %d,\n", repeats);
+    std::fprintf(f, "  \"pool_scaling\": [\n");
+    for (std::size_t i = 0; i < scaling.size(); ++i)
+      std::fprintf(f, "    {\"threads\": %d, \"ms_per_pass\": %.4f}%s\n",
+                   scaling[i].threads, scaling[i].seconds_per_pass * 1e3,
+                   i + 1 < scaling.size() ? "," : "");
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"allocations_per_forward\": {\n");
+    std::fprintf(f, "    \"forward_allocating\": %ld,\n",
+                 counts.allocating_forward);
+    std::fprintf(f, "    \"forward_shared_first_pass\": %ld,\n",
+                 counts.shared_first_pass);
+    std::fprintf(f, "    \"forward_shared_steady_state\": %ld\n",
+                 counts.shared_steady_state);
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_runtime.json\n");
+  }
+  return 0;
+}

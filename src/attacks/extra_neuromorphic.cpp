@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/parallel_for.hpp"
 #include "tensor/check.hpp"
 
 namespace axsnn::attacks {
@@ -57,10 +58,10 @@ data::EventDataset CornerAttackDataset(const data::EventDataset& dataset,
                                        const CornerAttackConfig& cfg) {
   data::EventDataset out = dataset;
   const long n = dataset.size();
-#pragma omp parallel for schedule(dynamic)
-  for (long i = 0; i < n; ++i)
+  runtime::ParallelFor(0, n, [&](long i) {
     out.streams[static_cast<std::size_t>(i)] =
         CornerAttack(dataset.streams[static_cast<std::size_t>(i)], cfg);
+  });
   return out;
 }
 
@@ -102,10 +103,10 @@ data::EventDataset DashAttackDataset(const data::EventDataset& dataset,
                                      const DashAttackConfig& cfg) {
   data::EventDataset out = dataset;
   const long n = dataset.size();
-#pragma omp parallel for schedule(dynamic)
-  for (long i = 0; i < n; ++i)
+  runtime::ParallelFor(0, n, [&](long i) {
     out.streams[static_cast<std::size_t>(i)] =
         DashAttack(dataset.streams[static_cast<std::size_t>(i)], cfg);
+  });
   return out;
 }
 

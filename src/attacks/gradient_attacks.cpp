@@ -34,6 +34,7 @@ Tensor IterativeAttack(snn::Network& net, const Tensor& images,
   Tensor adversarial = images;
   const long per_sample = images.numel() / n;
   Rng rng(cfg.seed);
+  Tensor input;  // encoded [T, B, ...] staging, reused across steps/batches
 
   for (long start = 0; start < n; start += cfg.batch_size) {
     const long count = std::min(cfg.batch_size, n - start);
@@ -54,8 +55,8 @@ Tensor IterativeAttack(snn::Network& net, const Tensor& images,
     }
 
     for (long step = 0; step < cfg.steps; ++step) {
-      Tensor input = snn::Encode(x, cfg.time_steps, cfg.encoding, rng);
-      Tensor seq = net.Forward(input, /*train=*/false);
+      snn::EncodeInto(x, cfg.time_steps, cfg.encoding, rng, input);
+      const Tensor& seq = net.ForwardShared(input, /*train=*/false);
       Tensor logits = snn::ReadoutMean(seq);
       snn::LossResult loss = snn::SoftmaxCrossEntropy(logits, batch_labels);
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "runtime/parallel_for.hpp"
 #include "snn/encoding.hpp"
 #include "snn/loss.hpp"
 #include "tensor/check.hpp"
@@ -40,7 +41,7 @@ data::EventStream SparseAttack(snn::Network& net,
     Tensor frames = data::BinEvents(attacked, cfg.time_bins);  // [T,2,H,W]
     Tensor input = frames.Reshaped(
         {cfg.time_bins, 1, 2, stream.height, stream.width});
-    Tensor seq = net.Forward(input, /*train=*/false);
+    const Tensor& seq = net.ForwardShared(input, /*train=*/false);
     Tensor logits = snn::ReadoutMean(seq);
     if (logits.Argmax() != label) break;  // already fooled — stay stealthy
 
@@ -120,12 +121,12 @@ data::EventDataset SparseAttackDataset(snn::Network& net,
                                        const SparseAttackConfig& cfg) {
   data::EventDataset out = dataset;
   const long n = dataset.size();
-#pragma omp parallel
-  {
-    // Each thread drives its own network clone: Forward caches are stateful.
+  // Each chunk drives its own network clone: forward caches are stateful.
+  // Per-stream seeds make every stream's attack independent of the
+  // partitioning, so results match the serial path at any pool size.
+  runtime::ParallelForChunks(0, n, [&](long /*chunk*/, long lo, long hi) {
     snn::Network local = net.Clone();
-#pragma omp for schedule(dynamic)
-    for (long i = 0; i < n; ++i) {
+    for (long i = lo; i < hi; ++i) {
       SparseAttackConfig per_stream = cfg;
       per_stream.seed = cfg.seed + static_cast<std::uint64_t>(i) * 0x9e37ULL;
       out.streams[static_cast<std::size_t>(i)] =
@@ -133,7 +134,7 @@ data::EventDataset SparseAttackDataset(snn::Network& net,
                        dataset.labels[static_cast<std::size_t>(i)],
                        per_stream);
     }
-  }
+  });
   return out;
 }
 
@@ -176,11 +177,10 @@ data::EventDataset FrameAttackDataset(const data::EventDataset& dataset,
                                       const FrameAttackConfig& cfg) {
   data::EventDataset out = dataset;
   const long n = dataset.size();
-#pragma omp parallel for schedule(dynamic)
-  for (long i = 0; i < n; ++i) {
+  runtime::ParallelFor(0, n, [&](long i) {
     out.streams[static_cast<std::size_t>(i)] =
         FrameAttack(dataset.streams[static_cast<std::size_t>(i)], cfg);
-  }
+  });
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "runtime/parallel_for.hpp"
 #include "tensor/check.hpp"
 
 namespace axsnn::core {
@@ -125,11 +126,10 @@ data::EventDataset AqfFilterDataset(const data::EventDataset& dataset,
                                     const AqfConfig& cfg) {
   data::EventDataset out = dataset;
   const long n = dataset.size();
-#pragma omp parallel for schedule(dynamic)
-  for (long i = 0; i < n; ++i) {
+  runtime::ParallelFor(0, n, [&](long i) {
     out.streams[static_cast<std::size_t>(i)] =
         AqfFilter(dataset.streams[static_cast<std::size_t>(i)], cfg);
-  }
+  });
   return out;
 }
 

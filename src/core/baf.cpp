@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "runtime/parallel_for.hpp"
 #include "tensor/check.hpp"
 
 namespace axsnn::core {
@@ -57,10 +58,10 @@ data::EventDataset BafFilterDataset(const data::EventDataset& dataset,
                                     const BafConfig& cfg) {
   data::EventDataset out = dataset;
   const long n = dataset.size();
-#pragma omp parallel for schedule(dynamic)
-  for (long i = 0; i < n; ++i)
+  runtime::ParallelFor(0, n, [&](long i) {
     out.streams[static_cast<std::size_t>(i)] =
         BafFilter(dataset.streams[static_cast<std::size_t>(i)], cfg);
+  });
   return out;
 }
 

@@ -20,6 +20,42 @@ void UpdateBest(SearchOutcome& outcome, const CandidateResult& candidate) {
     outcome.best = candidate;
 }
 
+/// The (precision, level) grid of one structural cell, in Algorithm 1's
+/// iteration order.
+std::vector<VariantSpec> GridSpecs(const SearchSpace& space) {
+  std::vector<VariantSpec> specs;
+  specs.reserve(space.precisions.size() * space.approx_levels.size());
+  for (approx::Precision precision : space.precisions)
+    for (double level : space.approx_levels)
+      specs.push_back({precision, level});
+  return specs;
+}
+
+/// Folds the fan-out results of one structural cell back into the outcome in
+/// grid order, reproducing Algorithm 1 lines 15-24 exactly: the trace stops
+/// at the winning candidate under return_first, just like the serial loop.
+/// Returns true when the search should stop.
+bool AccumulateCell(SearchOutcome& outcome, const SearchConfig& config,
+                    CandidateResult base,
+                    std::span<const VariantSpec> specs,
+                    std::span<const float> robustness) {
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    CandidateResult candidate = base;
+    candidate.precision = specs[i].precision;
+    candidate.level = specs[i].level;
+    candidate.robustness_pct = robustness[i];
+    outcome.trace.push_back(candidate);
+    if (candidate.robustness_pct >= config.quality_constraint_pct) {
+      UpdateBest(outcome, candidate);
+      outcome.found = true;
+      if (config.return_first) return true;
+    } else if (!config.return_first) {
+      UpdateBest(outcome, candidate);
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 SearchOutcome PrecisionScalingSearch(const StaticWorkbench& bench,
@@ -32,6 +68,7 @@ SearchOutcome PrecisionScalingSearch(const StaticWorkbench& bench,
               "static search supports PGD/BIM/none attacks");
 
   SearchOutcome outcome;
+  const std::vector<VariantSpec> specs = GridSpecs(space);
   for (float vth : space.v_thresholds) {
     for (long t : space.time_steps) {
       // Line 3: train the accurate SNN at this structural cell.
@@ -41,30 +78,19 @@ SearchOutcome PrecisionScalingSearch(const StaticWorkbench& bench,
       // Line 5: adversarial examples crafted on the accurate model.
       Tensor adversarial = bench.Craft(model, config.attack, config.epsilon);
 
-      for (approx::Precision precision : space.precisions) {
-        for (double level : space.approx_levels) {
-          // Lines 8-11: precision-scale, derive ath, approximate.
-          snn::Network ax = bench.MakeAx(model, level, precision);
-          // Lines 15-21: measure robustness on the attacked test set.
-          CandidateResult candidate;
-          candidate.v_threshold = vth;
-          candidate.time_steps = t;
-          candidate.precision = precision;
-          candidate.level = level;
-          candidate.train_accuracy_pct = model.train_accuracy_pct;
-          candidate.robustness_pct = bench.AccuracyPct(ax, adversarial, t);
-          outcome.trace.push_back(candidate);
+      // Lines 8-21 for the whole (precision, level) grid of this structural
+      // cell: independent variants fan out on the runtime pool.
+      const std::vector<float> robustness =
+          bench.EvaluateVariants(model, adversarial, specs);
 
-          // Lines 22-24: accept when the quality constraint holds.
-          if (candidate.robustness_pct >= config.quality_constraint_pct) {
-            UpdateBest(outcome, candidate);
-            outcome.found = true;
-            if (config.return_first) return outcome;
-          } else if (!config.return_first) {
-            UpdateBest(outcome, candidate);
-          }
-        }
-      }
+      // Lines 22-24: fold back in grid order; accept on the quality
+      // constraint exactly like the serial loop.
+      CandidateResult base;
+      base.v_threshold = vth;
+      base.time_steps = t;
+      base.train_accuracy_pct = model.train_accuracy_pct;
+      if (AccumulateCell(outcome, config, base, specs, robustness))
+        return outcome;
     }
   }
   // When nothing met Q and we were asked for the best effort, report the
@@ -89,33 +115,22 @@ SearchOutcome PrecisionScalingSearch(const DvsWorkbench& bench,
   const std::optional<AqfConfig> aqf =
       config.neuromorphic ? std::optional<AqfConfig>(config.aqf)
                           : std::nullopt;
+  const std::vector<VariantSpec> specs = GridSpecs(space);
 
   for (float vth : space.v_thresholds) {
     DvsWorkbench::TrainedModel model = bench.Train(vth);
     if (model.train_accuracy_pct < config.quality_constraint_pct) continue;
     data::EventDataset adversarial = bench.Craft(model, config.attack);
 
-    for (approx::Precision precision : space.precisions) {
-      for (double level : space.approx_levels) {
-        snn::Network ax = bench.MakeAx(model, level, precision);
-        CandidateResult candidate;
-        candidate.v_threshold = vth;
-        candidate.time_steps = model.time_bins;
-        candidate.precision = precision;
-        candidate.level = level;
-        candidate.train_accuracy_pct = model.train_accuracy_pct;
-        candidate.robustness_pct = bench.AccuracyPct(ax, adversarial, aqf);
-        outcome.trace.push_back(candidate);
+    const std::vector<float> robustness =
+        bench.EvaluateVariants(model, adversarial, aqf, specs);
 
-        if (candidate.robustness_pct >= config.quality_constraint_pct) {
-          UpdateBest(outcome, candidate);
-          outcome.found = true;
-          if (config.return_first) return outcome;
-        } else if (!config.return_first) {
-          UpdateBest(outcome, candidate);
-        }
-      }
-    }
+    CandidateResult base;
+    base.v_threshold = vth;
+    base.time_steps = model.time_bins;
+    base.train_accuracy_pct = model.train_accuracy_pct;
+    if (AccumulateCell(outcome, config, base, specs, robustness))
+      return outcome;
   }
   if (!outcome.found && !config.return_first && !outcome.trace.empty()) {
     outcome.best = outcome.trace.front();

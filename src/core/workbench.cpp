@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "runtime/parallel_for.hpp"
 #include "snn/inference.hpp"
 #include "tensor/check.hpp"
 
@@ -114,6 +115,25 @@ float StaticWorkbench::AccuracyPct(snn::Network& victim, const Tensor& images,
                                       options_.eval_batch);
 }
 
+std::vector<float> StaticWorkbench::EvaluateVariants(
+    const TrainedModel& model, const Tensor& images,
+    std::span<const VariantSpec> specs) const {
+  std::vector<float> robustness(specs.size(), 0.0f);
+  // grain 1: one sweep cell per pool task. Each cell owns its clone and its
+  // output slot, and its evaluation RNG is freshly seeded inside
+  // AccuracyPct, so the fan-out is bit-identical to the serial loop.
+  runtime::ParallelFor(
+      0, static_cast<long>(specs.size()),
+      [&](long i) {
+        const VariantSpec& spec = specs[static_cast<std::size_t>(i)];
+        snn::Network ax = MakeAx(model, spec.level, spec.precision);
+        robustness[static_cast<std::size_t>(i)] =
+            AccuracyPct(ax, images, model.time_steps);
+      },
+      /*grain=*/1);
+  return robustness;
+}
+
 // ---------------------------------------------------------------------------
 // DvsWorkbench
 // ---------------------------------------------------------------------------
@@ -206,6 +226,33 @@ float DvsWorkbench::AccuracyPct(snn::Network& victim,
   Tensor frames = data::BinDataset(*eval_set, options_.time_bins);
   return 100.0f * snn::AccuracyTemporal(victim, frames, eval_set->labels,
                                         options_.eval_batch);
+}
+
+std::vector<float> DvsWorkbench::EvaluateVariants(
+    const TrainedModel& model, const data::EventDataset& streams,
+    const std::optional<AqfConfig>& aqf,
+    std::span<const VariantSpec> specs) const {
+  // Filter and bin once, shared read-only by every cell — the serial path
+  // repeats this per variant, so the fan-out also removes redundant work.
+  const data::EventDataset* eval_set = &streams;
+  data::EventDataset filtered;
+  if (aqf.has_value()) {
+    filtered = AqfFilterDataset(streams, *aqf);
+    eval_set = &filtered;
+  }
+  Tensor frames = data::BinDataset(*eval_set, options_.time_bins);
+  std::vector<float> robustness(specs.size(), 0.0f);
+  runtime::ParallelFor(
+      0, static_cast<long>(specs.size()),
+      [&](long i) {
+        const VariantSpec& spec = specs[static_cast<std::size_t>(i)];
+        snn::Network ax = MakeAx(model, spec.level, spec.precision);
+        robustness[static_cast<std::size_t>(i)] =
+            100.0f * snn::AccuracyTemporal(ax, frames, eval_set->labels,
+                                           options_.eval_batch);
+      },
+      /*grain=*/1);
+  return robustness;
 }
 
 }  // namespace axsnn::core

@@ -12,7 +12,9 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "approx/approximation.hpp"
 #include "attacks/gradient_attacks.hpp"
@@ -31,6 +33,13 @@ enum class AttackKind { kNone, kPgd, kBim, kSparse, kFrame };
 
 /// "none" / "PGD" / "BIM" / "Sparse" / "Frame".
 std::string AttackName(AttackKind kind);
+
+/// One approximate-variant cell of the paper's sweep grid: the (precision
+/// scale, approximation level) pair derived from a trained accurate model.
+struct VariantSpec {
+  approx::Precision precision = approx::Precision::kFp32;
+  double level = 0.0;
+};
 
 // ---------------------------------------------------------------------------
 // Static-dataset workbench (MNIST-class experiments)
@@ -89,6 +98,15 @@ class StaticWorkbench {
   float AccuracyPct(snn::Network& victim, const Tensor& images,
                     long time_steps) const;
 
+  /// Robustness [%] of every approximate variant of `model` on `images`.
+  /// The cells are independent: each one derives its own network clone
+  /// (MakeAx) and evaluates on the global runtime pool, with kernel-level
+  /// parallelism inside a cell throttled to inline. Results align with
+  /// `specs` and are identical at any pool size, including 1.
+  std::vector<float> EvaluateVariants(const TrainedModel& model,
+                                      const Tensor& images,
+                                      std::span<const VariantSpec> specs) const;
+
   const data::StaticDataset& train_set() const { return train_; }
   const data::StaticDataset& test_set() const { return test_; }
   const Options& options() const { return options_; }
@@ -146,6 +164,15 @@ class DvsWorkbench {
   /// first (Alg. 1 lines 12-14 with the neuromorphic flag set).
   float AccuracyPct(snn::Network& victim, const data::EventDataset& streams,
                     const std::optional<AqfConfig>& aqf = std::nullopt) const;
+
+  /// Robustness [%] of every approximate variant of `model` on `streams`
+  /// (optionally AQF-filtered once, shared by all cells). Independent cells
+  /// fan out on the global runtime pool; results align with `specs` and are
+  /// identical at any pool size.
+  std::vector<float> EvaluateVariants(
+      const TrainedModel& model, const data::EventDataset& streams,
+      const std::optional<AqfConfig>& aqf,
+      std::span<const VariantSpec> specs) const;
 
   const data::EventDataset& train_set() const { return train_; }
   const data::EventDataset& test_set() const { return test_; }

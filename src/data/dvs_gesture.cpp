@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/parallel_for.hpp"
 #include "tensor/check.hpp"
 
 namespace axsnn::data {
@@ -239,12 +240,11 @@ EventDataset MakeSyntheticDvsGesture(const DvsGestureOptions& options) {
               ds.labels[static_cast<std::size_t>(j)]);
   }
 
-#pragma omp parallel for schedule(dynamic)
-  for (long i = 0; i < options.count; ++i) {
+  runtime::ParallelFor(0, options.count, [&](long i) {
     Rng rng = master.Fork(static_cast<std::uint64_t>(i) + 1000);
     ds.streams[static_cast<std::size_t>(i)] = SimulateGesture(
         ds.labels[static_cast<std::size_t>(i)], options, rng);
-  }
+  });
   return ds;
 }
 

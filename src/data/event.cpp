@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "runtime/parallel_for.hpp"
 #include "tensor/check.hpp"
 
 namespace axsnn::data {
@@ -30,13 +31,12 @@ Tensor BinDataset(const EventDataset& dataset, long time_bins) {
   const long n = dataset.size();
   Tensor out({n, time_bins, 2, dataset.height, dataset.width});
   const long per_sample = out.numel() / n;
-#pragma omp parallel for schedule(dynamic)
-  for (long i = 0; i < n; ++i) {
+  runtime::ParallelFor(0, n, [&](long i) {
     Tensor frames = BinEvents(dataset.streams[static_cast<std::size_t>(i)],
                               time_bins);
     std::copy(frames.data(), frames.data() + per_sample,
               out.data() + i * per_sample);
-  }
+  });
   return out;
 }
 

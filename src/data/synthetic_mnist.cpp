@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "runtime/parallel_for.hpp"
 #include "tensor/check.hpp"
 
 namespace axsnn::data {
@@ -166,14 +167,15 @@ StaticDataset MakeSyntheticMnist(const SyntheticMnistOptions& options) {
   }
 
   const long per_sample = ds.images.numel() / options.count;
-#pragma omp parallel for schedule(dynamic)
-  for (long i = 0; i < options.count; ++i) {
+  // Per-sample forked RNGs keep each digit a pure function of (seed, i), so
+  // the dataset is identical at any pool size.
+  runtime::ParallelFor(0, options.count, [&](long i) {
     Rng rng = master.Fork(static_cast<std::uint64_t>(i) + 1);
     Tensor img =
         RenderDigit(ds.labels[static_cast<std::size_t>(i)], options, rng);
     std::copy(img.data(), img.data() + per_sample,
               ds.images.data() + i * per_sample);
-  }
+  });
   return ds;
 }
 

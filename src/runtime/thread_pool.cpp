@@ -1,0 +1,161 @@
+#include "runtime/thread_pool.hpp"
+
+#include <cstdlib>
+
+#include "tensor/check.hpp"
+
+namespace axsnn::runtime {
+
+namespace {
+
+/// Set while the current thread is executing pool work; nested Run calls
+/// observe it and degrade to inline execution.
+thread_local bool tls_in_parallel_region = false;
+
+/// RAII guard for tls_in_parallel_region.
+struct RegionGuard {
+  RegionGuard() : saved(tls_in_parallel_region) {
+    tls_in_parallel_region = true;
+  }
+  ~RegionGuard() { tls_in_parallel_region = saved; }
+  bool saved;
+};
+
+}  // namespace
+
+struct ThreadPool::Batch {
+  Batch(long n, FunctionRef<void(long)> t) : task(t), total(n), remaining(n) {}
+  FunctionRef<void(long)> task;
+  long total;
+  std::atomic<long> next{0};
+  std::atomic<long> remaining;
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+};
+
+bool ThreadPool::InParallelRegion() { return tls_in_parallel_region; }
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) threads = DefaultThreadCount();
+  thread_count_ = threads;
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int i = 0; i < threads - 1; ++i)
+    workers_.emplace_back([this] { WorkerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::ProcessBatch(Batch& batch, std::mutex& state_mutex,
+                              std::condition_variable& done_cv) {
+  RegionGuard region;
+  while (true) {
+    const long i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.total) break;
+    try {
+      batch.task(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(batch.error_mutex);
+      if (!batch.first_error) batch.first_error = std::current_exception();
+    }
+    if (batch.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last task of the batch: wake the submitting thread. Taking the lock
+      // (even empty) orders this notify after the waiter's predicate check.
+      { std::lock_guard<std::mutex> lock(state_mutex); }
+      done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::shared_ptr<Batch> last;
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  while (true) {
+    work_cv_.wait(lock, [&] {
+      return stopping_ || (current_ != nullptr && current_ != last);
+    });
+    if (stopping_) return;
+    std::shared_ptr<Batch> batch = current_;
+    last = batch;
+    lock.unlock();
+    ProcessBatch(*batch, state_mutex_, done_cv_);
+    lock.lock();
+  }
+}
+
+void ThreadPool::Run(long num_tasks, FunctionRef<void(long)> task) {
+  if (num_tasks <= 0) return;
+  if (!workers_.empty() && !tls_in_parallel_region && num_tasks > 1) {
+    std::unique_lock<std::mutex> serial(run_mutex_, std::try_to_lock);
+    if (serial.owns_lock()) {
+      auto batch = std::make_shared<Batch>(num_tasks, task);
+      {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        current_ = batch;
+      }
+      work_cv_.notify_all();
+      ProcessBatch(*batch, state_mutex_, done_cv_);  // caller works too
+      {
+        std::unique_lock<std::mutex> lock(state_mutex_);
+        done_cv_.wait(lock, [&] {
+          return batch->remaining.load(std::memory_order_acquire) == 0;
+        });
+        current_ = nullptr;
+      }
+      if (batch->first_error) std::rethrow_exception(batch->first_error);
+      return;
+    }
+    // Another thread owns the pool right now; stay deadlock-free by
+    // degrading to inline execution.
+  }
+  RegionGuard region;
+  for (long i = 0; i < num_tasks; ++i) task(i);
+}
+
+int DefaultThreadCount() {
+  if (const char* env = std::getenv("AXSNN_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+namespace {
+
+// Lazy global-pool state: the atomic raw pointer serves the hot path
+// lock-free; the mutex serializes creation/replacement so concurrent first
+// calls from different threads cannot construct two pools.
+std::atomic<ThreadPool*> g_global_pool{nullptr};
+std::mutex g_global_pool_mutex;
+std::unique_ptr<ThreadPool> g_global_pool_owner;
+
+}  // namespace
+
+ThreadPool& GlobalPool() {
+  if (ThreadPool* pool = g_global_pool.load(std::memory_order_acquire))
+    return *pool;
+  std::lock_guard<std::mutex> lock(g_global_pool_mutex);
+  if (!g_global_pool_owner) {
+    g_global_pool_owner = std::make_unique<ThreadPool>(DefaultThreadCount());
+    g_global_pool.store(g_global_pool_owner.get(), std::memory_order_release);
+  }
+  return *g_global_pool_owner;
+}
+
+void SetGlobalThreads(int threads) {
+  AXSNN_CHECK(!ThreadPool::InParallelRegion(),
+              "cannot resize the global pool from inside parallel work");
+  std::unique_ptr<ThreadPool> fresh = std::make_unique<ThreadPool>(threads);
+  std::lock_guard<std::mutex> lock(g_global_pool_mutex);
+  g_global_pool.store(fresh.get(), std::memory_order_release);
+  g_global_pool_owner = std::move(fresh);  // destroys the previous pool
+}
+
+}  // namespace axsnn::runtime

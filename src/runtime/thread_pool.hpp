@@ -1,0 +1,125 @@
+// Shared worker-thread pool — the execution engine behind every parallel
+// loop in the library.
+//
+// Design notes:
+//  * One process-global pool (GlobalPool) executes all kernel- and
+//    scenario-level parallelism. Parallelism is guaranteed by the build —
+//    there is no dependence on an OpenMP flag — and the pool size is a
+//    runtime knob (AXSNN_THREADS / SetGlobalThreads), not a compile option.
+//  * The calling thread participates in every Run, so a pool of size N uses
+//    N-1 background workers and a pool of size 1 owns no threads at all and
+//    executes inline — handy for debugging and for determinism tests.
+//  * Nested submissions are throttled: a task that itself calls Run (e.g. a
+//    sweep cell whose conv kernels use ParallelFor) executes the nested work
+//    inline on its own thread. This keeps scenario-level fan-out from
+//    oversubscribing the machine and makes re-entrant use deadlock-free.
+//  * Determinism contract: Run(n, task) executes task(0..n-1) exactly once
+//    each, on unspecified threads. Callers that need bit-identical results at
+//    any thread count must make task bodies independent (disjoint writes) —
+//    see runtime::ParallelFor, which adds fixed chunk partitioning on top.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace axsnn::runtime {
+
+/// Non-owning reference to a callable — like std::function without the
+/// allocation, for hot-path task dispatch. The referenced callable must
+/// outlive the FunctionRef (always true here: ThreadPool::Run blocks).
+template <typename Sig>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef>>>
+  FunctionRef(F&& f)  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+/// Fixed-size worker pool executing indexed task batches.
+class ThreadPool {
+ public:
+  /// Creates a pool of `threads` (0 = DefaultThreadCount()). The calling
+  /// thread counts as one, so `threads - 1` workers are spawned.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of threads that can execute tasks concurrently (workers + the
+  /// calling thread). Always >= 1.
+  int thread_count() const { return thread_count_; }
+
+  /// Runs task(i) for every i in [0, num_tasks), blocking until all have
+  /// completed. The calling thread participates. The first exception thrown
+  /// by a task is rethrown here after the batch drains. Re-entrant calls
+  /// (from inside a task) execute inline on the current thread.
+  void Run(long num_tasks, FunctionRef<void(long)> task);
+
+  /// True while the current thread is executing a pool task (used to
+  /// throttle nested parallelism).
+  static bool InParallelRegion();
+
+ private:
+  /// Per-batch control block. Workers hold it by shared_ptr, so a worker
+  /// that wakes up late only ever spins an *exhausted* old batch (its index
+  /// counter is monotone past total) and can never touch a newer batch's
+  /// indices without re-synchronizing through state_mutex_.
+  struct Batch;
+
+  void WorkerLoop();
+  static void ProcessBatch(Batch& batch,
+                           std::mutex& state_mutex,
+                           std::condition_variable& done_cv);
+
+  int thread_count_ = 1;
+  std::vector<std::thread> workers_;
+
+  // Serializes whole batches: concurrent Run calls from distinct threads
+  // fall back to inline execution instead of queueing.
+  std::mutex run_mutex_;
+
+  std::mutex state_mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  bool stopping_ = false;
+  std::shared_ptr<Batch> current_;
+};
+
+/// Returns the pool size the global pool is created with: the AXSNN_THREADS
+/// environment variable when set and positive, else hardware concurrency.
+int DefaultThreadCount();
+
+/// The process-wide shared pool. Created on first use.
+ThreadPool& GlobalPool();
+
+/// Replaces the global pool with one of `threads` threads (0 = default).
+/// Not thread-safe against concurrent GlobalPool users; call it from the
+/// top of main / a test fixture, not from inside parallel work.
+void SetGlobalThreads(int threads);
+
+}  // namespace axsnn::runtime

@@ -1,0 +1,16 @@
+#include "runtime/workspace.hpp"
+
+namespace axsnn::runtime {
+
+Tensor& Workspace::Slot(std::size_t index) {
+  while (slots_.size() <= index) slots_.emplace_back();
+  return slots_[index];
+}
+
+Tensor& Workspace::Acquire(std::size_t index, const Shape& shape) {
+  Tensor& t = Slot(index);
+  t.ResizeTo(shape);
+  return t;
+}
+
+}  // namespace axsnn::runtime

@@ -1,0 +1,56 @@
+// Reusable tensor arena for allocation-free steady-state execution.
+//
+// A Workspace owns a set of scratch tensors addressed by stable slot index.
+// Acquire(slot, shape) resizes the slot's tensor to `shape` without
+// shrinking its capacity, so after the first pass over a given problem size
+// every subsequent pass reuses the same heap blocks — Network::ForwardShared
+// ping-pongs activations between two slots, and the inference helpers stage
+// batches/encodings in further slots.
+//
+// Ownership rules (see DESIGN.md "Runtime subsystem"):
+//  * A Workspace belongs to exactly one execution context (one Network, one
+//    inference loop); it is not thread-safe and must not be shared across
+//    concurrent sweep cells — clone the Network instead, which brings a
+//    fresh Workspace.
+//  * References returned by Acquire/Slot stay valid for the Workspace's
+//    lifetime (slots live in a deque), but their *contents* are overwritten
+//    by the next pass; callers that need to keep a result must copy it out.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "tensor/tensor.hpp"
+
+namespace axsnn::runtime {
+
+/// Indexed arena of reusable scratch tensors.
+class Workspace {
+ public:
+  Workspace() = default;
+
+  // Movable (a Network owns one); copying a scratch arena is never wanted.
+  Workspace(Workspace&&) = default;
+  Workspace& operator=(Workspace&&) = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Returns slot `index` resized to `shape`. Contents are unspecified (the
+  /// caller is expected to overwrite them fully). Never shrinks capacity, so
+  /// steady-state reuse performs no heap allocation.
+  Tensor& Acquire(std::size_t index, const Shape& shape);
+
+  /// Returns slot `index` as-is, creating it empty when absent.
+  Tensor& Slot(std::size_t index);
+
+  /// Number of materialized slots.
+  std::size_t slot_count() const { return slots_.size(); }
+
+  /// Releases all slot storage (capacity included).
+  void Clear() { slots_.clear(); }
+
+ private:
+  std::deque<Tensor> slots_;  // deque: references stay valid as slots grow
+};
+
+}  // namespace axsnn::runtime

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/parallel_for.hpp"
 #include "tensor/check.hpp"
 
 namespace axsnn::snn {
@@ -27,27 +28,36 @@ Conv2d::Conv2d(std::string name, long in_channels, long out_channels,
   dbias_ = Tensor::Zeros(bias_.shape());
 }
 
-Tensor Conv2d::Forward(const Tensor& x, bool /*train*/) {
-  AXSNN_CHECK(x.rank() >= 3, "Conv2d expects [*, C, H, W]");
+Shape Conv2d::OutputShape(const Shape& in) const {
+  AXSNN_CHECK(in.size() >= 3, "Conv2d expects [*, C, H, W]");
+  const std::size_t r = in.size();
+  const long c_in = in[r - 3];
+  const long h = in[r - 2];
+  const long w = in[r - 1];
+  AXSNN_CHECK(c_in == in_channels_,
+              "Conv2d " << name_ << ": got " << c_in << " input channels, want "
+                        << in_channels_);
+  const long h_out = h + 2 * pad_ - kernel_ + 1;
+  const long w_out = w + 2 * pad_ - kernel_ + 1;
+  AXSNN_CHECK(h_out > 0 && w_out > 0, "Conv2d output would be empty");
+  Shape out_shape(in.begin(), in.end() - 3);
+  out_shape.push_back(out_channels_);
+  out_shape.push_back(h_out);
+  out_shape.push_back(w_out);
+  return out_shape;
+}
+
+void Conv2d::ForwardInto(const Tensor& x, Tensor& out, bool /*train*/) {
+  SizeOutput(x, out);
   const std::size_t r = x.rank();
   const long c_in = x.dim(r - 3);
   const long h = x.dim(r - 2);
   const long w = x.dim(r - 1);
-  AXSNN_CHECK(c_in == in_channels_,
-              "Conv2d " << name_ << ": got " << c_in << " input channels, want "
-                        << in_channels_);
   const long n = x.numel() / (c_in * h * w);  // flattened [T, B] prefix
   const long h_out = h + 2 * pad_ - kernel_ + 1;
   const long w_out = w + 2 * pad_ - kernel_ + 1;
-  AXSNN_CHECK(h_out > 0 && w_out > 0, "Conv2d output would be empty");
 
-  cached_input_ = x;
-
-  Shape out_shape(x.shape().begin(), x.shape().end() - 3);
-  out_shape.push_back(out_channels_);
-  out_shape.push_back(h_out);
-  out_shape.push_back(w_out);
-  Tensor out(std::move(out_shape));
+  cached_input_ = x;  // vector copy-assign: reuses capacity in steady state
 
   const float* xd = x.data();
   const float* wd = weight_.data();
@@ -62,38 +72,36 @@ Tensor Conv2d::Forward(const Tensor& x, bool /*train*/) {
 
   // Row-accumulation layout: the inner loop over ox is contiguous in both
   // input and output, so it auto-vectorizes. Border handling is hoisted into
-  // the per-(ky, kx) column bounds.
-#pragma omp parallel for collapse(2) schedule(static)
-  for (long s = 0; s < n; ++s) {
-    for (long co = 0; co < out_channels_; ++co) {
-      const float* xs = xd + s * x_sample;
-      const float* wf = wd + co * w_per_out;
-      float* op = od + s * o_sample + co * o_plane;
-      const float b = bd[co];
-      for (long i = 0; i < o_plane; ++i) op[i] = b;
-      for (long ci = 0; ci < c_in; ++ci) {
-        const float* xp = xs + ci * x_plane;
-        const float* wp = wf + ci * kernel_ * kernel_;
-        for (long ky = 0; ky < kernel_; ++ky) {
-          for (long kx = 0; kx < kernel_; ++kx) {
-            const float wv = wp[ky * kernel_ + kx];
-            if (wv == 0.0f) continue;  // pruned connection: no work
-            const long ox_lo = std::max(0L, pad_ - kx);
-            const long ox_hi = std::min(w_out, w + pad_ - kx);
-            for (long oy = 0; oy < h_out; ++oy) {
-              const long iy = oy + ky - pad_;
-              if (iy < 0 || iy >= h) continue;
-              const float* xrow = xp + iy * w + (kx - pad_);
-              float* orow = op + oy * w_out;
-              for (long ox = ox_lo; ox < ox_hi; ++ox)
-                orow[ox] += wv * xrow[ox];
-            }
+  // the per-(ky, kx) column bounds. Parallelism runs over the flattened
+  // (sample, out-channel) grid; each iteration owns one disjoint out plane.
+  runtime::ParallelFor(0, n * out_channels_, [&](long idx) {
+    const long s = idx / out_channels_;
+    const long co = idx % out_channels_;
+    const float* xs = xd + s * x_sample;
+    const float* wf = wd + co * w_per_out;
+    float* op = od + s * o_sample + co * o_plane;
+    const float b = bd[co];
+    for (long i = 0; i < o_plane; ++i) op[i] = b;
+    for (long ci = 0; ci < c_in; ++ci) {
+      const float* xp = xs + ci * x_plane;
+      const float* wp = wf + ci * kernel_ * kernel_;
+      for (long ky = 0; ky < kernel_; ++ky) {
+        for (long kx = 0; kx < kernel_; ++kx) {
+          const float wv = wp[ky * kernel_ + kx];
+          if (wv == 0.0f) continue;  // pruned connection: no work
+          const long ox_lo = std::max(0L, pad_ - kx);
+          const long ox_hi = std::min(w_out, w + pad_ - kx);
+          for (long oy = 0; oy < h_out; ++oy) {
+            const long iy = oy + ky - pad_;
+            if (iy < 0 || iy >= h) continue;
+            const float* xrow = xp + iy * w + (kx - pad_);
+            float* orow = op + oy * w_out;
+            for (long ox = ox_lo; ox < ox_hi; ++ox) orow[ox] += wv * xrow[ox];
           }
         }
       }
     }
-  }
-  return out;
+  });
 }
 
 Tensor Conv2d::Backward(const Tensor& grad_out) {
@@ -125,12 +133,11 @@ Tensor Conv2d::Backward(const Tensor& grad_out) {
   const long o_sample = out_channels_ * o_plane;
   const long w_per_out = in_channels_ * kernel_ * kernel_;
 
-  // Weight/bias gradients: parallelize over output channels so each thread
-  // owns a disjoint slice of dweight_/dbias_ (no atomics needed). The inner
-  // loop over ox is a contiguous dot product between a gradient row and a
-  // shifted input row.
-#pragma omp parallel for schedule(static)
-  for (long co = 0; co < out_channels_; ++co) {
+  // Weight/bias gradients: parallelize over output channels so each
+  // iteration owns a disjoint slice of dweight_/dbias_ (no atomics needed).
+  // The inner loop over ox is a contiguous dot product between a gradient
+  // row and a shifted input row.
+  runtime::ParallelFor(0, out_channels_, [&](long co) {
     float* gw = gwd + co * w_per_out;
     double gb = 0.0;
     for (long s = 0; s < n; ++s) {
@@ -159,12 +166,11 @@ Tensor Conv2d::Backward(const Tensor& grad_out) {
       }
     }
     gbd[co] += static_cast<float>(gb);
-  }
+  });
 
   // Input gradient: parallelize over samples (disjoint grad_in slices);
   // contiguous saxpy over ox per (co, ci, ky, kx, oy).
-#pragma omp parallel for schedule(static)
-  for (long s = 0; s < n; ++s) {
+  runtime::ParallelFor(0, n, [&](long s) {
     const float* gs = gd + s * o_sample;
     float* gi = gid + s * x_sample;
     for (long co = 0; co < out_channels_; ++co) {
@@ -191,7 +197,7 @@ Tensor Conv2d::Backward(const Tensor& grad_out) {
         }
       }
     }
-  }
+  });
   return grad_in;
 }
 

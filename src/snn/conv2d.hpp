@@ -25,7 +25,8 @@ class Conv2d final : public Layer {
   Conv2d(std::string name, long in_channels, long out_channels, long kernel,
          long pad, Rng& rng);
 
-  Tensor Forward(const Tensor& x, bool train) override;
+  Shape OutputShape(const Shape& in) const override;
+  void ForwardInto(const Tensor& x, Tensor& out, bool train) override;
   Tensor Backward(const Tensor& grad_out) override;
   std::vector<Tensor*> Params() override { return {&weight_, &bias_}; }
   std::vector<Tensor*> Grads() override { return {&dweight_, &dbias_}; }

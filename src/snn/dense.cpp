@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "runtime/parallel_for.hpp"
 #include "tensor/check.hpp"
 
 namespace axsnn::snn {
@@ -19,35 +20,36 @@ Dense::Dense(std::string name, long in_features, long out_features, Rng& rng)
   dbias_ = Tensor::Zeros(bias_.shape());
 }
 
-Tensor Dense::Forward(const Tensor& x, bool /*train*/) {
-  AXSNN_CHECK(x.rank() >= 1, "Dense expects at least rank 1");
+Shape Dense::OutputShape(const Shape& in) const {
+  AXSNN_CHECK(!in.empty(), "Dense expects at least rank 1");
+  const long numel = NumElements(in);
   // Accept [*, C, H, W] inputs too: anything after the [T, B] prefix is
   // flattened into features. We infer the prefix length from divisibility.
-  AXSNN_CHECK(x.numel() % in_features_ == 0,
-              "Dense " << name_ << ": input numel " << x.numel()
+  AXSNN_CHECK(numel % in_features_ == 0,
+              "Dense " << name_ << ": input numel " << numel
                        << " not divisible by in_features " << in_features_);
+  const long n = numel / in_features_;
+  // Output keeps the [T, B] prefix when present, else collapses to [n, F].
+  if (in.size() >= 3) {
+    AXSNN_CHECK(in[0] * in[1] == n,
+                "Dense: [T, B] prefix does not match feature count");
+    return {in[0], in[1], out_features_};
+  }
+  return {n, out_features_};
+}
+
+void Dense::ForwardInto(const Tensor& x, Tensor& out, bool /*train*/) {
+  SizeOutput(x, out);
   const long n = x.numel() / in_features_;
 
   cached_input_ = x;
-
-  // Output keeps the [T, B] prefix when present, else collapses to [n, F].
-  Shape out_shape;
-  if (x.rank() >= 3) {
-    out_shape = {x.dim(0), x.dim(1), out_features_};
-    AXSNN_CHECK(x.dim(0) * x.dim(1) == n,
-                "Dense: [T, B] prefix does not match feature count");
-  } else {
-    out_shape = {n, out_features_};
-  }
-  Tensor out(std::move(out_shape));
 
   const float* xd = x.data();
   const float* wd = weight_.data();
   const float* bd = bias_.data();
   float* od = out.data();
 
-#pragma omp parallel for schedule(static)
-  for (long s = 0; s < n; ++s) {
+  runtime::ParallelFor(0, n, [&](long s) {
     const float* xs = xd + s * in_features_;
     float* os = od + s * out_features_;
     for (long o = 0; o < out_features_; ++o) {
@@ -56,8 +58,7 @@ Tensor Dense::Forward(const Tensor& x, bool /*train*/) {
       for (long i = 0; i < in_features_; ++i) acc += wr[i] * xs[i];
       os[o] = acc;
     }
-  }
-  return out;
+  });
 }
 
 Tensor Dense::Backward(const Tensor& grad_out) {
@@ -75,9 +76,8 @@ Tensor Dense::Backward(const Tensor& grad_out) {
   float* gwd = dweight_.data();
   float* gbd = dbias_.data();
 
-  // dW/db: each thread owns one output row of dweight_.
-#pragma omp parallel for schedule(static)
-  for (long o = 0; o < out_features_; ++o) {
+  // dW/db: each iteration owns one output row of dweight_.
+  runtime::ParallelFor(0, out_features_, [&](long o) {
     float* gw = gwd + o * in_features_;
     double gb = 0.0;
     for (long s = 0; s < n; ++s) {
@@ -88,11 +88,10 @@ Tensor Dense::Backward(const Tensor& grad_out) {
       for (long i = 0; i < in_features_; ++i) gw[i] += g * xs[i];
     }
     gbd[o] += static_cast<float>(gb);
-  }
+  });
 
-  // dX: each thread owns one sample row of grad_in.
-#pragma omp parallel for schedule(static)
-  for (long s = 0; s < n; ++s) {
+  // dX: each iteration owns one sample row of grad_in.
+  runtime::ParallelFor(0, n, [&](long s) {
     const float* gs = gd + s * out_features_;
     float* gi = gid + s * in_features_;
     for (long o = 0; o < out_features_; ++o) {
@@ -101,7 +100,7 @@ Tensor Dense::Backward(const Tensor& grad_out) {
       const float* wr = wd + o * in_features_;
       for (long i = 0; i < in_features_; ++i) gi[i] += g * wr[i];
     }
-  }
+  });
   return grad_in;
 }
 

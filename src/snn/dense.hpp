@@ -20,7 +20,8 @@ class Dense final : public Layer {
   /// Creates a dense layer with Kaiming-uniform initialized weights.
   Dense(std::string name, long in_features, long out_features, Rng& rng);
 
-  Tensor Forward(const Tensor& x, bool train) override;
+  Shape OutputShape(const Shape& in) const override;
+  void ForwardInto(const Tensor& x, Tensor& out, bool train) override;
   Tensor Backward(const Tensor& grad_out) override;
   std::vector<Tensor*> Params() override { return {&weight_, &bias_}; }
   std::vector<Tensor*> Grads() override { return {&dweight_, &dbias_}; }

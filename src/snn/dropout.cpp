@@ -1,5 +1,8 @@
 #include "snn/dropout.hpp"
 
+#include <algorithm>
+
+#include "runtime/parallel_for.hpp"
 #include "tensor/check.hpp"
 
 namespace axsnn::snn {
@@ -9,29 +12,37 @@ Dropout::Dropout(std::string name, float rate, std::uint64_t seed)
   AXSNN_CHECK(rate >= 0.0f && rate < 1.0f, "dropout rate must be in [0, 1)");
 }
 
-Tensor Dropout::Forward(const Tensor& x, bool train) {
-  AXSNN_CHECK(x.rank() >= 2, "Dropout expects [T, B, F...]");
+Shape Dropout::OutputShape(const Shape& in) const {
+  AXSNN_CHECK(in.size() >= 2, "Dropout expects [T, B, F...]");
+  return in;
+}
+
+void Dropout::ForwardInto(const Tensor& x, Tensor& out, bool train) {
+  SizeOutput(x, out);
   last_was_train_ = train;
-  if (!train || rate_ == 0.0f) return x;
+  if (!train || rate_ == 0.0f) {
+    std::copy(x.data(), x.data() + x.numel(), out.data());
+    return;
+  }
 
   const long t_steps = x.dim(0);
   const long slice = x.numel() / t_steps;  // one [B, F...] slice
   const float keep = 1.0f - rate_;
   const float scale = 1.0f / keep;
 
-  mask_ = Tensor({slice});
+  // The mask draw is a sequential RNG walk; only its application fans out.
+  mask_.ResizeTo({slice});
   for (long i = 0; i < slice; ++i)
     mask_[i] = rng_.Bernoulli(keep) ? scale : 0.0f;
 
-  Tensor out = x;
+  const float* xd = x.data();
   float* od = out.data();
   const float* md = mask_.data();
-#pragma omp parallel for schedule(static)
-  for (long t = 0; t < t_steps; ++t) {
-    float* slice_ptr = od + t * slice;
-    for (long i = 0; i < slice; ++i) slice_ptr[i] *= md[i];
-  }
-  return out;
+  runtime::ParallelFor(0, t_steps, [&](long t) {
+    const float* xs = xd + t * slice;
+    float* os = od + t * slice;
+    for (long i = 0; i < slice; ++i) os[i] = xs[i] * md[i];
+  });
 }
 
 Tensor Dropout::Backward(const Tensor& grad_out) {
@@ -43,11 +54,10 @@ Tensor Dropout::Backward(const Tensor& grad_out) {
   Tensor grad_in = grad_out;
   float* gd = grad_in.data();
   const float* md = mask_.data();
-#pragma omp parallel for schedule(static)
-  for (long t = 0; t < t_steps; ++t) {
+  runtime::ParallelFor(0, t_steps, [&](long t) {
     float* slice_ptr = gd + t * slice;
     for (long i = 0; i < slice; ++i) slice_ptr[i] *= md[i];
-  }
+  });
   return grad_in;
 }
 

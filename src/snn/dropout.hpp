@@ -23,7 +23,8 @@ class Dropout final : public Layer {
   /// sequence so training runs are reproducible.
   Dropout(std::string name, float rate, std::uint64_t seed);
 
-  Tensor Forward(const Tensor& x, bool train) override;
+  Shape OutputShape(const Shape& in) const override;
+  void ForwardInto(const Tensor& x, Tensor& out, bool train) override;
   Tensor Backward(const Tensor& grad_out) override;
   std::string Name() const override { return name_; }
   std::unique_ptr<Layer> Clone() const override;

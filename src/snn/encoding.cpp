@@ -7,46 +7,46 @@
 
 namespace axsnn::snn {
 
-Tensor EncodeRate(const Tensor& images, long time_steps, Rng& rng) {
+namespace {
+
+/// [T, images.shape...] — the output shape of every encoder.
+Shape TimeMajorShape(const Tensor& images, long time_steps) {
   AXSNN_CHECK(time_steps > 0, "time_steps must be positive");
-  AXSNN_CHECK(images.rank() >= 2, "EncodeRate expects [B, ...]");
+  AXSNN_CHECK(images.rank() >= 2, "encoders expect [B, ...]");
   Shape out_shape;
+  out_shape.reserve(images.rank() + 1);
   out_shape.push_back(time_steps);
   for (long d : images.shape()) out_shape.push_back(d);
-  Tensor out(std::move(out_shape));
+  return out_shape;
+}
+
+void EncodeRateInto(const Tensor& images, long time_steps, Rng& rng,
+                    Tensor& out) {
+  out.ResizeTo(TimeMajorShape(images, time_steps));
   const long n = images.numel();
   const float* src = images.data();
   float* dst = out.data();
+  // The Bernoulli draws walk the RNG stream in a fixed (t, pixel) order;
+  // this stays sequential so the encoding is a pure function of the seed.
   for (long t = 0; t < time_steps; ++t) {
     float* frame = dst + t * n;
     for (long i = 0; i < n; ++i)
       frame[i] = rng.Bernoulli(src[i]) ? 1.0f : 0.0f;
   }
-  return out;
 }
 
-Tensor EncodeDirect(const Tensor& images, long time_steps) {
-  AXSNN_CHECK(time_steps > 0, "time_steps must be positive");
-  AXSNN_CHECK(images.rank() >= 2, "EncodeDirect expects [B, ...]");
-  Shape out_shape;
-  out_shape.push_back(time_steps);
-  for (long d : images.shape()) out_shape.push_back(d);
-  Tensor out(std::move(out_shape));
+void EncodeDirectInto(const Tensor& images, long time_steps, Tensor& out) {
+  out.ResizeTo(TimeMajorShape(images, time_steps));
   const long n = images.numel();
   const float* src = images.data();
   float* dst = out.data();
   for (long t = 0; t < time_steps; ++t)
     std::copy(src, src + n, dst + t * n);
-  return out;
 }
 
-Tensor EncodeTtfs(const Tensor& images, long time_steps) {
-  AXSNN_CHECK(time_steps > 0, "time_steps must be positive");
-  AXSNN_CHECK(images.rank() >= 2, "EncodeTtfs expects [B, ...]");
-  Shape out_shape;
-  out_shape.push_back(time_steps);
-  for (long d : images.shape()) out_shape.push_back(d);
-  Tensor out(std::move(out_shape));
+void EncodeTtfsInto(const Tensor& images, long time_steps, Tensor& out) {
+  out.ResizeTo(TimeMajorShape(images, time_steps));
+  out.Zero();
   const long n = images.numel();
   const float* src = images.data();
   float* dst = out.data();
@@ -56,20 +56,48 @@ Tensor EncodeTtfs(const Tensor& images, long time_steps) {
     const long t = std::lround((1.0f - v) * static_cast<float>(time_steps - 1));
     dst[t * n + i] = 1.0f;
   }
+}
+
+}  // namespace
+
+Tensor EncodeRate(const Tensor& images, long time_steps, Rng& rng) {
+  Tensor out;
+  EncodeRateInto(images, time_steps, rng, out);
   return out;
 }
 
-Tensor Encode(const Tensor& images, long time_steps, Encoding mode, Rng& rng) {
+Tensor EncodeDirect(const Tensor& images, long time_steps) {
+  Tensor out;
+  EncodeDirectInto(images, time_steps, out);
+  return out;
+}
+
+Tensor EncodeTtfs(const Tensor& images, long time_steps) {
+  Tensor out;
+  EncodeTtfsInto(images, time_steps, out);
+  return out;
+}
+
+void EncodeInto(const Tensor& images, long time_steps, Encoding mode, Rng& rng,
+                Tensor& out) {
   switch (mode) {
     case Encoding::kRate:
-      return EncodeRate(images, time_steps, rng);
+      EncodeRateInto(images, time_steps, rng, out);
+      return;
     case Encoding::kDirect:
-      return EncodeDirect(images, time_steps);
+      EncodeDirectInto(images, time_steps, out);
+      return;
     case Encoding::kTtfs:
-      return EncodeTtfs(images, time_steps);
+      EncodeTtfsInto(images, time_steps, out);
+      return;
   }
   AXSNN_CHECK(false, "unknown encoding mode");
-  return {};
+}
+
+Tensor Encode(const Tensor& images, long time_steps, Encoding mode, Rng& rng) {
+  Tensor out;
+  EncodeInto(images, time_steps, mode, rng, out);
+  return out;
 }
 
 Tensor CollapseTimeGradient(const Tensor& grad_tbx) {
@@ -87,14 +115,14 @@ Tensor CollapseTimeGradient(const Tensor& grad_tbx) {
   return out;
 }
 
-Tensor TimeMajor(const Tensor& frames_btx) {
+void TimeMajorInto(const Tensor& frames_btx, Tensor& out) {
   AXSNN_CHECK(frames_btx.rank() >= 3, "TimeMajor expects [B, T, ...]");
   const long b = frames_btx.dim(0);
   const long t_steps = frames_btx.dim(1);
   const long feat = frames_btx.numel() / (b * t_steps);
   Shape out_shape = frames_btx.shape();
   std::swap(out_shape[0], out_shape[1]);
-  Tensor out(std::move(out_shape));
+  out.ResizeTo(std::move(out_shape));
   const float* src = frames_btx.data();
   float* dst = out.data();
   for (long i = 0; i < b; ++i)
@@ -102,6 +130,11 @@ Tensor TimeMajor(const Tensor& frames_btx) {
       std::copy(src + (i * t_steps + t) * feat,
                 src + (i * t_steps + t + 1) * feat,
                 dst + (t * b + i) * feat);
+}
+
+Tensor TimeMajor(const Tensor& frames_btx) {
+  Tensor out;
+  TimeMajorInto(frames_btx, out);
   return out;
 }
 

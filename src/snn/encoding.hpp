@@ -41,6 +41,12 @@ Tensor EncodeTtfs(const Tensor& images, long time_steps);
 /// Dispatches on `mode`.
 Tensor Encode(const Tensor& images, long time_steps, Encoding mode, Rng& rng);
 
+/// Allocation-free variant of Encode: writes the time-major encoding into
+/// `out` (resized in place, reusing its storage across calls). `out` must
+/// not alias `images`.
+void EncodeInto(const Tensor& images, long time_steps, Encoding mode, Rng& rng,
+                Tensor& out);
+
 /// Reduces an input-space gradient [T, B, ...] (as returned by
 /// Network::Backward) to an image-space gradient [B, ...] by summing over
 /// time — the adjoint of EncodeDirect.
@@ -49,5 +55,8 @@ Tensor CollapseTimeGradient(const Tensor& grad_tbx);
 /// Transposes per-sample frame stacks [B, T, C, H, W] (how event datasets
 /// store them) into the time-major layout [T, B, C, H, W] the network wants.
 Tensor TimeMajor(const Tensor& frames_btx);
+
+/// Allocation-free variant of TimeMajor. `out` must not alias `frames_btx`.
+void TimeMajorInto(const Tensor& frames_btx, Tensor& out);
 
 }  // namespace axsnn::snn

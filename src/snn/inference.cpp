@@ -9,27 +9,32 @@ namespace axsnn::snn {
 
 namespace {
 
-/// Copies rows [start, start+count) of [N, ...] into a fresh batch tensor.
-Tensor SliceRows(const Tensor& data, long start, long count) {
+/// Copies rows [start, start+count) of [N, ...] into `out` (resized; storage
+/// reused across batches).
+void SliceRowsInto(const Tensor& data, long start, long count, Tensor& out) {
   const long per_sample = data.numel() / data.dim(0);
   Shape shape = data.shape();
   shape[0] = count;
-  Tensor out(std::move(shape));
+  out.ResizeTo(std::move(shape));
   std::copy(data.data() + start * per_sample,
             data.data() + (start + count) * per_sample, out.data());
-  return out;
 }
 
-std::vector<int> ArgmaxRows(const Tensor& logits) {
+void ArgmaxRowsAppend(const Tensor& logits, std::vector<int>& preds) {
   const long b = logits.dim(0);
   const long k = logits.dim(1);
-  std::vector<int> out(static_cast<std::size_t>(b));
   for (long i = 0; i < b; ++i) {
     const float* row = logits.data() + i * k;
-    out[static_cast<std::size_t>(i)] = static_cast<int>(
-        std::max_element(row, row + k) - row);
+    preds.push_back(static_cast<int>(std::max_element(row, row + k) - row));
   }
-  return out;
+}
+
+long CountCorrect(std::span<const int> preds, std::span<const int> labels) {
+  AXSNN_CHECK(preds.size() == labels.size(), "prediction/label mismatch");
+  long correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i)
+    if (preds[i] == labels[i]) ++correct;
+  return correct;
 }
 
 }  // namespace
@@ -38,14 +43,14 @@ Tensor LogitsStatic(Network& net, const Tensor& images, long time_steps,
                     Encoding mode, Rng& rng) {
   AXSNN_CHECK(images.rank() == 4, "LogitsStatic expects [B, C, H, W]");
   Tensor input = Encode(images, time_steps, mode, rng);
-  Tensor seq = net.Forward(input, /*train=*/false);
+  const Tensor& seq = net.ForwardShared(input, /*train=*/false);
   return ReadoutMean(seq);
 }
 
 Tensor LogitsTemporal(Network& net, const Tensor& frames) {
   AXSNN_CHECK(frames.rank() == 5, "LogitsTemporal expects [B, T, C, H, W]");
   Tensor input = TimeMajor(frames);
-  Tensor seq = net.Forward(input, /*train=*/false);
+  const Tensor& seq = net.ForwardShared(input, /*train=*/false);
   return ReadoutMean(seq);
 }
 
@@ -57,11 +62,16 @@ std::vector<int> PredictStatic(Network& net, const Tensor& images,
   Rng rng(seed);
   std::vector<int> preds;
   preds.reserve(static_cast<std::size_t>(n));
+  // Staging buffers hoisted out of the loop: after the first (full-size)
+  // batch, the whole evaluation loop performs no tensor allocation.
+  Tensor batch;
+  Tensor input;
   for (long start = 0; start < n; start += batch_size) {
     const long count = std::min(batch_size, n - start);
-    Tensor batch = SliceRows(images, start, count);
-    Tensor logits = LogitsStatic(net, batch, time_steps, mode, rng);
-    for (int p : ArgmaxRows(logits)) preds.push_back(p);
+    SliceRowsInto(images, start, count, batch);
+    EncodeInto(batch, time_steps, mode, rng, input);
+    const Tensor& seq = net.ForwardShared(input, /*train=*/false);
+    ArgmaxRowsAppend(ReadoutMean(seq), preds);
   }
   return preds;
 }
@@ -72,11 +82,14 @@ std::vector<int> PredictTemporal(Network& net, const Tensor& frames,
   const long n = frames.dim(0);
   std::vector<int> preds;
   preds.reserve(static_cast<std::size_t>(n));
+  Tensor batch;
+  Tensor input;
   for (long start = 0; start < n; start += batch_size) {
     const long count = std::min(batch_size, n - start);
-    Tensor batch = SliceRows(frames, start, count);
-    Tensor logits = LogitsTemporal(net, batch);
-    for (int p : ArgmaxRows(logits)) preds.push_back(p);
+    SliceRowsInto(frames, start, count, batch);
+    TimeMajorInto(batch, input);
+    const Tensor& seq = net.ForwardShared(input, /*train=*/false);
+    ArgmaxRowsAppend(ReadoutMean(seq), preds);
   }
   return preds;
 }
@@ -86,10 +99,7 @@ float AccuracyStatic(Network& net, const Tensor& images,
                      Encoding mode, std::uint64_t seed, long batch_size) {
   const auto preds =
       PredictStatic(net, images, time_steps, mode, seed, batch_size);
-  AXSNN_CHECK(preds.size() == labels.size(), "prediction/label mismatch");
-  long correct = 0;
-  for (std::size_t i = 0; i < preds.size(); ++i)
-    if (preds[i] == labels[i]) ++correct;
+  const long correct = CountCorrect(preds, labels);
   return preds.empty()
              ? 0.0f
              : static_cast<float>(correct) / static_cast<float>(preds.size());
@@ -98,10 +108,7 @@ float AccuracyStatic(Network& net, const Tensor& images,
 float AccuracyTemporal(Network& net, const Tensor& frames,
                        std::span<const int> labels, long batch_size) {
   const auto preds = PredictTemporal(net, frames, batch_size);
-  AXSNN_CHECK(preds.size() == labels.size(), "prediction/label mismatch");
-  long correct = 0;
-  for (std::size_t i = 0; i < preds.size(); ++i)
-    if (preds[i] == labels[i]) ++correct;
+  const long correct = CountCorrect(preds, labels);
   return preds.empty()
              ? 0.0f
              : static_cast<float>(correct) / static_cast<float>(preds.size());

@@ -4,9 +4,15 @@
 // [T, B, ...feature dims...]; stateless layers (conv, dense, pool) treat
 // T*B as one large batch, while the LIF layer runs its membrane recursion
 // across the leading time axis. Each layer caches what it needs during
-// Forward so that a subsequent Backward can run full
+// ForwardInto so that a subsequent Backward can run full
 // backpropagation-through-time, including the gradient with respect to the
 // *input* — which is what the gradient-based adversarial attacks consume.
+//
+// The forward path is allocation-free in steady state: ForwardInto writes
+// into a caller-provided output tensor (resized in place, which reuses its
+// heap block once capacities have warmed up), and Network::ForwardShared
+// ping-pongs activations between two runtime::Workspace slots. The
+// allocating Tensor Forward(x, train) remains as a convenience wrapper.
 #pragma once
 
 #include <memory>
@@ -19,9 +25,9 @@ namespace axsnn::snn {
 
 /// Abstract base class of all network layers.
 ///
-/// Contract: Backward(g) must be called at most once after each Forward and
-/// receives dL/d(output); it accumulates parameter gradients internally and
-/// returns dL/d(input) of the same shape as the Forward input.
+/// Contract: Backward(g) must be called at most once after each forward pass
+/// and receives dL/d(output); it accumulates parameter gradients internally
+/// and returns dL/d(input) of the same shape as the forward input.
 class Layer {
  public:
   virtual ~Layer() = default;
@@ -30,9 +36,23 @@ class Layer {
   Layer(const Layer&) = default;
   Layer& operator=(const Layer&) = default;
 
-  /// Runs the layer on a time-major activation tensor.
-  /// `train` enables stochastic behaviour (dropout) and gradient caching.
-  virtual Tensor Forward(const Tensor& x, bool train) = 0;
+  /// Output shape produced for an input of shape `in`. Throws when `in` is
+  /// not a shape this layer accepts.
+  virtual Shape OutputShape(const Shape& in) const = 0;
+
+  /// Runs the layer on a time-major activation, writing the result into
+  /// `out` (resized by the implementation; contents fully overwritten).
+  /// `out` must not alias `x`. `train` enables stochastic behaviour
+  /// (dropout); gradient caches are populated on every call so attacks can
+  /// backpropagate through inference-mode passes.
+  virtual void ForwardInto(const Tensor& x, Tensor& out, bool train) = 0;
+
+  /// Allocating convenience wrapper around ForwardInto.
+  Tensor Forward(const Tensor& x, bool train) {
+    Tensor out;
+    ForwardInto(x, out, train);
+    return out;
+  }
 
   /// Backpropagates through the cached forward pass; returns dL/d(input).
   virtual Tensor Backward(const Tensor& grad_out) = 0;
@@ -55,6 +75,23 @@ class Layer {
   /// Deep copy, preserving weights but not cached activations. Approximation
   /// experiments clone a trained network once per (precision, level) variant.
   virtual std::unique_ptr<Layer> Clone() const = 0;
+
+ protected:
+  /// Resizes `out` to OutputShape(x.shape()), memoizing the (input, output)
+  /// shape pair so steady-state passes (same input shape every call) perform
+  /// no shape computation and no allocation. ForwardInto implementations
+  /// call this first.
+  void SizeOutput(const Tensor& x, Tensor& out) {
+    if (x.shape() != last_in_shape_) {
+      last_out_shape_ = OutputShape(x.shape());
+      last_in_shape_ = x.shape();  // copy-assign: reuses capacity
+    }
+    out.ResizeTo(last_out_shape_);
+  }
+
+ private:
+  Shape last_in_shape_;   // memoized SizeOutput key
+  Shape last_out_shape_;  // memoized SizeOutput value
 };
 
 }  // namespace axsnn::snn

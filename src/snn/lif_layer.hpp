@@ -9,8 +9,10 @@
 // approximation-threshold rule consumes.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "snn/layer.hpp"
 #include "snn/lif.hpp"
@@ -23,7 +25,8 @@ class LifLayer final : public Layer {
  public:
   LifLayer(std::string name, LifParams params);
 
-  Tensor Forward(const Tensor& x, bool train) override;
+  Shape OutputShape(const Shape& in) const override;
+  void ForwardInto(const Tensor& x, Tensor& out, bool train) override;
   Tensor Backward(const Tensor& grad_out) override;
   std::string Name() const override { return name_; }
   std::unique_ptr<Layer> Clone() const override;
@@ -54,6 +57,9 @@ class LifLayer final : public Layer {
   LifParams params_;
   Tensor cached_membrane_;  // u[t] before reset, same shape as input
   Tensor cached_spikes_;    // s[t]
+  // Per-chunk (spikes, membrane, drive) partial sums, reused across passes
+  // so the steady-state forward path performs no allocation.
+  std::vector<std::array<double, 3>> stat_partials_;
   float last_mean_rate_ = 0.0f;
   float last_mean_membrane_ = 0.0f;
   float last_mean_drive_ = 0.0f;

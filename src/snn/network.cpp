@@ -14,10 +14,24 @@ Layer& Network::Add(std::unique_ptr<Layer> layer) {
 }
 
 Tensor Network::Forward(const Tensor& x, bool train) {
+  return ForwardShared(x, train);  // copies the workspace result out
+}
+
+const Tensor& Network::ForwardShared(const Tensor& x, bool train) {
   AXSNN_CHECK(!layers_.empty(), "Forward on an empty network");
-  Tensor a = x;
-  for (auto& layer : layers_) a = layer->Forward(a, train);
-  return a;
+  // Ping-pong between two workspace slots: layer i reads slot (i+1)%2 (or x
+  // for the first layer) and writes slot i%2, so input and output never
+  // alias and both buffers are reused across calls.
+  const Tensor* in = &x;
+  Tensor* out = nullptr;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    Tensor& buf = workspace_.Slot(i % 2);
+    AXSNN_CHECK(in != &buf, "workspace slot aliases the layer input");
+    layers_[i]->ForwardInto(*in, buf, train);
+    out = &buf;
+    in = out;
+  }
+  return *out;
 }
 
 Tensor Network::Backward(const Tensor& grad_out) {

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/workspace.hpp"
 #include "snn/layer.hpp"
 #include "snn/lif.hpp"
 #include "tensor/tensor.hpp"
@@ -47,8 +48,17 @@ class Network {
     return ref;
   }
 
-  /// Runs all layers on a time-major activation [T, B, ...].
+  /// Runs all layers on a time-major activation [T, B, ...], returning a
+  /// fresh tensor (allocates). Prefer ForwardShared on hot paths.
   Tensor Forward(const Tensor& x, bool train = false);
+
+  /// Allocation-free forward pass: activations ping-pong between two slots
+  /// of the network's own Workspace, which is warmed up on the first call
+  /// and reused across timesteps, mini-batches and attack iterations. The
+  /// returned reference points into the workspace and is valid until the
+  /// next forward pass on this network. `x` must not alias the workspace
+  /// (i.e. never feed a previous ForwardShared result back in directly).
+  const Tensor& ForwardShared(const Tensor& x, bool train = false);
 
   /// Backpropagates through the last Forward; returns dL/d(input).
   Tensor Backward(const Tensor& grad_out);
@@ -88,6 +98,7 @@ class Network {
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;
+  runtime::Workspace workspace_;  // activation ping-pong for ForwardShared
 };
 
 }  // namespace axsnn::snn

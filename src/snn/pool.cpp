@@ -1,5 +1,6 @@
 #include "snn/pool.hpp"
 
+#include "runtime/parallel_for.hpp"
 #include "tensor/check.hpp"
 
 namespace axsnn::snn {
@@ -18,10 +19,15 @@ void PlaneDims(const Tensor& x, long window, long& planes, long& h, long& w) {
   planes = x.numel() / (h * w);
 }
 
-Shape PooledShape(const Tensor& x, long window) {
-  Shape s = x.shape();
-  s[s.size() - 2] /= window;
-  s[s.size() - 1] /= window;
+Shape PooledShape(const Shape& in, long window) {
+  AXSNN_CHECK(in.size() >= 3, "pooling expects [*, C, H, W]");
+  const std::size_t r = in.size();
+  AXSNN_CHECK(in[r - 2] % window == 0 && in[r - 1] % window == 0,
+              "pooling window " << window << " must divide spatial dims "
+                                << in[r - 2] << "x" << in[r - 1]);
+  Shape s = in;
+  s[r - 2] /= window;
+  s[r - 1] /= window;
   return s;
 }
 
@@ -32,18 +38,21 @@ AvgPool2d::AvgPool2d(std::string name, long window)
   AXSNN_CHECK(window >= 1, "pooling window must be >= 1");
 }
 
-Tensor AvgPool2d::Forward(const Tensor& x, bool /*train*/) {
+Shape AvgPool2d::OutputShape(const Shape& in) const {
+  return PooledShape(in, window_);
+}
+
+void AvgPool2d::ForwardInto(const Tensor& x, Tensor& out, bool /*train*/) {
   long planes = 0, h = 0, w = 0;
   PlaneDims(x, window_, planes, h, w);
   cached_in_shape_ = x.shape();
   const long ho = h / window_;
   const long wo = w / window_;
-  Tensor out(PooledShape(x, window_));
+  SizeOutput(x, out);
   const float inv = 1.0f / static_cast<float>(window_ * window_);
   const float* xd = x.data();
   float* od = out.data();
-#pragma omp parallel for schedule(static)
-  for (long p = 0; p < planes; ++p) {
+  runtime::ParallelFor(0, planes, [&](long p) {
     const float* xp = xd + p * h * w;
     float* op = od + p * ho * wo;
     for (long oy = 0; oy < ho; ++oy) {
@@ -55,8 +64,7 @@ Tensor AvgPool2d::Forward(const Tensor& x, bool /*train*/) {
         op[oy * wo + ox] = acc * inv;
       }
     }
-  }
-  return out;
+  });
 }
 
 Tensor AvgPool2d::Backward(const Tensor& grad_out) {
@@ -74,8 +82,7 @@ Tensor AvgPool2d::Backward(const Tensor& grad_out) {
   const float inv = 1.0f / static_cast<float>(window_ * window_);
   const float* gd = grad_out.data();
   float* gi = grad_in.data();
-#pragma omp parallel for schedule(static)
-  for (long p = 0; p < planes; ++p) {
+  runtime::ParallelFor(0, planes, [&](long p) {
     const float* gp = gd + p * ho * wo;
     float* gip = gi + p * h * w;
     for (long oy = 0; oy < ho; ++oy) {
@@ -86,7 +93,7 @@ Tensor AvgPool2d::Backward(const Tensor& grad_out) {
             gip[(oy * window_ + ky) * w + ox * window_ + kx] = g;
       }
     }
-  }
+  });
   return grad_in;
 }
 
@@ -99,18 +106,21 @@ MaxPool2d::MaxPool2d(std::string name, long window)
   AXSNN_CHECK(window >= 1, "pooling window must be >= 1");
 }
 
-Tensor MaxPool2d::Forward(const Tensor& x, bool /*train*/) {
+Shape MaxPool2d::OutputShape(const Shape& in) const {
+  return PooledShape(in, window_);
+}
+
+void MaxPool2d::ForwardInto(const Tensor& x, Tensor& out, bool /*train*/) {
   long planes = 0, h = 0, w = 0;
   PlaneDims(x, window_, planes, h, w);
   cached_in_shape_ = x.shape();
   const long ho = h / window_;
   const long wo = w / window_;
-  Tensor out(PooledShape(x, window_));
-  argmax_.assign(static_cast<std::size_t>(out.numel()), 0);
+  SizeOutput(x, out);
+  argmax_.resize(static_cast<std::size_t>(out.numel()));
   const float* xd = x.data();
   float* od = out.data();
-#pragma omp parallel for schedule(static)
-  for (long p = 0; p < planes; ++p) {
+  runtime::ParallelFor(0, planes, [&](long p) {
     const float* xp = xd + p * h * w;
     float* op = od + p * ho * wo;
     long* am = argmax_.data() + p * ho * wo;
@@ -131,8 +141,7 @@ Tensor MaxPool2d::Forward(const Tensor& x, bool /*train*/) {
         am[oy * wo + ox] = best_off;
       }
     }
-  }
-  return out;
+  });
 }
 
 Tensor MaxPool2d::Backward(const Tensor& grad_out) {
@@ -149,13 +158,12 @@ Tensor MaxPool2d::Backward(const Tensor& grad_out) {
               "MaxPool2d::Backward gradient shape mismatch");
   const float* gd = grad_out.data();
   float* gi = grad_in.data();
-#pragma omp parallel for schedule(static)
-  for (long p = 0; p < planes; ++p) {
+  runtime::ParallelFor(0, planes, [&](long p) {
     const float* gp = gd + p * ho * wo;
     const long* am = argmax_.data() + p * ho * wo;
     float* gip = gi + p * h * w;
     for (long o = 0; o < ho * wo; ++o) gip[am[o]] += gp[o];
-  }
+  });
   return grad_in;
 }
 

@@ -20,7 +20,8 @@ class AvgPool2d final : public Layer {
  public:
   AvgPool2d(std::string name, long window);
 
-  Tensor Forward(const Tensor& x, bool train) override;
+  Shape OutputShape(const Shape& in) const override;
+  void ForwardInto(const Tensor& x, Tensor& out, bool train) override;
   Tensor Backward(const Tensor& grad_out) override;
   std::string Name() const override { return name_; }
   std::unique_ptr<Layer> Clone() const override;
@@ -38,7 +39,8 @@ class MaxPool2d final : public Layer {
  public:
   MaxPool2d(std::string name, long window);
 
-  Tensor Forward(const Tensor& x, bool train) override;
+  Shape OutputShape(const Shape& in) const override;
+  void ForwardInto(const Tensor& x, Tensor& out, bool train) override;
   Tensor Backward(const Tensor& grad_out) override;
   std::string Name() const override { return name_; }
   std::unique_ptr<Layer> Clone() const override;

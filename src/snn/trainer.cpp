@@ -116,7 +116,7 @@ TrainResult RunTraining(Network& net, const Tensor& data,
       std::vector<int> batch_labels = GatherLabels(labels, idx);
 
       Tensor input = make_input(batch, epoch, batches);
-      Tensor seq = net.Forward(input, /*train=*/true);
+      const Tensor& seq = net.ForwardShared(input, /*train=*/true);
       Tensor logits = ReadoutMean(seq);
       LossResult lr = SoftmaxCrossEntropy(logits, batch_labels);
 

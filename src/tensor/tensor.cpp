@@ -85,6 +85,14 @@ void Tensor::Reshape(Shape new_shape) {
   shape_ = std::move(new_shape);
 }
 
+void Tensor::ResizeTo(const Shape& new_shape) {
+  if (shape_ == new_shape) return;  // steady-state fast path: no work at all
+  // std::vector::resize and copy-assign never release capacity, so repeated
+  // ResizeTo over a steady problem size allocates exactly once.
+  data_.resize(static_cast<std::size_t>(NumElements(new_shape)));
+  shape_ = new_shape;
+}
+
 float& Tensor::at(long i) {
   AXSNN_CHECK(i >= 0 && i < numel(), "index " << i << " out of range");
   return data_[static_cast<std::size_t>(i)];
@@ -156,29 +164,29 @@ void Tensor::Fill(float value) {
   std::fill(data_.begin(), data_.end(), value);
 }
 
-Tensor& Tensor::Add(const Tensor& other) {
-  AXSNN_CHECK(shape_ == other.shape_, "shape mismatch in Add");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+template <typename Op>
+Tensor& Tensor::ApplyBinary(const Tensor& other, const char* op_name, Op op) {
+  AXSNN_CHECK(shape_ == other.shape_, "shape mismatch in " << op_name);
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    data_[i] = op(data_[i], other.data_[i]);
   return *this;
+}
+
+Tensor& Tensor::Add(const Tensor& other) {
+  return ApplyBinary(other, "Add", [](float a, float b) { return a + b; });
 }
 
 Tensor& Tensor::Sub(const Tensor& other) {
-  AXSNN_CHECK(shape_ == other.shape_, "shape mismatch in Sub");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
-  return *this;
+  return ApplyBinary(other, "Sub", [](float a, float b) { return a - b; });
 }
 
 Tensor& Tensor::Mul(const Tensor& other) {
-  AXSNN_CHECK(shape_ == other.shape_, "shape mismatch in Mul");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
-  return *this;
+  return ApplyBinary(other, "Mul", [](float a, float b) { return a * b; });
 }
 
 Tensor& Tensor::Axpy(float scale, const Tensor& other) {
-  AXSNN_CHECK(shape_ == other.shape_, "shape mismatch in Axpy");
-  for (std::size_t i = 0; i < data_.size(); ++i)
-    data_[i] += scale * other.data_[i];
-  return *this;
+  return ApplyBinary(other, "Axpy",
+                     [scale](float a, float b) { return a + scale * b; });
 }
 
 Tensor& Tensor::Scale(float scale) {

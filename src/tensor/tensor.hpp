@@ -78,6 +78,13 @@ class Tensor {
   /// In-place reshape; requires equal element counts.
   void Reshape(Shape new_shape);
 
+  /// Resizes to `new_shape`, changing the element count. Existing storage is
+  /// reused when capacity allows (never shrinks), making this the primitive
+  /// behind the allocation-free runtime::Workspace. A no-op when the shape
+  /// already matches. Element values are unspecified afterwards; callers
+  /// overwrite them.
+  void ResizeTo(const Shape& new_shape);
+
   // --- element access -------------------------------------------------------
 
   float* data() { return data_.data(); }
@@ -143,6 +150,11 @@ class Tensor {
   bool AllClose(const Tensor& other, float tol = 1e-6f) const;
 
  private:
+  /// Shared core of the elementwise binary mutators: shape-checks `other`
+  /// and applies `op(mine, theirs)` to every element pair.
+  template <typename Op>
+  Tensor& ApplyBinary(const Tensor& other, const char* op_name, Op op);
+
   Shape shape_;
   std::vector<float> data_;
 };

@@ -1,0 +1,273 @@
+// Tests for the runtime subsystem and its determinism contract:
+//  * ThreadPool / ParallelFor execute every index exactly once, propagate
+//    exceptions, and throttle nested parallelism;
+//  * chunk partitioning and reductions are bit-identical at any pool size;
+//  * full evaluation pipelines (AccuracyStatic / LogitsTemporal) produce
+//    identical results with pools of size 1, 2 and hardware_concurrency;
+//  * Network::Clone and StateDict/LoadStateDict round-trip weights exactly;
+//  * Network::ForwardShared reuses its workspace (allocation-free steady
+//    state) and matches the allocating Forward bit for bit.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "data/dvs_gesture.hpp"
+#include "data/event.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/workspace.hpp"
+#include "snn/inference.hpp"
+#include "snn/models.hpp"
+#include "snn/trainer.hpp"
+
+namespace axsnn {
+namespace {
+
+// --- ThreadPool basics ------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  runtime::ThreadPool pool(4);
+  constexpr long kTasks = 1000;
+  std::vector<std::atomic<int>> hits(kTasks);
+  pool.Run(kTasks, [&](long i) { hits[static_cast<std::size_t>(i)]++; });
+  for (long i = 0; i < kTasks; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  runtime::ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1);
+  long sum = 0;  // no synchronization needed: everything runs inline
+  pool.Run(100, [&](long i) { sum += i; });
+  EXPECT_EQ(sum, 99 * 100 / 2);
+}
+
+TEST(ThreadPool, PropagatesTaskExceptions) {
+  runtime::ThreadPool pool(2);
+  EXPECT_THROW(pool.Run(8,
+                        [&](long i) {
+                          if (i == 3) throw std::runtime_error("boom");
+                        }),
+               std::runtime_error);
+  // The pool stays usable after a failed batch.
+  std::atomic<long> count{0};
+  pool.Run(8, [&](long) { count++; });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, NestedRunExecutesInline) {
+  runtime::ThreadPool pool(4);
+  std::atomic<long> inner_total{0};
+  pool.Run(4, [&](long) {
+    EXPECT_TRUE(runtime::ThreadPool::InParallelRegion());
+    // A nested submission must not deadlock and must still do all the work.
+    pool.Run(10, [&](long) { inner_total++; });
+  });
+  EXPECT_EQ(inner_total.load(), 40);
+  EXPECT_FALSE(runtime::ThreadPool::InParallelRegion());
+}
+
+// --- ParallelFor determinism ------------------------------------------------
+
+TEST(ParallelFor, ChunkBoundariesDependOnlyOnRange) {
+  // Identical chunk sets at different pool sizes — the determinism backbone.
+  const long grain = runtime::DefaultGrain(1000);
+  for (int threads : {1, 3, 8}) {
+    runtime::ThreadPool pool(threads);
+    std::vector<std::pair<long, long>> chunks(
+        static_cast<std::size_t>(runtime::NumChunks(1000, grain)));
+    runtime::ParallelForChunks(
+        0, 1000,
+        [&](long c, long lo, long hi) {
+          chunks[static_cast<std::size_t>(c)] = {lo, hi};
+        },
+        0, &pool);
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      EXPECT_EQ(chunks[c].first, static_cast<long>(c) * grain);
+      EXPECT_EQ(chunks[c].second,
+                std::min<long>(1000, static_cast<long>(c + 1) * grain));
+    }
+  }
+}
+
+TEST(ParallelFor, SumIsBitIdenticalAcrossPoolSizes) {
+  // A sum whose result depends on accumulation order when done naively.
+  std::vector<double> values;
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) values.push_back(rng.Uniform(-1e6, 1e6));
+
+  auto sum_with = [&](int threads) {
+    runtime::ThreadPool pool(threads);
+    return runtime::ParallelSum(
+        0, static_cast<long>(values.size()),
+        [&](long lo, long hi) {
+          double s = 0.0;
+          for (long i = lo; i < hi; ++i)
+            s += values[static_cast<std::size_t>(i)];
+          return s;
+        },
+        0, &pool);
+  };
+  const double serial = sum_with(1);
+  EXPECT_EQ(serial, sum_with(2));
+  EXPECT_EQ(serial, sum_with(5));
+  EXPECT_EQ(serial, sum_with(16));
+}
+
+// --- Workspace --------------------------------------------------------------
+
+TEST(Workspace, SlotReferencesAreStableAndStorageIsReused) {
+  runtime::Workspace ws;
+  Tensor& a = ws.Acquire(0, {4, 4});
+  const float* data_a = a.data();
+  Tensor& b = ws.Acquire(7, {2, 2});  // growing the arena must not move slot 0
+  (void)b;
+  EXPECT_EQ(&ws.Slot(0), &a);
+  EXPECT_EQ(ws.slot_count(), 8u);
+  // Shrinking then re-growing within capacity keeps the heap block.
+  ws.Acquire(0, {2, 2});
+  Tensor& a2 = ws.Acquire(0, {4, 4});
+  EXPECT_EQ(a2.data(), data_a);
+  EXPECT_EQ(a2.shape(), (Shape{4, 4}));
+}
+
+// --- End-to-end determinism across pool sizes -------------------------------
+
+snn::Network MakeTinyStaticNet() {
+  snn::StaticNetOptions opts;
+  opts.height = 16;
+  opts.width = 16;
+  opts.conv1_channels = 4;
+  opts.conv2_channels = 8;
+  opts.conv3_channels = 8;
+  opts.hidden = 32;
+  return snn::BuildStaticNet(opts);
+}
+
+TEST(RuntimeDeterminism, AccuracyStaticIndependentOfPoolSize) {
+  data::SyntheticMnistOptions d;
+  d.count = 64;
+  d.seed = 11;
+  data::StaticDataset ds = data::MakeSyntheticMnist(d);
+
+  std::vector<int> pool_sizes = {1, 2, runtime::DefaultThreadCount()};
+  std::vector<float> accuracies;
+  std::vector<std::vector<int>> predictions;
+  for (int threads : pool_sizes) {
+    runtime::SetGlobalThreads(threads);
+    snn::Network net = MakeTinyStaticNet();
+    accuracies.push_back(snn::AccuracyStatic(net, ds.images, ds.labels, 6,
+                                             snn::Encoding::kRate, 42, 16));
+    predictions.push_back(snn::PredictStatic(net, ds.images, 6,
+                                             snn::Encoding::kRate, 42, 16));
+  }
+  runtime::SetGlobalThreads(0);  // restore default for later tests
+  for (std::size_t i = 1; i < accuracies.size(); ++i) {
+    EXPECT_EQ(accuracies[0], accuracies[i])
+        << "pool size " << pool_sizes[i] << " changed the accuracy";
+    EXPECT_EQ(predictions[0], predictions[i])
+        << "pool size " << pool_sizes[i] << " changed the predictions";
+  }
+}
+
+TEST(RuntimeDeterminism, LogitsTemporalIndependentOfPoolSize) {
+  data::DvsGestureOptions d;
+  d.count = 8;
+  d.seed = 3;
+  data::EventDataset ds = data::MakeSyntheticDvsGesture(d);
+  Tensor frames = data::BinDataset(ds, 8);
+
+  snn::DvsNetOptions opts;
+  opts.height = ds.height;
+  opts.width = ds.width;
+
+  std::vector<int> pool_sizes = {1, 2, runtime::DefaultThreadCount()};
+  std::vector<Tensor> logits;
+  for (int threads : pool_sizes) {
+    runtime::SetGlobalThreads(threads);
+    snn::Network net = snn::BuildDvsNet(opts);
+    logits.push_back(snn::LogitsTemporal(net, frames));
+  }
+  runtime::SetGlobalThreads(0);
+  for (std::size_t i = 1; i < logits.size(); ++i) {
+    ASSERT_EQ(logits[0].shape(), logits[i].shape());
+    EXPECT_TRUE(logits[0].AllClose(logits[i], 0.0f))
+        << "pool size " << pool_sizes[i] << " changed the logits";
+  }
+}
+
+// --- Clone / StateDict round-trips ------------------------------------------
+
+TEST(RuntimeDeterminism, CloneMatchesOriginalExactly) {
+  data::SyntheticMnistOptions d;
+  d.count = 32;
+  d.seed = 21;
+  data::StaticDataset ds = data::MakeSyntheticMnist(d);
+
+  snn::Network net = MakeTinyStaticNet();
+  snn::TrainConfig cfg;
+  cfg.epochs = 1;
+  cfg.batch_size = 16;
+  cfg.time_steps = 4;
+  snn::FitStatic(net, ds.images, ds.labels, cfg);
+
+  snn::Network clone = net.Clone();
+  Rng rng_a(5), rng_b(5);
+  Tensor logits_a = snn::LogitsStatic(net, ds.images, 4,
+                                      snn::Encoding::kDirect, rng_a);
+  Tensor logits_b = snn::LogitsStatic(clone, ds.images, 4,
+                                      snn::Encoding::kDirect, rng_b);
+  EXPECT_TRUE(logits_a.AllClose(logits_b, 0.0f));
+}
+
+TEST(RuntimeDeterminism, StateDictRoundTripIsExact) {
+  snn::Network net = MakeTinyStaticNet();
+  auto state = net.StateDict();
+  EXPECT_FALSE(state.empty());
+
+  snn::Network rebuilt = MakeTinyStaticNet();
+  // Perturb, then restore: LoadStateDict must reproduce every scalar.
+  for (Tensor* p : rebuilt.Params()) p->Scale(1.5f);
+  rebuilt.LoadStateDict(state);
+
+  auto params = net.Params();
+  auto restored = rebuilt.Params();
+  ASSERT_EQ(params.size(), restored.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    ASSERT_EQ(params[i]->shape(), restored[i]->shape());
+    for (long j = 0; j < params[i]->numel(); ++j)
+      ASSERT_EQ((*params[i])[j], (*restored[i])[j])
+          << "param " << i << " element " << j;
+  }
+}
+
+// --- Allocation-free forward path -------------------------------------------
+
+TEST(ForwardShared, MatchesAllocatingForwardBitwise) {
+  snn::Network net = MakeTinyStaticNet();
+  Rng rng(9);
+  Tensor x = Tensor::Uniform({4, 2, 1, 16, 16}, 0.0f, 1.0f, rng);
+  snn::Network net2 = net.Clone();
+  Tensor via_forward = net.Forward(x, false);
+  const Tensor& via_shared = net2.ForwardShared(x, false);
+  EXPECT_TRUE(via_forward.AllClose(via_shared, 0.0f));
+}
+
+TEST(ForwardShared, ReusesWorkspaceBuffersInSteadyState) {
+  snn::Network net = MakeTinyStaticNet();
+  Rng rng(9);
+  Tensor x = Tensor::Uniform({4, 2, 1, 16, 16}, 0.0f, 1.0f, rng);
+  const Tensor& first = net.ForwardShared(x, false);
+  const Tensor* out_ptr = &first;
+  const float* data_ptr = first.data();
+  for (int pass = 0; pass < 3; ++pass) {
+    const Tensor& again = net.ForwardShared(x, false);
+    EXPECT_EQ(&again, out_ptr) << "output slot changed between passes";
+    EXPECT_EQ(again.data(), data_ptr) << "output storage was reallocated";
+  }
+}
+
+}  // namespace
+}  // namespace axsnn
