@@ -27,6 +27,22 @@ void BM_Conv2dForward(benchmark::State& state) {
 }
 BENCHMARK(BM_Conv2dForward)->Arg(4)->Arg(8)->Arg(16);
 
+void BM_Conv2dForwardInt8(benchmark::State& state) {
+  // Same workload as BM_Conv2dForward, executed on the int8 backend
+  // (per-output-channel scales, int32 accumulation).
+  const long channels = state.range(0);
+  Rng rng(1);
+  snn::Conv2d conv("c", channels, channels * 2, 3, 1, rng);
+  conv.EnableInt8Kernel();
+  Tensor x = Tensor::Uniform({8, 8, channels, 16, 16}, 0.0f, 1.0f, rng);
+  for (auto _ : state) {
+    Tensor y = conv.Forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_Conv2dForwardInt8)->Arg(4)->Arg(8)->Arg(16);
+
 void BM_Conv2dBackward(benchmark::State& state) {
   const long channels = state.range(0);
   Rng rng(2);
@@ -84,6 +100,20 @@ void BM_DenseForward(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * x.numel());
 }
 BENCHMARK(BM_DenseForward);
+
+void BM_DenseForwardInt8(benchmark::State& state) {
+  // Same workload as BM_DenseForward on the int8 backend.
+  Rng rng(5);
+  snn::Dense fc("fc", 256, 64, rng);
+  fc.EnableInt8Kernel();
+  Tensor x = Tensor::Uniform({16, 32, 256}, 0.0f, 1.0f, rng);
+  for (auto _ : state) {
+    Tensor y = fc.Forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_DenseForwardInt8);
 
 void BM_RateEncode(benchmark::State& state) {
   Rng rng(6);

@@ -4,7 +4,9 @@
 //  2. allocation behaviour — heap allocations per forward pass for the
 //     allocating Network::Forward vs the workspace-backed ForwardShared
 //     (steady state), counted with an operator-new hook local to this
-//     binary.
+//     binary;
+//  3. kernel backends — fp32 vs int8 (per-output-channel scales, int32
+//     accumulation) forward throughput of the Conv2d and Dense kernels.
 //
 // Prints a human-readable table and emits BENCH_runtime.json next to the
 // working directory so baselines can be recorded in-tree.
@@ -18,6 +20,8 @@
 
 #include "runtime/parallel_for.hpp"
 #include "runtime/thread_pool.hpp"
+#include "snn/conv2d.hpp"
+#include "snn/dense.hpp"
 #include "snn/models.hpp"
 #include "tensor/random.hpp"
 #include "tensor/tensor.hpp"
@@ -117,6 +121,42 @@ AllocationCounts CountAllocations() {
   return counts;
 }
 
+struct KernelTimings {
+  double conv_fp32_ms;
+  double conv_int8_ms;
+  double dense_fp32_ms;
+  double dense_int8_ms;
+};
+
+/// Times one layer's forward pass, steady-state (warmed output buffer).
+template <typename LayerT>
+double MsPerForward(LayerT& layer, const Tensor& x, int repeats) {
+  Tensor out;
+  layer.ForwardInto(x, out, false);  // warm up
+  const auto start = Clock::now();
+  for (int r = 0; r < repeats; ++r) layer.ForwardInto(x, out, false);
+  return SecondsSince(start) / repeats * 1e3;
+}
+
+/// fp32 vs int8 forward timings for the conv/dense kernel shapes that
+/// dominate the sweep experiments.
+KernelTimings RunKernelComparison(int repeats) {
+  KernelTimings t{};
+  Rng rng(7);
+  snn::Conv2d conv("c", 8, 16, 3, 1, rng);
+  Tensor cx = Tensor::Uniform({8, 16, 8, 16, 16}, 0.0f, 1.0f, rng);
+  t.conv_fp32_ms = MsPerForward(conv, cx, repeats);
+  conv.EnableInt8Kernel();
+  t.conv_int8_ms = MsPerForward(conv, cx, repeats);
+
+  snn::Dense fc("fc", 512, 128, rng);
+  Tensor dx = Tensor::Uniform({16, 64, 512}, 0.0f, 1.0f, rng);
+  t.dense_fp32_ms = MsPerForward(fc, dx, repeats);
+  fc.EnableInt8Kernel();
+  t.dense_int8_ms = MsPerForward(fc, dx, repeats);
+  return t;
+}
+
 }  // namespace
 }  // namespace axsnn
 
@@ -144,6 +184,15 @@ int main(int argc, char** argv) {
   std::printf("  ForwardShared (steady):      %ld\n",
               counts.shared_steady_state);
 
+  const auto kernels = axsnn::RunKernelComparison(repeats);
+  std::printf("\nkernel backends (forward, ms/pass):\n");
+  std::printf("  conv2d  fp32 %7.3f   int8 %7.3f   speedup %5.2fx\n",
+              kernels.conv_fp32_ms, kernels.conv_int8_ms,
+              kernels.conv_fp32_ms / kernels.conv_int8_ms);
+  std::printf("  dense   fp32 %7.3f   int8 %7.3f   speedup %5.2fx\n",
+              kernels.dense_fp32_ms, kernels.dense_int8_ms,
+              kernels.dense_fp32_ms / kernels.dense_int8_ms);
+
   if (FILE* f = std::fopen("BENCH_runtime.json", "w")) {
     std::fprintf(f, "{\n  \"workload\": \"static_net_forward[8,16,1,16,16]\",\n");
     std::fprintf(f, "  \"repeats\": %d,\n", repeats);
@@ -160,6 +209,16 @@ int main(int argc, char** argv) {
                  counts.shared_first_pass);
     std::fprintf(f, "    \"forward_shared_steady_state\": %ld\n",
                  counts.shared_steady_state);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"int8_kernels\": {\n");
+    std::fprintf(f, "    \"conv2d_fp32_ms\": %.4f,\n", kernels.conv_fp32_ms);
+    std::fprintf(f, "    \"conv2d_int8_ms\": %.4f,\n", kernels.conv_int8_ms);
+    std::fprintf(f, "    \"conv2d_speedup\": %.3f,\n",
+                 kernels.conv_fp32_ms / kernels.conv_int8_ms);
+    std::fprintf(f, "    \"dense_fp32_ms\": %.4f,\n", kernels.dense_fp32_ms);
+    std::fprintf(f, "    \"dense_int8_ms\": %.4f,\n", kernels.dense_int8_ms);
+    std::fprintf(f, "    \"dense_speedup\": %.3f\n",
+                 kernels.dense_fp32_ms / kernels.dense_int8_ms);
     std::fprintf(f, "  }\n}\n");
     std::fclose(f);
     std::printf("\nwrote BENCH_runtime.json\n");

@@ -36,6 +36,8 @@ struct WeightLayerRef {
   long fan_in = 0;           // c in Eq. (1)
   int following_lif = -1;    // index into CalibrationStats::lif
   int preceding_lif = -1;
+  snn::Conv2d* conv = nullptr;   // exactly one of conv/dense is set,
+  snn::Dense* dense = nullptr;   // for int8-backend activation
 };
 
 /// Walks the network and pairs every Conv2d/Dense with the LIF layer whose
@@ -53,6 +55,7 @@ std::vector<WeightLayerRef> CollectWeightLayers(snn::Network& net) {
       ref.name = conv->Name();
       ref.fan_in = conv->in_channels() * conv->kernel() * conv->kernel();
       ref.preceding_lif = lif_seen - 1;
+      ref.conv = conv;
       out.push_back(ref);
     } else if (auto* dense = dynamic_cast<snn::Dense*>(&layer)) {
       WeightLayerRef ref;
@@ -61,6 +64,7 @@ std::vector<WeightLayerRef> CollectWeightLayers(snn::Network& net) {
       ref.name = dense->Name();
       ref.fan_in = dense->in_features();
       ref.preceding_lif = lif_seen - 1;
+      ref.dense = dense;
       out.push_back(ref);
     } else if (dynamic_cast<snn::LifLayer*>(&layer) != nullptr) {
       // The most recent weight layer without a LIF yet feeds this one.
@@ -88,7 +92,7 @@ ApproxReport ApplyApproximation(snn::Network& net, const ApproxConfig& cfg,
 
   for (WeightLayerRef& ref : CollectWeightLayers(net)) {
     // Precision scaling always applies (it is the wp in Eq. (1)).
-    QuantizeTensor(*ref.weight, cfg.precision);
+    const float weight_scale = QuantizeTensor(*ref.weight, cfg.precision);
     QuantizeTensor(*ref.bias, cfg.precision);
 
     LayerApproxReport lr;
@@ -135,6 +139,25 @@ ApproxReport ApplyApproximation(snn::Network& net, const ApproxConfig& cfg,
         }
       }
       pruned_total += lr.pruned;
+    }
+
+    // kInt8 deployment path: hand the layer its weights as real int8 after
+    // the last weight edit (pruned zeros quantize to zero). The per-row
+    // scales are all the per-tensor lattice scale, so the int8 codes are
+    // exactly the fake-quantization integers and the integer forward pass
+    // reproduces the reference emulation to accumulation rounding. True
+    // rowwise scales (EnableInt8Kernel with no argument) trade that
+    // bit-alignment for finer per-channel resolution on raw float weights.
+    if (cfg.precision == Precision::kInt8 && cfg.int8_kernels) {
+      const std::vector<float> lattice(
+          static_cast<std::size_t>(ref.weight->dim(0)), weight_scale);
+      if (ref.conv != nullptr) ref.conv->EnableInt8Kernel(lattice);
+      if (ref.dense != nullptr) ref.dense->EnableInt8Kernel(lattice);
+    } else {
+      // Float emulation path (and stale-backend guard when re-approximating
+      // a network that previously ran int8).
+      if (ref.conv != nullptr) ref.conv->DisableInt8Kernel();
+      if (ref.dense != nullptr) ref.dense->DisableInt8Kernel();
     }
     report.layers.push_back(lr);
   }

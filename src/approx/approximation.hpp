@@ -66,6 +66,13 @@ struct ApproxConfig {
   /// prunes most of the network to ≈50% accuracy, 1.0 ≈ chance). Measured
   /// once on the reference static classifier; see DESIGN.md.
   double threshold_gain = 3.0;
+  /// kInt8 only: execute the variant on the integer backend
+  /// (approx/int8_backend.*) — int8 weight storage with per-output-channel
+  /// scales, int32 accumulation, requantized outputs. When false, kInt8
+  /// stays the paper's float fake-quantization emulation; that reference
+  /// path is what the int8 backend is pinned against in the determinism
+  /// tests. See DESIGN.md ("INT8 backend").
+  bool int8_kernels = true;
 };
 
 /// Per weight-layer outcome of the approximation pass.

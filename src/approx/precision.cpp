@@ -30,7 +30,7 @@ float Fp16Round(float v) {
     return std::bit_cast<float>(sign | mag);
   }
   if (mag >= 0x477ff000u) {            // overflows half: clamp to max finite
-    return std::bit_cast<float>(sign) < 0.0f || sign ? -65504.0f : 65504.0f;
+    return sign ? -65504.0f : 65504.0f;
   }
   if (mag < 0x33000001u) {             // underflows even half denormals
     return std::bit_cast<float>(sign); // signed zero

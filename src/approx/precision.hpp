@@ -5,6 +5,12 @@
 // float — i.e. quantize-dequantize emulation, the same methodology as
 // QuSecNets [12] which the paper builds on. FP16 uses IEEE-754 half with
 // round-to-nearest-even; INT8 uses symmetric per-tensor scaling.
+//
+// The emulation is the *reference* semantics of each precision. For kInt8
+// there is additionally a true integer execution backend (int8 weights with
+// per-output-channel scales, int32 accumulation — see approx/int8_backend.*
+// and DESIGN.md); ApplyApproximation selects it by default for kInt8
+// variants, and it reproduces this emulation to accumulation rounding.
 #pragma once
 
 #include <cstdint>

@@ -14,11 +14,24 @@ void ValidateSpace(const SearchSpace& space, bool need_time_steps) {
   AXSNN_CHECK(!space.approx_levels.empty(), "empty approximation-level axis");
 }
 
-/// Keeps the best-so-far candidate when not returning the first hit.
-void UpdateBest(SearchOutcome& outcome, const CandidateResult& candidate) {
-  if (!outcome.found || candidate.robustness_pct > outcome.best.robustness_pct)
-    outcome.best = candidate;
-}
+/// Tracks the maximum-robustness candidate across the whole sweep,
+/// independent of whether any candidate has met the quality constraint.
+/// (The previous version keyed the overwrite on `outcome.found`, which made
+/// every pre-`found` candidate clobber `best` — the best-effort fallback
+/// then reported the *last* candidate instead of the strongest one.)
+/// Strict `>` keeps the earliest candidate on ties, matching Algorithm 1's
+/// grid-order preference.
+struct BestTracker {
+  bool has_best = false;
+
+  void Offer(SearchOutcome& outcome, const CandidateResult& candidate) {
+    if (!has_best ||
+        candidate.robustness_pct > outcome.best.robustness_pct) {
+      outcome.best = candidate;
+      has_best = true;
+    }
+  }
+};
 
 /// The (precision, level) grid of one structural cell, in Algorithm 1's
 /// iteration order.
@@ -35,8 +48,8 @@ std::vector<VariantSpec> GridSpecs(const SearchSpace& space) {
 /// grid order, reproducing Algorithm 1 lines 15-24 exactly: the trace stops
 /// at the winning candidate under return_first, just like the serial loop.
 /// Returns true when the search should stop.
-bool AccumulateCell(SearchOutcome& outcome, const SearchConfig& config,
-                    CandidateResult base,
+bool AccumulateCell(SearchOutcome& outcome, BestTracker& best,
+                    const SearchConfig& config, CandidateResult base,
                     std::span<const VariantSpec> specs,
                     std::span<const float> robustness) {
   for (std::size_t i = 0; i < specs.size(); ++i) {
@@ -45,12 +58,13 @@ bool AccumulateCell(SearchOutcome& outcome, const SearchConfig& config,
     candidate.level = specs[i].level;
     candidate.robustness_pct = robustness[i];
     outcome.trace.push_back(candidate);
+    // Every candidate competes for `best`: failing candidates all sit below
+    // Q, so the max is still the first hit whenever one exists, and when
+    // nothing meets Q the best-effort answer is the strongest candidate.
+    best.Offer(outcome, candidate);
     if (candidate.robustness_pct >= config.quality_constraint_pct) {
-      UpdateBest(outcome, candidate);
       outcome.found = true;
       if (config.return_first) return true;
-    } else if (!config.return_first) {
-      UpdateBest(outcome, candidate);
     }
   }
   return false;
@@ -68,6 +82,7 @@ SearchOutcome PrecisionScalingSearch(const StaticWorkbench& bench,
               "static search supports PGD/BIM/none attacks");
 
   SearchOutcome outcome;
+  BestTracker best;
   const std::vector<VariantSpec> specs = GridSpecs(space);
   for (float vth : space.v_thresholds) {
     for (long t : space.time_steps) {
@@ -89,16 +104,12 @@ SearchOutcome PrecisionScalingSearch(const StaticWorkbench& bench,
       base.v_threshold = vth;
       base.time_steps = t;
       base.train_accuracy_pct = model.train_accuracy_pct;
-      if (AccumulateCell(outcome, config, base, specs, robustness))
+      if (AccumulateCell(outcome, best, config, base, specs, robustness))
         return outcome;
     }
   }
-  // When nothing met Q and we were asked for the best effort, report the
-  // strongest candidate seen (found stays false).
-  if (!outcome.found && !config.return_first && !outcome.trace.empty()) {
-    outcome.best = outcome.trace.front();
-    for (const CandidateResult& c : outcome.trace) UpdateBest(outcome, c);
-  }
+  // When nothing met Q, `best` already holds the strongest candidate seen
+  // (found stays false) — the best-effort answer for any return_first mode.
   return outcome;
 }
 
@@ -112,6 +123,7 @@ SearchOutcome PrecisionScalingSearch(const DvsWorkbench& bench,
               "neuromorphic search supports Sparse/Frame/none attacks");
 
   SearchOutcome outcome;
+  BestTracker best;
   const std::optional<AqfConfig> aqf =
       config.neuromorphic ? std::optional<AqfConfig>(config.aqf)
                           : std::nullopt;
@@ -129,12 +141,8 @@ SearchOutcome PrecisionScalingSearch(const DvsWorkbench& bench,
     base.v_threshold = vth;
     base.time_steps = model.time_bins;
     base.train_accuracy_pct = model.train_accuracy_pct;
-    if (AccumulateCell(outcome, config, base, specs, robustness))
+    if (AccumulateCell(outcome, best, config, base, specs, robustness))
       return outcome;
-  }
-  if (!outcome.found && !config.return_first && !outcome.trace.empty()) {
-    outcome.best = outcome.trace.front();
-    for (const CandidateResult& c : outcome.trace) UpdateBest(outcome, c);
   }
   return outcome;
 }

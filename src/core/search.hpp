@@ -55,7 +55,12 @@ struct CandidateResult {
 
 /// Search result: the chosen candidate (if any) plus the full trace.
 struct SearchOutcome {
+  /// True when some candidate met the quality constraint Q.
   bool found = false;
+  /// The maximum-robustness candidate over the evaluated trace (earliest on
+  /// ties, i.e. Algorithm 1's grid-order preference). When `found`, this is
+  /// the winning candidate; otherwise it is the best-effort fallback —
+  /// meaningful only when the trace is non-empty.
   CandidateResult best;
   std::vector<CandidateResult> trace;
 };

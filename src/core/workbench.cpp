@@ -101,6 +101,7 @@ snn::Network StaticWorkbench::MakeAx(const TrainedModel& model, double level,
   cfg.precision = precision;
   cfg.time_steps = model.time_steps;
   cfg.threshold_gain = options_.threshold_gain;
+  cfg.int8_kernels = options_.int8_kernels;
   auto [ax, report] = approx::MakeApproximate(model.net, cfg,
                                               model.calibration);
   (void)report;
@@ -208,6 +209,7 @@ snn::Network DvsWorkbench::MakeAx(const TrainedModel& model, double level,
   cfg.precision = precision;
   cfg.time_steps = model.time_bins;
   cfg.threshold_gain = options_.threshold_gain;
+  cfg.int8_kernels = options_.int8_kernels;
   auto [ax, report] = approx::MakeApproximate(model.net, cfg,
                                               model.calibration);
   (void)report;

@@ -64,6 +64,10 @@ class StaticWorkbench {
     /// Eq. (1) calibration constant for this architecture (see
     /// approx::ApproxConfig::threshold_gain).
     double threshold_gain = 3.0;
+    /// Execute kInt8 variants on the integer backend (int8 weights,
+    /// per-output-channel scales, int32 accumulation). False keeps the
+    /// float fake-quantization emulation for every precision.
+    bool int8_kernels = true;
     std::uint64_t seed = 5;
   };
 
@@ -135,6 +139,9 @@ class DvsWorkbench {
     /// Eq. (1) calibration constant for the DVS architecture: level 0.1
     /// keeps clean accuracy (Table II operating point).
     double threshold_gain = 0.3;
+    /// Execute kInt8 variants on the integer backend (see
+    /// StaticWorkbench::Options::int8_kernels).
+    bool int8_kernels = true;
     std::uint64_t seed = 17;
   };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "approx/int8_backend.hpp"
 #include "runtime/parallel_for.hpp"
 #include "tensor/check.hpp"
 
@@ -47,8 +48,19 @@ Shape Conv2d::OutputShape(const Shape& in) const {
   return out_shape;
 }
 
+void Conv2d::EnableInt8Kernel(std::span<const float> row_scales) {
+  qweight_ = QuantizedTensor::FromWeights(weight_, row_scales);
+}
+
 void Conv2d::ForwardInto(const Tensor& x, Tensor& out, bool /*train*/) {
   SizeOutput(x, out);
+  if (!qweight_.empty()) {
+    cached_input_ = x;
+    approx::Conv2dGeom geom{in_channels_, out_channels_, kernel_, pad_};
+    approx::Int8Conv2dForward(qweight_, bias_, x, out, geom, int8_act_,
+                              int8_acc_);
+    return;
+  }
   const std::size_t r = x.rank();
   const long c_in = x.dim(r - 3);
   const long h = x.dim(r - 2);
@@ -204,7 +216,9 @@ Tensor Conv2d::Backward(const Tensor& grad_out) {
 std::unique_ptr<Layer> Conv2d::Clone() const {
   auto copy = std::make_unique<Conv2d>(*this);
   copy->cached_input_ = Tensor();  // drop activation cache
-  return copy;
+  copy->int8_act_ = {};            // release int8 scratch (assigning an
+  copy->int8_acc_ = {};            // empty vector frees the copied buffer);
+  return copy;                     // qweight_ is kept
 }
 
 }  // namespace axsnn::snn

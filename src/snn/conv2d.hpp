@@ -7,10 +7,14 @@
 // input-space adversarial attacks.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "snn/layer.hpp"
+#include "tensor/quantized.hpp"
 #include "tensor/random.hpp"
 #include "tensor/tensor.hpp"
 
@@ -43,6 +47,23 @@ class Conv2d final : public Layer {
   Tensor& bias() { return bias_; }
   const Tensor& bias() const { return bias_; }
 
+  /// Switches ForwardInto to the integer backend (approx/int8_backend.*):
+  /// snapshots the *current* weights as int8 with per-output-channel scales
+  /// (`row_scales`; empty derives them rowwise as max|row| / 127) and runs
+  /// int32-accumulating kernels from then on. Call after the last weight
+  /// edit — later mutations of weight() are not re-quantized. Backward still
+  /// differentiates the float weights (attacks are crafted on the accurate
+  /// model, so the int8 path only ever runs forward).
+  void EnableInt8Kernel(std::span<const float> row_scales = {});
+  /// Returns to the float forward path.
+  void DisableInt8Kernel() { qweight_ = QuantizedTensor(); }
+  bool int8_kernel() const { return !qweight_.empty(); }
+  const QuantizedTensor& quantized_weight() const { return qweight_; }
+
+  /// Bulk weight reload: the int8 snapshot no longer matches — drop it
+  /// (callers re-enable if they still want integer execution).
+  void OnWeightsChanged() override { DisableInt8Kernel(); }
+
  private:
   std::string name_;
   long in_channels_ = 0;
@@ -54,6 +75,9 @@ class Conv2d final : public Layer {
   Tensor dweight_;
   Tensor dbias_;
   Tensor cached_input_;  // saved activation for Backward
+  QuantizedTensor qweight_;            // int8 backend weights (empty = off)
+  std::vector<std::int32_t> int8_act_; // activation codes (int32 SIMD lanes)
+  std::vector<std::int32_t> int8_acc_; // int8 backend accumulator scratch
 };
 
 }  // namespace axsnn::snn

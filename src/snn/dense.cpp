@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "approx/int8_backend.hpp"
 #include "runtime/parallel_for.hpp"
 #include "tensor/check.hpp"
 
@@ -38,11 +39,20 @@ Shape Dense::OutputShape(const Shape& in) const {
   return {n, out_features_};
 }
 
+void Dense::EnableInt8Kernel(std::span<const float> row_scales) {
+  qweight_ = QuantizedTensor::FromWeights(weight_, row_scales);
+}
+
 void Dense::ForwardInto(const Tensor& x, Tensor& out, bool /*train*/) {
   SizeOutput(x, out);
   const long n = x.numel() / in_features_;
 
   cached_input_ = x;
+
+  if (!qweight_.empty()) {
+    approx::Int8DenseForward(qweight_, bias_, x, out, int8_act_);
+    return;
+  }
 
   const float* xd = x.data();
   const float* wd = weight_.data();
@@ -107,6 +117,7 @@ Tensor Dense::Backward(const Tensor& grad_out) {
 std::unique_ptr<Layer> Dense::Clone() const {
   auto copy = std::make_unique<Dense>(*this);
   copy->cached_input_ = Tensor();
+  copy->int8_act_ = {};  // release int8 scratch; qweight_ is kept
   return copy;
 }
 

@@ -5,10 +5,14 @@
 // step; Backward sums parameter gradients over time.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "snn/layer.hpp"
+#include "tensor/quantized.hpp"
 #include "tensor/random.hpp"
 #include "tensor/tensor.hpp"
 
@@ -36,6 +40,19 @@ class Dense final : public Layer {
   Tensor& bias() { return bias_; }
   const Tensor& bias() const { return bias_; }
 
+  /// Switches ForwardInto to the integer backend; same contract as
+  /// Conv2d::EnableInt8Kernel (snapshot current weights, per-output-channel
+  /// scales, int32 accumulation; Backward keeps using the float weights).
+  void EnableInt8Kernel(std::span<const float> row_scales = {});
+  /// Returns to the float forward path.
+  void DisableInt8Kernel() { qweight_ = QuantizedTensor(); }
+  bool int8_kernel() const { return !qweight_.empty(); }
+  const QuantizedTensor& quantized_weight() const { return qweight_; }
+
+  /// Bulk weight reload: the int8 snapshot no longer matches — drop it
+  /// (callers re-enable if they still want integer execution).
+  void OnWeightsChanged() override { DisableInt8Kernel(); }
+
  private:
   std::string name_;
   long in_features_ = 0;
@@ -45,6 +62,8 @@ class Dense final : public Layer {
   Tensor dweight_;
   Tensor dbias_;
   Tensor cached_input_;
+  QuantizedTensor qweight_;            // int8 backend weights (empty = off)
+  std::vector<std::int8_t> int8_act_;  // int8 backend activation scratch
 };
 
 }  // namespace axsnn::snn

@@ -69,6 +69,15 @@ class Layer {
     for (Tensor* g : Grads()) g->Zero();
   }
 
+  /// Called after the layer's parameter tensors were overwritten in bulk
+  /// (Network::LoadStateDict). Layers holding state *derived* from their
+  /// parameters — e.g. the int8 weight snapshot of Conv2d/Dense — must
+  /// invalidate it here; executing on a stale snapshot would silently
+  /// ignore the new weights. Direct mutation through weight()/Params()
+  /// accessors does not trigger this hook; such callers re-derive manually
+  /// (as ApplyApproximation does by enabling int8 after its last edit).
+  virtual void OnWeightsChanged() {}
+
   /// Short identifier used in diagnostics and state dicts, e.g. "conv1".
   virtual std::string Name() const = 0;
 

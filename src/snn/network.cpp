@@ -122,6 +122,8 @@ void Network::LoadStateDict(const std::map<std::string, Tensor>& state) {
                   "state dict shape mismatch for " << key.str());
       *params[i] = it->second;
     }
+    // Derived parameter state (e.g. an int8 weight snapshot) is stale now.
+    layer->OnWeightsChanged();
   }
 }
 

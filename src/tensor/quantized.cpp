@@ -1,0 +1,78 @@
+#include "tensor/quantized.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/check.hpp"
+
+namespace axsnn {
+
+QuantizedTensor::QuantizedTensor(const Tensor& t, std::vector<float> scales)
+    : shape_(t.shape()),
+      data_(static_cast<std::size_t>(t.numel())),
+      scales_(std::move(scales)) {
+  const long n_rows = rows();
+  const long rs = row_size();
+  const float* src = t.data();
+  for (long r = 0; r < n_rows; ++r) {
+    const float inv = 1.0f / scales_[static_cast<std::size_t>(r)];
+    std::int8_t* dst = data_.data() + r * rs;
+    for (long i = 0; i < rs; ++i) {
+      const float q = std::nearbyint(src[r * rs + i] * inv);
+      dst[i] = static_cast<std::int8_t>(std::clamp(q, -127.0f, 127.0f));
+    }
+  }
+}
+
+QuantizedTensor QuantizedTensor::QuantizeRowwise(const Tensor& t) {
+  AXSNN_CHECK(t.rank() >= 1 && t.numel() > 0,
+              "QuantizeRowwise needs a non-empty tensor of rank >= 1");
+  const long rows = t.dim(0);
+  const long row_size = t.numel() / rows;
+  std::vector<float> scales(static_cast<std::size_t>(rows), 1.0f);
+  const float* src = t.data();
+  for (long r = 0; r < rows; ++r) {
+    float max_abs = 0.0f;
+    for (long i = 0; i < row_size; ++i)
+      max_abs = std::max(max_abs, std::fabs(src[r * row_size + i]));
+    if (max_abs > 0.0f)
+      scales[static_cast<std::size_t>(r)] = max_abs / 127.0f;
+  }
+  return QuantizedTensor(t, std::move(scales));
+}
+
+QuantizedTensor QuantizedTensor::QuantizeWithScales(const Tensor& t,
+                                                    std::vector<float> scales) {
+  AXSNN_CHECK(t.rank() >= 1 && t.numel() > 0,
+              "QuantizeWithScales needs a non-empty tensor of rank >= 1");
+  AXSNN_CHECK(static_cast<long>(scales.size()) == t.dim(0),
+              "QuantizeWithScales needs one scale per row: got "
+                  << scales.size() << " for " << t.dim(0) << " rows");
+  for (float s : scales)
+    AXSNN_CHECK(s > 0.0f && std::isfinite(s),
+                "row scales must be positive and finite");
+  return QuantizedTensor(t, std::move(scales));
+}
+
+QuantizedTensor QuantizedTensor::FromWeights(const Tensor& t,
+                                             std::span<const float> row_scales) {
+  if (row_scales.empty()) return QuantizeRowwise(t);
+  return QuantizeWithScales(
+      t, std::vector<float>(row_scales.begin(), row_scales.end()));
+}
+
+Tensor QuantizedTensor::Dequantized() const {
+  Tensor out(shape_);
+  const long n_rows = rows();
+  const long rs = row_size();
+  float* dst = out.data();
+  for (long r = 0; r < n_rows; ++r) {
+    const float s = scales_[static_cast<std::size_t>(r)];
+    const std::int8_t* src = data_.data() + r * rs;
+    for (long i = 0; i < rs; ++i)
+      dst[r * rs + i] = static_cast<float>(src[i]) * s;
+  }
+  return out;
+}
+
+}  // namespace axsnn

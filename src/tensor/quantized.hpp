@@ -1,0 +1,77 @@
+// Quantized tensor: int8 storage with per-output-channel float scales.
+//
+// The production INT8 pattern (cf. MXNet's quantized_conv / TFLite): weights
+// are stored as 8-bit integers with one float scale per output channel
+// (row of the [C_out, ...] weight layout), kernels accumulate in int32, and
+// the accumulator is requantized to the output domain with the combined
+// activation x weight scale. This class is the storage half of that
+// contract; the integer kernels live in approx/int8_backend.*.
+//
+// Row r of a tensor shaped [R, ...] holds values  q[r][i] * scales[r]  with
+// q in [-127, 127] (symmetric, -128 unused so negation is always exact).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace axsnn {
+
+/// Int8 tensor with per-row (output-channel) float scales.
+class QuantizedTensor {
+ public:
+  /// Empty quantized tensor (no rows, no data).
+  QuantizedTensor() = default;
+
+  /// Quantizes `t` with an independent symmetric scale per row, where a row
+  /// is one slice along dimension 0 (the output-channel axis of Conv2d /
+  /// Dense weights): scales[r] = max|t[r, :]| / 127. An all-zero row gets
+  /// scale 1 and all-zero codes. Requires rank >= 1.
+  static QuantizedTensor QuantizeRowwise(const Tensor& t);
+
+  /// Quantizes `t` using caller-provided per-row scales (all positive,
+  /// size == t.dim(0)). Used when the float values already live on a known
+  /// lattice — e.g. the per-tensor fake-quantization grid of the paper's
+  /// emulation, where passing that grid's scale for every row makes the
+  /// int8 representation exact.
+  static QuantizedTensor QuantizeWithScales(const Tensor& t,
+                                            std::vector<float> scales);
+
+  /// Convenience dispatcher for weight-layer int8 snapshots: an empty span
+  /// selects QuantizeRowwise, otherwise the scales are copied and passed to
+  /// QuantizeWithScales.
+  static QuantizedTensor FromWeights(const Tensor& t,
+                                     std::span<const float> row_scales);
+
+  /// Float reconstruction: q[r][i] * scales[r]. The int8 kernels compute
+  /// bit-aligned results to running this through the float kernels (modulo
+  /// float summation rounding).
+  Tensor Dequantized() const;
+
+  const Shape& shape() const { return shape_; }
+  long rows() const { return shape_.empty() ? 0 : shape_[0]; }
+  long row_size() const { return rows() == 0 ? 0 : numel() / rows(); }
+  long numel() const { return static_cast<long>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  const std::int8_t* data() const { return data_.data(); }
+  std::span<const std::int8_t> flat() const { return {data_.data(),
+                                                      data_.size()}; }
+  std::span<const float> scales() const { return {scales_.data(),
+                                                  scales_.size()}; }
+  float scale(long row) const {
+    return scales_[static_cast<std::size_t>(row)];
+  }
+
+ private:
+  /// Quantizes `t` row by row with the given (validated) scales.
+  QuantizedTensor(const Tensor& t, std::vector<float> scales);
+
+  Shape shape_;
+  std::vector<std::int8_t> data_;
+  std::vector<float> scales_;  // one per row (dimension-0 slice)
+};
+
+}  // namespace axsnn

@@ -1,6 +1,7 @@
 // Tests for precision scaling (FP16/INT8 quantizers), the Eq. (1)
 // approximation pass, and the energy model.
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -41,6 +42,29 @@ TEST(Fp16Round, ClampsOverflowToMaxHalf) {
   EXPECT_EQ(Fp16Round(1e6f), 65504.0f);
   EXPECT_EQ(Fp16Round(-1e6f), -65504.0f);
   EXPECT_EQ(Fp16Round(65504.0f), 65504.0f);
+}
+
+TEST(Fp16Round, OverflowBoundary) {
+  // 65504 is the largest finite half; both signs pass through exactly.
+  EXPECT_EQ(Fp16Round(65504.0f), 65504.0f);
+  EXPECT_EQ(Fp16Round(-65504.0f), -65504.0f);
+  // 65520 is the first float at or beyond the half overflow threshold
+  // (halfway to 2^16); the conversion saturates instead of producing inf,
+  // and the sign must be honoured on the negative side (regression test for
+  // the dead `bit_cast<float>(sign) < 0` compare in the clamp branch).
+  EXPECT_EQ(Fp16Round(65520.0f), 65504.0f);
+  EXPECT_EQ(Fp16Round(-65520.0f), -65504.0f);
+  // Just below the threshold still rounds down to the max finite half.
+  EXPECT_EQ(Fp16Round(65519.0f), 65504.0f);
+  EXPECT_EQ(Fp16Round(-65519.0f), -65504.0f);
+}
+
+TEST(Fp16Round, InfAndNanPassThrough) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(Fp16Round(inf), inf);
+  EXPECT_EQ(Fp16Round(-inf), -inf);
+  EXPECT_TRUE(std::isnan(Fp16Round(std::numeric_limits<float>::quiet_NaN())));
+  EXPECT_TRUE(std::isnan(Fp16Round(-std::numeric_limits<float>::quiet_NaN())));
 }
 
 TEST(Fp16Round, FlushesTinyToSignedZero) {

@@ -122,6 +122,42 @@ TEST(PrecisionScalingSearch, ImpossibleQReturnsNotFound) {
   EXPECT_LT(outcome.best.robustness_pct, 60.0f);
 }
 
+TEST(PrecisionScalingSearch, BestEffortFallbackKeepsMaxRobustness) {
+  // No variant can meet Q, so the search must fall back to the strongest
+  // candidate in the trace — not the last one evaluated (regression test
+  // for the pre-`found` overwrite in UpdateBest). The level axis is ordered
+  // so the strongest candidate sits in the *middle* of the grid: level 1.0
+  // prunes the network to chance while 0.01 barely touches it.
+  StaticWorkbench& bench = SharedStaticBench();
+  SearchSpace space;
+  space.v_thresholds = {0.25f};
+  space.time_steps = {8};
+  space.precisions = {approx::Precision::kFp32};
+  space.approx_levels = {1.0, 0.01, 1.0};
+  SearchConfig cfg;
+  cfg.attack = AttackKind::kPgd;
+  cfg.epsilon = 0.05f;
+  // The training gate passes (~63% train accuracy) but no candidate comes
+  // near Q: the mild middle variant reaches ~34% robustness under PGD and
+  // the level-1.0 ones ~10%.
+  cfg.quality_constraint_pct = 60.0f;
+  cfg.return_first = false;
+  SearchOutcome outcome = PrecisionScalingSearch(bench, space, cfg);
+  EXPECT_FALSE(outcome.found);
+  ASSERT_EQ(outcome.trace.size(), 3u);
+  float max_robustness = outcome.trace.front().robustness_pct;
+  for (const CandidateResult& c : outcome.trace)
+    max_robustness = std::max(max_robustness, c.robustness_pct);
+  // The mild middle candidate must beat the destroyed level-1.0 ones, so
+  // the trace's maximum is not at the back — the buggy tracker reported
+  // trace.back() here.
+  EXPECT_EQ(outcome.trace[1].robustness_pct, max_robustness);
+  EXPECT_GT(max_robustness, outcome.trace.back().robustness_pct);
+  EXPECT_EQ(outcome.best.robustness_pct, max_robustness);
+  EXPECT_EQ(outcome.best.level, 0.01);
+  EXPECT_LT(outcome.best.robustness_pct, cfg.quality_constraint_pct);
+}
+
 TEST(PrecisionScalingSearch, QualityGateSkipsBadCells) {
   // With Q above anything a 1-epoch model reaches, every structural cell is
   // rejected at the training gate and the trace stays empty.
