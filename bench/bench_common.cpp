@@ -16,6 +16,15 @@ std::vector<double> PaperEpsGrid() {
   return {0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0, 1.5};
 }
 
+Tensor MakeSpikes(Shape shape, float density, Rng& rng) {
+  Tensor gate = Tensor::Uniform(shape, 0.0f, 1.0f, rng);
+  Tensor vals = Tensor::Uniform(shape, 0.25f, 1.0f, rng);
+  Tensor x(std::move(shape));
+  for (long i = 0; i < x.numel(); ++i)
+    x[i] = gate[i] < density ? vals[i] : 0.0f;
+  return x;
+}
+
 std::vector<float> VthGrid() {
   std::vector<float> v;
   for (float x = 0.25f; x <= 2.26f; x += 0.25f) v.push_back(x);

@@ -30,6 +30,11 @@ std::vector<double> PaperEpsGrid();
 std::vector<float> VthGrid();   // 0.25 .. 2.25 step 0.25
 std::vector<long> TimeGrid();   // 32 .. 80 step 8
 
+/// Spike-like activations for the kernel-dispatch benchmarks: nonzero with
+/// probability `density`, values in [0.25, 1) — the input regime the
+/// sparse kernel path targets (mirrors MakeSpikes in tests/test_kernels.cpp).
+Tensor MakeSpikes(Shape shape, float density, Rng& rng);
+
 /// Deterministic dataset splits shared by every static bench.
 data::StaticDataset MakeStaticTrain(long count);
 data::StaticDataset MakeStaticTest(long count);

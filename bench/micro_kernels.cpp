@@ -3,7 +3,9 @@
 // tracking kernel regressions independently of the experiment harnesses.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "data/dvs_gesture.hpp"
+#include "kernels/dispatch.hpp"
 #include "snn/conv2d.hpp"
 #include "snn/dense.hpp"
 #include "snn/encoding.hpp"
@@ -13,6 +15,18 @@
 namespace {
 
 using namespace axsnn;
+
+/// Spike-like activations at density_pct % (bench::MakeSpikes adapter for
+/// google-benchmark's integer Args axis).
+Tensor MakeSpikesPct(Shape shape, long density_pct, Rng& rng) {
+  return bench::MakeSpikes(std::move(shape),
+                           static_cast<float>(density_pct) / 100.0f, rng);
+}
+
+/// Mode axis for the dispatch benchmarks (KernelMode enumerator values).
+constexpr long kModeNaive = static_cast<long>(kernels::KernelMode::kNaive);
+constexpr long kModeGemm = static_cast<long>(kernels::KernelMode::kGemm);
+constexpr long kModeSparse = static_cast<long>(kernels::KernelMode::kSparse);
 
 void BM_Conv2dForward(benchmark::State& state) {
   const long channels = state.range(0);
@@ -114,6 +128,66 @@ void BM_DenseForwardInt8(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * x.numel());
 }
 BENCHMARK(BM_DenseForwardInt8);
+
+void BM_Conv2dDispatch(benchmark::State& state) {
+  // Kernel-dispatch sweep: range(0) = kernel mode, range(1) = spike
+  // density [%]. Pins one path globally so the axes stay meaningful under
+  // the CI kernel-mode matrix.
+  kernels::ScopedKernelMode force(
+      static_cast<kernels::KernelMode>(state.range(0)));
+  Rng rng(7);
+  snn::Conv2d conv("c", 8, 16, 3, 1, rng);
+  Tensor x = MakeSpikesPct({8, 16, 8, 16, 16}, state.range(1), rng);
+  for (auto _ : state) {
+    Tensor y = conv.Forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_Conv2dDispatch)
+    ->Args({kModeNaive, 10})
+    ->Args({kModeGemm, 10})
+    ->Args({kModeSparse, 10})
+    ->Args({kModeNaive, 100})
+    ->Args({kModeGemm, 100})
+    ->Args({kModeSparse, 100});
+
+void BM_Conv2dDispatchInt8(benchmark::State& state) {
+  // Same sweep on the int8 backend.
+  kernels::ScopedKernelMode force(
+      static_cast<kernels::KernelMode>(state.range(0)));
+  Rng rng(7);
+  snn::Conv2d conv("c", 8, 16, 3, 1, rng);
+  conv.EnableInt8Kernel();
+  Tensor x = MakeSpikesPct({8, 16, 8, 16, 16}, state.range(1), rng);
+  for (auto _ : state) {
+    Tensor y = conv.Forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_Conv2dDispatchInt8)
+    ->Args({kModeNaive, 10})
+    ->Args({kModeGemm, 10})
+    ->Args({kModeSparse, 10});
+
+void BM_DenseDispatch(benchmark::State& state) {
+  kernels::ScopedKernelMode force(
+      static_cast<kernels::KernelMode>(state.range(0)));
+  Rng rng(7);
+  snn::Dense fc("fc", 512, 128, rng);
+  Tensor x = MakeSpikesPct({16, 64, 512}, state.range(1), rng);
+  for (auto _ : state) {
+    Tensor y = fc.Forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_DenseDispatch)
+    ->Args({kModeNaive, 10})
+    ->Args({kModeGemm, 10})
+    ->Args({kModeSparse, 10})
+    ->Args({kModeGemm, 100});
 
 void BM_RateEncode(benchmark::State& state) {
   Rng rng(6);

@@ -6,10 +6,14 @@
 //     (steady state), counted with an operator-new hook local to this
 //     binary;
 //  3. kernel backends — fp32 vs int8 (per-output-channel scales, int32
-//     accumulation) forward throughput of the Conv2d and Dense kernels.
+//     accumulation) forward throughput of the Conv2d and Dense kernels;
+//  4. kernel dispatch — naive vs gemm vs sparse throughput at a
+//     representative spike density (10% nonzeros), fp32 and int8, for the
+//     sparsity-aware dispatch engine (src/kernels/).
 //
 // Prints a human-readable table and emits BENCH_runtime.json next to the
 // working directory so baselines can be recorded in-tree.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -18,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
+#include "kernels/dispatch.hpp"
 #include "runtime/parallel_for.hpp"
 #include "runtime/thread_pool.hpp"
 #include "snn/conv2d.hpp"
@@ -157,6 +163,68 @@ KernelTimings RunKernelComparison(int repeats) {
   return t;
 }
 
+/// Per-mode timings for one layer/precision: naive / gemm / sparse ms.
+struct ModeTimings {
+  double naive_ms;
+  double gemm_ms;
+  double sparse_ms;
+  double best_speedup() const {
+    return naive_ms / std::min(gemm_ms, sparse_ms);
+  }
+};
+
+struct DispatchTimings {
+  double density;
+  ModeTimings conv_fp32;
+  ModeTimings conv_int8;
+  ModeTimings dense_fp32;
+  ModeTimings dense_int8;
+};
+
+/// Forces each path via ScopedKernelMode (precedence rule 1), so the
+/// comparison stays meaningful even when AXSNN_KERNEL_MODE is exported —
+/// as the CI kernel-mode matrix does.
+template <typename LayerT>
+ModeTimings TimeModes(LayerT& layer, const Tensor& x, int repeats) {
+  ModeTimings t{};
+  {
+    kernels::ScopedKernelMode force(kernels::KernelMode::kNaive);
+    t.naive_ms = MsPerForward(layer, x, repeats);
+  }
+  {
+    kernels::ScopedKernelMode force(kernels::KernelMode::kGemm);
+    t.gemm_ms = MsPerForward(layer, x, repeats);
+  }
+  {
+    kernels::ScopedKernelMode force(kernels::KernelMode::kSparse);
+    t.sparse_ms = MsPerForward(layer, x, repeats);
+  }
+  return t;
+}
+
+/// Sparsity-aware dispatch engine: naive vs gemm vs sparse throughput on
+/// the same conv/dense shapes as RunKernelComparison, but with spike-like
+/// inputs at the representative SNN density of 10% nonzeros.
+DispatchTimings RunDispatchComparison(int repeats) {
+  DispatchTimings t{};
+  t.density = 0.10;
+  Rng rng(7);
+  snn::Conv2d conv("c", 8, 16, 3, 1, rng);
+  Tensor cx = bench::MakeSpikes({8, 16, 8, 16, 16},
+                                static_cast<float>(t.density), rng);
+  t.conv_fp32 = TimeModes(conv, cx, repeats);
+  conv.EnableInt8Kernel();
+  t.conv_int8 = TimeModes(conv, cx, repeats);
+
+  snn::Dense fc("fc", 512, 128, rng);
+  Tensor dx =
+      bench::MakeSpikes({16, 64, 512}, static_cast<float>(t.density), rng);
+  t.dense_fp32 = TimeModes(fc, dx, repeats);
+  fc.EnableInt8Kernel();
+  t.dense_int8 = TimeModes(fc, dx, repeats);
+  return t;
+}
+
 }  // namespace
 }  // namespace axsnn
 
@@ -193,6 +261,19 @@ int main(int argc, char** argv) {
               kernels.dense_fp32_ms, kernels.dense_int8_ms,
               kernels.dense_fp32_ms / kernels.dense_int8_ms);
 
+  const auto dispatch = axsnn::RunDispatchComparison(repeats);
+  std::printf("\nkernel dispatch at %.0f%% spike density (ms/pass):\n",
+              dispatch.density * 100.0);
+  const auto print_modes = [](const char* name, const auto& m) {
+    std::printf("  %-11s naive %7.3f   gemm %7.3f   sparse %7.3f   "
+                "best %5.2fx\n",
+                name, m.naive_ms, m.gemm_ms, m.sparse_ms, m.best_speedup());
+  };
+  print_modes("conv2d fp32", dispatch.conv_fp32);
+  print_modes("conv2d int8", dispatch.conv_int8);
+  print_modes("dense  fp32", dispatch.dense_fp32);
+  print_modes("dense  int8", dispatch.dense_int8);
+
   if (FILE* f = std::fopen("BENCH_runtime.json", "w")) {
     std::fprintf(f, "{\n  \"workload\": \"static_net_forward[8,16,1,16,16]\",\n");
     std::fprintf(f, "  \"repeats\": %d,\n", repeats);
@@ -219,6 +300,21 @@ int main(int argc, char** argv) {
     std::fprintf(f, "    \"dense_int8_ms\": %.4f,\n", kernels.dense_int8_ms);
     std::fprintf(f, "    \"dense_speedup\": %.3f\n",
                  kernels.dense_fp32_ms / kernels.dense_int8_ms);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"kernel_dispatch\": {\n");
+    std::fprintf(f, "    \"spike_density\": %.2f,\n", dispatch.density);
+    const auto emit_modes = [f](const char* name, const auto& m,
+                                const char* tail) {
+      std::fprintf(f,
+                   "    \"%s\": {\"naive_ms\": %.4f, \"gemm_ms\": %.4f, "
+                   "\"sparse_ms\": %.4f, \"best_speedup\": %.3f}%s\n",
+                   name, m.naive_ms, m.gemm_ms, m.sparse_ms,
+                   m.best_speedup(), tail);
+    };
+    emit_modes("conv2d_fp32", dispatch.conv_fp32, ",");
+    emit_modes("conv2d_int8", dispatch.conv_int8, ",");
+    emit_modes("dense_fp32", dispatch.dense_fp32, ",");
+    emit_modes("dense_int8", dispatch.dense_int8, "");
     std::fprintf(f, "  }\n}\n");
     std::fclose(f);
     std::printf("\nwrote BENCH_runtime.json\n");

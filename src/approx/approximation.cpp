@@ -91,6 +91,10 @@ ApproxReport ApplyApproximation(snn::Network& net, const ApproxConfig& cfg,
   long conn_total = 0;
 
   for (WeightLayerRef& ref : CollectWeightLayers(net)) {
+    // Kernel-path knob: applies to fp32 and int8 execution alike.
+    if (ref.conv != nullptr) ref.conv->set_kernel_mode(cfg.kernel_mode);
+    if (ref.dense != nullptr) ref.dense->set_kernel_mode(cfg.kernel_mode);
+
     // Precision scaling always applies (it is the wp in Eq. (1)).
     const float weight_scale = QuantizeTensor(*ref.weight, cfg.precision);
     QuantizeTensor(*ref.bias, cfg.precision);

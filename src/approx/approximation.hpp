@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "approx/precision.hpp"
+#include "kernels/dispatch.hpp"
 #include "snn/network.hpp"
 #include "tensor/tensor.hpp"
 
@@ -73,6 +74,11 @@ struct ApproxConfig {
   /// path is what the int8 backend is pinned against in the determinism
   /// tests. See DESIGN.md ("INT8 backend").
   bool int8_kernels = true;
+  /// Kernel-implementation knob applied to every Conv2d/Dense of the
+  /// variant (naive | gemm | sparse; kAuto probes spike density per call).
+  /// Every path is bit-identical — this is a performance/debugging knob,
+  /// never an accuracy one. A non-auto AXSNN_KERNEL_MODE overrides it.
+  kernels::KernelMode kernel_mode = kernels::KernelMode::kAuto;
 };
 
 /// Per weight-layer outcome of the approximation pass.

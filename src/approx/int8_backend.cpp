@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 
+#include "kernels/dispatch.hpp"
 #include "runtime/parallel_for.hpp"
 #include "tensor/check.hpp"
 
@@ -66,158 +67,39 @@ template float Int8QuantizeActivations(const Tensor&,
 template float Int8QuantizeActivations(const Tensor&,
                                        std::vector<std::int32_t>&);
 
-namespace {
-
-/// Raw-argument core of the int8 convolution: one (sample, out-channel)
-/// output plane per `idx` in [idx_lo, idx_hi), accumulated in `plane` — a
-/// single h_out*w_out int32 buffer owned by this chunk and reused across
-/// its planes (only one plane is live at a time). The noinline raw-pointer
-/// boundary and the __restrict qualifiers both matter: inlined into the
-/// pool lambda (where every pointer derives from Tensor/vector members)
-/// GCC 12 stops hoisting across the plane loops, and without __restrict it
-/// guards the vectorized MAC loop with per-row overlap checks whose cost
-/// rivals the 4-lane SSE body at these row lengths. Together they are worth
-/// ~25% kernel throughput at -O3 without -march.
-#if defined(__GNUC__) || defined(__clang__)
-__attribute__((noinline))
-#endif
-void Conv2dPlanes(long idx_lo, long idx_hi,
-                  const std::int32_t* __restrict xd,
-                  const std::int8_t* __restrict wd,
-                  const float* __restrict scales,
-                  const float* __restrict bd, float act_scale,
-                  std::int32_t* __restrict plane, float* __restrict od,
-                  long c_in, long h, long w, long co_n,
-                  long kernel, long pad) {
-  const long h_out = h + 2 * pad - kernel + 1;
-  const long w_out = w + 2 * pad - kernel + 1;
-  const long x_plane = h * w;
-  const long x_sample = c_in * x_plane;
-  const long o_plane = h_out * w_out;
-  const long o_sample = co_n * o_plane;
-  const long w_per_out = c_in * kernel * kernel;
-  for (long idx = idx_lo; idx < idx_hi; ++idx) {
-    const long s = idx / co_n;
-    const long co = idx % co_n;
-    const std::int32_t* xs = xd + s * x_sample;
-    const std::int8_t* wf = wd + co * w_per_out;
-    std::int32_t* ap = plane;
-    for (long i = 0; i < o_plane; ++i) ap[i] = 0;
-    for (long ci = 0; ci < c_in; ++ci) {
-      const std::int32_t* xp = xs + ci * x_plane;
-      const std::int8_t* wp = wf + ci * kernel * kernel;
-      for (long ky = 0; ky < kernel; ++ky) {
-        for (long kx = 0; kx < kernel; ++kx) {
-          const std::int32_t wv = wp[ky * kernel + kx];
-          if (wv == 0) continue;  // pruned connection: no work
-          const long ox_lo = std::max(0L, pad - kx);
-          const long ox_hi = std::min(w_out, w + pad - kx);
-          // Index as xrow[ox + kx - pad] instead of pre-offsetting xrow:
-          // ox >= ox_lo keeps the index non-negative, and a pre-start
-          // pointer must not even be formed ([expr.add]).
-          const long x_off = kx - pad;
-          for (long oy = 0; oy < h_out; ++oy) {
-            const long iy = oy + ky - pad;
-            if (iy < 0 || iy >= h) continue;
-            const std::int32_t* xrow = xp + iy * w;
-            std::int32_t* arow = ap + oy * w_out;
-            for (long ox = ox_lo; ox < ox_hi; ++ox)
-              arow[ox] += wv * xrow[ox + x_off];
-          }
-        }
-      }
-    }
-    // Requantize: accumulator counts are exact, the output lives at
-    // act_scale * weight_scale[co]; bias stays float.
-    const float requant = act_scale * scales[co];
-    const float b = bd[co];
-    float* op = od + s * o_sample + co * o_plane;
-    for (long i = 0; i < o_plane; ++i)
-      op[i] = static_cast<float>(ap[i]) * requant + b;
-  }
-}
-
-}  // namespace
-
 void Int8Conv2dForward(const QuantizedTensor& weight, const Tensor& bias,
                        const Tensor& x, Tensor& out, const Conv2dGeom& geom,
-                       std::vector<std::int32_t>& qact,
-                       std::vector<std::int32_t>& acc) {
+                       kernels::KernelMode mode, runtime::Workspace& scratch) {
   const std::size_t r = x.rank();
   AXSNN_CHECK(r >= 3, "Int8Conv2dForward expects [*, C, H, W]");
   const long c_in = x.dim(r - 3);
   const long h = x.dim(r - 2);
   const long w = x.dim(r - 1);
   const long n = x.numel() / (c_in * h * w);
-  const long h_out = h + 2 * geom.pad - geom.kernel + 1;
-  const long w_out = w + 2 * geom.pad - geom.kernel + 1;
   AXSNN_CHECK(c_in == geom.in_channels && weight.rows() == geom.out_channels,
               "Int8Conv2dForward geometry mismatch");
-  AXSNN_CHECK(out.numel() == n * geom.out_channels * h_out * w_out,
-              "Int8Conv2dForward output not sized");
 
+  // Activation codes live in the scratch workspace (slots::kQAct, which the
+  // kernels never touch) so the layer carries no typed members of its own.
+  auto& qact = scratch.AcquireI32(kernels::slots::kQAct,
+                                  static_cast<std::size_t>(x.numel()));
   const float act_scale = Int8QuantizeActivations(x, qact);
-
-  const long c_out = geom.out_channels;
-  const long o_plane = h_out * w_out;
-  const long total = n * c_out;
-  const long grain = runtime::DefaultGrain(total);
-  // One plane-sized accumulator per chunk (each chunk's planes are
-  // processed one at a time) instead of a full output-sized scratch.
-  acc.resize(static_cast<std::size_t>(runtime::NumChunks(total, grain) *
-                                      o_plane));
-
-  const std::int32_t* xd = qact.data();
-  const std::int8_t* wd = weight.data();
-  const float* scales = weight.scales().data();
-  const float* bd = bias.data();
-  float* od = out.data();
-  std::int32_t* ad = acc.data();
-  const long kernel = geom.kernel;
-  const long pad = geom.pad;
-
-  // Same loop nest as the float Conv2d::ForwardInto: one disjoint output
-  // plane per (sample, out-channel) index, contiguous inner loop over ox,
-  // chunks fanned out on the runtime pool.
-  runtime::ParallelForChunks(
-      0, total,
-      [&](long chunk, long lo, long hi) {
-        Conv2dPlanes(lo, hi, xd, wd, scales, bd, act_scale,
-                     ad + chunk * o_plane, od, c_in, h, w, c_out, kernel,
-                     pad);
-      },
-      grain);
+  kernels::Int8Conv2dForward(weight, bias, qact.data(), act_scale, n, h, w,
+                             out, geom, mode, scratch);
 }
 
 void Int8DenseForward(const QuantizedTensor& weight, const Tensor& bias,
-                      const Tensor& x, Tensor& out,
-                      std::vector<std::int8_t>& qact) {
+                      const Tensor& x, Tensor& out, kernels::KernelMode mode,
+                      runtime::Workspace& scratch) {
   const long f_in = weight.row_size();
-  const long f_out = weight.rows();
-  const long n = x.numel() / f_in;
   AXSNN_CHECK(x.numel() % f_in == 0, "Int8DenseForward feature mismatch");
-  AXSNN_CHECK(out.numel() == n * f_out, "Int8DenseForward output not sized");
+  const long n = x.numel() / f_in;
 
+  auto& qact = scratch.AcquireI8(kernels::slots::kQActI8,
+                                 static_cast<std::size_t>(x.numel()));
   const float act_scale = Int8QuantizeActivations(x, qact);
-
-  const std::int8_t* xd = qact.data();
-  const std::int8_t* wd = weight.data();
-  const float* bd = bias.data();
-  const std::span<const float> ws = weight.scales();
-  float* od = out.data();
-
-  runtime::ParallelFor(0, n, [&](long s) {
-    const std::int8_t* xs = xd + s * f_in;
-    float* os = od + s * f_out;
-    for (long o = 0; o < f_out; ++o) {
-      const std::int8_t* wr = wd + o * f_in;
-      std::int32_t acc = 0;
-      for (long i = 0; i < f_in; ++i)
-        acc += static_cast<std::int32_t>(wr[i]) *
-               static_cast<std::int32_t>(xs[i]);
-      os[o] = static_cast<float>(acc) * (act_scale * ws[o]) + bd[o];
-    }
-  });
+  kernels::Int8DenseForward(weight, bias, qact.data(), act_scale, n, out,
+                            mode, scratch);
 }
 
 }  // namespace axsnn::approx

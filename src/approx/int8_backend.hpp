@@ -21,11 +21,20 @@
 // Accumulator headroom: |q_a| <= 64 and |q_w| <= 127, so int32 holds exact
 // sums for fan-ins up to 2^31 / (64 * 127) ≈ 264k — far above any layer in
 // this repo. The ASan/UBSan CI job would flag an overflow regression.
+//
+// Execution itself lives in src/kernels/ (naive / gemm / sparse, selected
+// by the sparsity-aware dispatcher — kernels/dispatch.hpp): this module
+// quantizes the activations and forwards to kernels::Int8Conv2dForward /
+// kernels::Int8DenseForward. Integer accumulation is exact, so every mode
+// produces identical results.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "kernels/conv2d_kernels.hpp"
+#include "kernels/dense_kernels.hpp"
+#include "runtime/workspace.hpp"
 #include "tensor/quantized.hpp"
 #include "tensor/tensor.hpp"
 
@@ -38,39 +47,32 @@ float Int8ActivationScale(float max_abs);
 
 /// Quantizes `x` into `qact` (resized) with the power-of-two scheme above;
 /// returns the activation scale. `CodeT` is the *storage* type of the codes
-/// (their values always fit int8): the dense kernel keeps int8 rows — its
+/// (their values always fit int8): the dense kernels keep int8 rows — their
 /// contiguous dot products vectorize into widening multiply-adds — while
-/// the conv kernel stages int32 rows, which turn its scalar-weight-times-row
-/// inner loop into full-width integer lanes instead of per-element sign
-/// extensions (~25% faster than the fp32 kernel on AVX2, vs ~20% slower
-/// when the rows stay int8).
+/// the conv kernels stage int32 rows, which turn their scalar-weight-times-
+/// row inner loops into full-width integer lanes instead of per-element
+/// sign extensions.
 template <typename CodeT>
 float Int8QuantizeActivations(const Tensor& x, std::vector<CodeT>& qact);
 
 /// Conv2d geometry (stride 1, symmetric zero padding — mirrors snn::Conv2d).
-struct Conv2dGeom {
-  long in_channels = 0;
-  long out_channels = 0;
-  long kernel = 0;
-  long pad = 0;
-};
+using Conv2dGeom = kernels::Conv2dGeom;
 
 /// Integer-accumulating convolution forward pass over [*, C_in, H, W].
 /// `weight` is the int8 [C_out, C_in, K, K] kernel with per-C_out scales,
 /// `bias` a float [C_out] tensor added after requantization. `out` must
-/// already be sized to the output shape. `qact` is reusable activation
-/// scratch (int8-valued codes in int32 lanes, see Int8QuantizeActivations);
-/// `acc` reusable int32 accumulator scratch, one output plane per parallel
-/// chunk (both grown on demand, allocation-free in steady state).
+/// already be sized to the output shape. `mode` picks the kernel flavour
+/// (kAuto probes spike density); `scratch` owns the activation-code,
+/// accumulator and packing buffers (grown on demand, allocation-free in
+/// steady state).
 void Int8Conv2dForward(const QuantizedTensor& weight, const Tensor& bias,
                        const Tensor& x, Tensor& out, const Conv2dGeom& geom,
-                       std::vector<std::int32_t>& qact,
-                       std::vector<std::int32_t>& acc);
+                       kernels::KernelMode mode, runtime::Workspace& scratch);
 
 /// Integer-accumulating dense forward pass over [*, F_in]. Same contract as
 /// Int8Conv2dForward; `weight` is int8 [F_out, F_in] with per-F_out scales.
 void Int8DenseForward(const QuantizedTensor& weight, const Tensor& bias,
-                      const Tensor& x, Tensor& out,
-                      std::vector<std::int8_t>& qact);
+                      const Tensor& x, Tensor& out, kernels::KernelMode mode,
+                      runtime::Workspace& scratch);
 
 }  // namespace axsnn::approx

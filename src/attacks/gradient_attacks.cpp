@@ -35,6 +35,9 @@ Tensor IterativeAttack(snn::Network& net, const Tensor& images,
   const long per_sample = images.numel() / n;
   Rng rng(cfg.seed);
   Tensor input;  // encoded [T, B, ...] staging, reused across steps/batches
+  // The craft loop backpropagates through train=false forwards: keep the
+  // layers' Backward caches for its duration.
+  snn::GradCacheScope grad_cache(net);
 
   for (long start = 0; start < n; start += cfg.batch_size) {
     const long count = std::min(cfg.batch_size, n - start);

@@ -35,6 +35,10 @@ data::EventStream SparseAttack(snn::Network& net,
   const float bin_ms =
       stream.duration_ms / static_cast<float>(cfg.time_bins);
   const std::vector<int> labels = {label};
+  // The loop backpropagates through train=false forwards: keep the layers'
+  // Backward caches alive for its duration (RAII — restores the prior
+  // state even when a check throws mid-loop).
+  snn::GradCacheScope grad_cache(net);
 
   for (long iter = 0; iter < cfg.max_iterations; ++iter) {
     // Frame the current stream and query the victim.

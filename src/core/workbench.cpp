@@ -102,6 +102,7 @@ snn::Network StaticWorkbench::MakeAx(const TrainedModel& model, double level,
   cfg.time_steps = model.time_steps;
   cfg.threshold_gain = options_.threshold_gain;
   cfg.int8_kernels = options_.int8_kernels;
+  cfg.kernel_mode = options_.kernel_mode;
   auto [ax, report] = approx::MakeApproximate(model.net, cfg,
                                               model.calibration);
   (void)report;
@@ -210,6 +211,7 @@ snn::Network DvsWorkbench::MakeAx(const TrainedModel& model, double level,
   cfg.time_steps = model.time_bins;
   cfg.threshold_gain = options_.threshold_gain;
   cfg.int8_kernels = options_.int8_kernels;
+  cfg.kernel_mode = options_.kernel_mode;
   auto [ax, report] = approx::MakeApproximate(model.net, cfg,
                                               model.calibration);
   (void)report;

@@ -68,6 +68,10 @@ class StaticWorkbench {
     /// per-output-channel scales, int32 accumulation). False keeps the
     /// float fake-quantization emulation for every precision.
     bool int8_kernels = true;
+    /// Kernel implementation for derived variants (src/kernels/ dispatch:
+    /// auto | naive | gemm | sparse; all bit-identical). kAuto probes spike
+    /// density per call; AXSNN_KERNEL_MODE overrides.
+    kernels::KernelMode kernel_mode = kernels::KernelMode::kAuto;
     std::uint64_t seed = 5;
   };
 
@@ -142,6 +146,9 @@ class DvsWorkbench {
     /// Execute kInt8 variants on the integer backend (see
     /// StaticWorkbench::Options::int8_kernels).
     bool int8_kernels = true;
+    /// Kernel implementation for derived variants (see
+    /// StaticWorkbench::Options::kernel_mode).
+    kernels::KernelMode kernel_mode = kernels::KernelMode::kAuto;
     std::uint64_t seed = 17;
   };
 

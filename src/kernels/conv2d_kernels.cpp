@@ -1,0 +1,593 @@
+#include "kernels/conv2d_kernels.hpp"
+
+#include <algorithm>
+
+#include "runtime/parallel_for.hpp"
+#include "tensor/check.hpp"
+
+namespace axsnn::kernels {
+
+namespace {
+
+/// Derived sizes shared by every implementation.
+struct Dims {
+  long n = 0;      // flattened [T, B] prefix
+  long c_in = 0;
+  long h = 0;
+  long w = 0;
+  long c_out = 0;
+  long kernel = 0;
+  long pad = 0;
+  long h_out = 0;
+  long w_out = 0;
+  long x_plane = 0;
+  long x_sample = 0;
+  long o_plane = 0;
+  long o_sample = 0;
+  long w_per_out = 0;  // im2col K axis: c_in * kernel * kernel
+};
+
+Dims MakeDims(long numel, const Shape& shape, const Conv2dGeom& geom) {
+  const std::size_t r = shape.size();
+  Dims d;
+  d.c_in = shape[r - 3];
+  d.h = shape[r - 2];
+  d.w = shape[r - 1];
+  d.n = numel / (d.c_in * d.h * d.w);
+  d.c_out = geom.out_channels;
+  d.kernel = geom.kernel;
+  d.pad = geom.pad;
+  d.h_out = d.h + 2 * d.pad - d.kernel + 1;
+  d.w_out = d.w + 2 * d.pad - d.kernel + 1;
+  d.x_plane = d.h * d.w;
+  d.x_sample = d.c_in * d.x_plane;
+  d.o_plane = d.h_out * d.w_out;
+  d.o_sample = d.c_out * d.o_plane;
+  d.w_per_out = d.c_in * d.kernel * d.kernel;
+  AXSNN_CHECK(d.c_in == geom.in_channels, "Conv2d kernel: channel mismatch");
+  AXSNN_CHECK(d.h_out > 0 && d.w_out > 0, "Conv2d kernel: empty output");
+  return d;
+}
+
+// --- naive fp32 (reference; the seed repo's loops, retained verbatim) --------
+
+/// Row-accumulation layout: the inner loop over ox is contiguous in both
+/// input and output, so it auto-vectorizes. Border handling is hoisted into
+/// the per-(ky, kx) column bounds. Parallelism runs over the flattened
+/// (sample, out-channel) grid; each iteration owns one disjoint out plane.
+void Conv2dNaive(const float* xd, const float* wd, const float* bd, float* od,
+                 const Dims& d) {
+  runtime::ParallelFor(0, d.n * d.c_out, [&](long idx) {
+    const long s = idx / d.c_out;
+    const long co = idx % d.c_out;
+    const float* xs = xd + s * d.x_sample;
+    const float* wf = wd + co * d.w_per_out;
+    float* op = od + s * d.o_sample + co * d.o_plane;
+    const float b = bd[co];
+    for (long i = 0; i < d.o_plane; ++i) op[i] = b;
+    for (long ci = 0; ci < d.c_in; ++ci) {
+      const float* xp = xs + ci * d.x_plane;
+      const float* wp = wf + ci * d.kernel * d.kernel;
+      for (long ky = 0; ky < d.kernel; ++ky) {
+        for (long kx = 0; kx < d.kernel; ++kx) {
+          const float wv = wp[ky * d.kernel + kx];
+          if (wv == 0.0f) continue;  // pruned connection: no work
+          const long ox_lo = std::max(0L, d.pad - kx);
+          const long ox_hi = std::min(d.w_out, d.w + d.pad - kx);
+          for (long oy = 0; oy < d.h_out; ++oy) {
+            const long iy = oy + ky - d.pad;
+            if (iy < 0 || iy >= d.h) continue;
+            const float* xrow = xp + iy * d.w + (kx - d.pad);
+            float* orow = op + oy * d.w_out;
+            for (long ox = ox_lo; ox < ox_hi; ++ox) orow[ox] += wv * xrow[ox];
+          }
+        }
+      }
+    }
+  });
+}
+
+// --- im2col + register-blocked GEMM ------------------------------------------
+
+/// Register tile: kMr out-channels x kNr output pixels of fp32/int32
+/// accumulators — 8 SSE lanes' worth, small enough to stay in registers
+/// across the whole k loop.
+constexpr long kMr = 4;
+constexpr long kNr = 8;
+
+/// Writes one sample's im2col matrix: col[k][o] with k walking (ci, ky, kx)
+/// in the naive loop order and o = oy * w_out + ox. Padding / out-of-range
+/// positions pack as exact zeros, so the GEMM's extra terms are ±0 no-ops
+/// on the accumulation (the bit-identity argument in the header).
+template <typename T>
+void PackIm2col(const T* xs, T* col, const Dims& d) {
+  long k = 0;
+  for (long ci = 0; ci < d.c_in; ++ci) {
+    const T* xp = xs + ci * d.x_plane;
+    for (long ky = 0; ky < d.kernel; ++ky) {
+      for (long kx = 0; kx < d.kernel; ++kx, ++k) {
+        T* crow = col + k * d.o_plane;
+        const long ox_lo = std::max(0L, d.pad - kx);
+        const long ox_hi = std::min(d.w_out, d.w + d.pad - kx);
+        const long x_off = kx - d.pad;
+        for (long oy = 0; oy < d.h_out; ++oy) {
+          const long iy = oy + ky - d.pad;
+          T* dst = crow + oy * d.w_out;
+          if (iy < 0 || iy >= d.h) {
+            for (long ox = 0; ox < d.w_out; ++ox) dst[ox] = T{0};
+            continue;
+          }
+          const T* xrow = xp + iy * d.w;
+          for (long ox = 0; ox < ox_lo; ++ox) dst[ox] = T{0};
+          for (long ox = ox_lo; ox < ox_hi; ++ox) dst[ox] = xrow[ox + x_off];
+          for (long ox = ox_hi; ox < d.w_out; ++ox) dst[ox] = T{0};
+        }
+      }
+    }
+  }
+}
+
+/// One sample's GEMM: out[co][o] = bias[co] + sum_k W[co][k] * col[k][o],
+/// k ascending — the naive accumulation order per output element. The
+/// noinline raw-pointer boundary and __restrict follow the int8 kernel's
+/// lesson (see DESIGN.md kernel notes): inlined into the pool lambda GCC
+/// stops keeping the accumulator tile in registers.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((noinline))
+#endif
+void GemmSampleF32(const float* __restrict wd, const float* __restrict bd,
+                   const float* __restrict col, float* __restrict op,
+                   long c_out, long kk, long o_plane) {
+  for (long i0 = 0; i0 < c_out; i0 += kMr) {
+    const long mr = std::min(kMr, c_out - i0);
+    for (long j0 = 0; j0 < o_plane; j0 += kNr) {
+      const long nr = std::min(kNr, o_plane - j0);
+      if (mr == kMr && nr == kNr) {  // full tile: fixed trip counts vectorize
+        float acc[kMr][kNr];
+        for (long i = 0; i < kMr; ++i)
+          for (long j = 0; j < kNr; ++j) acc[i][j] = bd[i0 + i];
+        for (long k = 0; k < kk; ++k) {
+          const float* brow = col + k * o_plane + j0;
+          for (long i = 0; i < kMr; ++i) {
+            const float av = wd[(i0 + i) * kk + k];
+            for (long j = 0; j < kNr; ++j) acc[i][j] += av * brow[j];
+          }
+        }
+        for (long i = 0; i < kMr; ++i) {
+          float* crow = op + (i0 + i) * o_plane + j0;
+          for (long j = 0; j < kNr; ++j) crow[j] = acc[i][j];
+        }
+      } else {  // ragged edge tile
+        float acc[kMr][kNr];
+        for (long i = 0; i < mr; ++i)
+          for (long j = 0; j < nr; ++j) acc[i][j] = bd[i0 + i];
+        for (long k = 0; k < kk; ++k) {
+          const float* brow = col + k * o_plane + j0;
+          for (long i = 0; i < mr; ++i) {
+            const float av = wd[(i0 + i) * kk + k];
+            for (long j = 0; j < nr; ++j) acc[i][j] += av * brow[j];
+          }
+        }
+        for (long i = 0; i < mr; ++i) {
+          float* crow = op + (i0 + i) * o_plane + j0;
+          for (long j = 0; j < nr; ++j) crow[j] = acc[i][j];
+        }
+      }
+    }
+  }
+}
+
+/// Int32 sibling of GemmSampleF32: exact integer accumulation, requantized
+/// on write-out with act_scale * weight_scale[co] before the float bias.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((noinline))
+#endif
+void GemmSampleI32(const std::int8_t* __restrict wd,
+                   const float* __restrict scales, float act_scale,
+                   const float* __restrict bd,
+                   const std::int32_t* __restrict col, float* __restrict op,
+                   long c_out, long kk, long o_plane) {
+  for (long i0 = 0; i0 < c_out; i0 += kMr) {
+    const long mr = std::min(kMr, c_out - i0);
+    for (long j0 = 0; j0 < o_plane; j0 += kNr) {
+      const long nr = std::min(kNr, o_plane - j0);
+      std::int32_t acc[kMr][kNr] = {};
+      if (mr == kMr && nr == kNr) {
+        for (long k = 0; k < kk; ++k) {
+          const std::int32_t* brow = col + k * o_plane + j0;
+          for (long i = 0; i < kMr; ++i) {
+            const std::int32_t av = wd[(i0 + i) * kk + k];
+            for (long j = 0; j < kNr; ++j) acc[i][j] += av * brow[j];
+          }
+        }
+      } else {
+        for (long k = 0; k < kk; ++k) {
+          const std::int32_t* brow = col + k * o_plane + j0;
+          for (long i = 0; i < mr; ++i) {
+            const std::int32_t av = wd[(i0 + i) * kk + k];
+            for (long j = 0; j < nr; ++j) acc[i][j] += av * brow[j];
+          }
+        }
+      }
+      for (long i = 0; i < mr; ++i) {
+        const float requant = act_scale * scales[i0 + i];
+        const float b = bd[i0 + i];
+        float* crow = op + (i0 + i) * o_plane + j0;
+        for (long j = 0; j < nr; ++j)
+          crow[j] = static_cast<float>(acc[i][j]) * requant + b;
+      }
+    }
+  }
+}
+
+// --- sparse-spike gather/scatter ---------------------------------------------
+
+/// Gathers one sample's nonzeros, plane by plane: coordinates in rows/cols,
+/// values in vals, per-plane boundaries in offs[0..c_in]. Returns the count.
+/// Scanning row-major keeps the scatter's per-output-element term order
+/// equal to the naive (ci, ky, kx) order (header contract).
+template <typename T>
+long GatherNonzeros(const T* xs, const Dims& d, std::int32_t* offs,
+                    std::int32_t* rows, std::int32_t* cols, T* vals) {
+  long m = 0;
+  offs[0] = 0;
+  for (long ci = 0; ci < d.c_in; ++ci) {
+    const T* xp = xs + ci * d.x_plane;
+    for (long iy = 0; iy < d.h; ++iy) {
+      const T* xrow = xp + iy * d.w;
+      for (long ix = 0; ix < d.w; ++ix) {
+        if (xrow[ix] != T{0}) {
+          rows[m] = static_cast<std::int32_t>(iy);
+          cols[m] = static_cast<std::int32_t>(ix);
+          vals[m] = xrow[ix];
+          ++m;
+        }
+      }
+    }
+    offs[ci + 1] = static_cast<std::int32_t>(m);
+  }
+  return m;
+}
+
+/// Scatters one sample's nonzeros through one output channel's weight
+/// block into `op` (already bias-initialized, o_plane floats). The (ky, kx)
+/// bounds clamp the scatter to in-range output pixels, so no out-of-range
+/// pointer is ever formed.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((noinline))
+#endif
+void ScatterChannelF32(const float* __restrict wf,
+                       const std::int32_t* __restrict offs,
+                       const std::int32_t* __restrict rows,
+                       const std::int32_t* __restrict cols,
+                       const float* __restrict vals, float* __restrict op,
+                       const Dims& d) {
+  for (long ci = 0; ci < d.c_in; ++ci) {
+    const float* wp = wf + ci * d.kernel * d.kernel;
+    for (long j = offs[ci]; j < offs[ci + 1]; ++j) {
+      const long iy = rows[j];
+      const long ix = cols[j];
+      const float v = vals[j];
+      const long ky_lo = std::max(0L, iy + d.pad - d.h_out + 1);
+      const long ky_hi = std::min(d.kernel - 1, iy + d.pad);
+      const long kx_lo = std::max(0L, ix + d.pad - d.w_out + 1);
+      const long kx_hi = std::min(d.kernel - 1, ix + d.pad);
+      for (long ky = ky_lo; ky <= ky_hi; ++ky) {
+        float* orow = op + (iy + d.pad - ky) * d.w_out;
+        const float* wrow = wp + ky * d.kernel;
+        const long obase = ix + d.pad;
+        for (long kx = kx_lo; kx <= kx_hi; ++kx)
+          orow[obase - kx] += wrow[kx] * v;
+      }
+    }
+  }
+}
+
+/// Int32 sibling of ScatterChannelF32, accumulating into an int32 plane.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((noinline))
+#endif
+void ScatterChannelI32(const std::int8_t* __restrict wf,
+                       const std::int32_t* __restrict offs,
+                       const std::int32_t* __restrict rows,
+                       const std::int32_t* __restrict cols,
+                       const std::int32_t* __restrict vals,
+                       std::int32_t* __restrict ap, const Dims& d) {
+  for (long ci = 0; ci < d.c_in; ++ci) {
+    const std::int8_t* wp = wf + ci * d.kernel * d.kernel;
+    for (long j = offs[ci]; j < offs[ci + 1]; ++j) {
+      const long iy = rows[j];
+      const long ix = cols[j];
+      const std::int32_t v = vals[j];
+      const long ky_lo = std::max(0L, iy + d.pad - d.h_out + 1);
+      const long ky_hi = std::min(d.kernel - 1, iy + d.pad);
+      const long kx_lo = std::max(0L, ix + d.pad - d.w_out + 1);
+      const long kx_hi = std::min(d.kernel - 1, ix + d.pad);
+      for (long ky = ky_lo; ky <= ky_hi; ++ky) {
+        std::int32_t* arow = ap + (iy + d.pad - ky) * d.w_out;
+        const std::int8_t* wrow = wp + ky * d.kernel;
+        const long obase = ix + d.pad;
+        for (long kx = kx_lo; kx <= kx_hi; ++kx)
+          arow[obase - kx] += static_cast<std::int32_t>(wrow[kx]) * v;
+      }
+    }
+  }
+}
+
+// --- naive int8 (reference; moved verbatim from approx/int8_backend.cpp) -----
+
+/// Raw-argument core of the int8 convolution: one (sample, out-channel)
+/// output plane per `idx` in [idx_lo, idx_hi), accumulated in `plane` — a
+/// single h_out*w_out int32 buffer owned by this chunk and reused across
+/// its planes (only one plane is live at a time). The noinline raw-pointer
+/// boundary and the __restrict qualifiers both matter: inlined into the
+/// pool lambda (where every pointer derives from Tensor/vector members)
+/// GCC 12 stops hoisting across the plane loops, and without __restrict it
+/// guards the vectorized MAC loop with per-row overlap checks whose cost
+/// rivals the 4-lane SSE body at these row lengths. Together they are worth
+/// ~25% kernel throughput at -O3 without -march.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((noinline))
+#endif
+void Conv2dPlanes(long idx_lo, long idx_hi,
+                  const std::int32_t* __restrict xd,
+                  const std::int8_t* __restrict wd,
+                  const float* __restrict scales,
+                  const float* __restrict bd, float act_scale,
+                  std::int32_t* __restrict plane, float* __restrict od,
+                  long c_in, long h, long w, long co_n,
+                  long kernel, long pad) {
+  const long h_out = h + 2 * pad - kernel + 1;
+  const long w_out = w + 2 * pad - kernel + 1;
+  const long x_plane = h * w;
+  const long x_sample = c_in * x_plane;
+  const long o_plane = h_out * w_out;
+  const long o_sample = co_n * o_plane;
+  const long w_per_out = c_in * kernel * kernel;
+  for (long idx = idx_lo; idx < idx_hi; ++idx) {
+    const long s = idx / co_n;
+    const long co = idx % co_n;
+    const std::int32_t* xs = xd + s * x_sample;
+    const std::int8_t* wf = wd + co * w_per_out;
+    std::int32_t* ap = plane;
+    for (long i = 0; i < o_plane; ++i) ap[i] = 0;
+    for (long ci = 0; ci < c_in; ++ci) {
+      const std::int32_t* xp = xs + ci * x_plane;
+      const std::int8_t* wp = wf + ci * kernel * kernel;
+      for (long ky = 0; ky < kernel; ++ky) {
+        for (long kx = 0; kx < kernel; ++kx) {
+          const std::int32_t wv = wp[ky * kernel + kx];
+          if (wv == 0) continue;  // pruned connection: no work
+          const long ox_lo = std::max(0L, pad - kx);
+          const long ox_hi = std::min(w_out, w + pad - kx);
+          // Index as xrow[ox + kx - pad] instead of pre-offsetting xrow:
+          // ox >= ox_lo keeps the index non-negative, and a pre-start
+          // pointer must not even be formed ([expr.add]).
+          const long x_off = kx - pad;
+          for (long oy = 0; oy < h_out; ++oy) {
+            const long iy = oy + ky - pad;
+            if (iy < 0 || iy >= h) continue;
+            const std::int32_t* xrow = xp + iy * w;
+            std::int32_t* arow = ap + oy * w_out;
+            for (long ox = ox_lo; ox < ox_hi; ++ox)
+              arow[ox] += wv * xrow[ox + x_off];
+          }
+        }
+      }
+    }
+    // Requantize: accumulator counts are exact, the output lives at
+    // act_scale * weight_scale[co]; bias stays float.
+    const float requant = act_scale * scales[co];
+    const float b = bd[co];
+    float* op = od + s * o_sample + co * o_plane;
+    for (long i = 0; i < o_plane; ++i)
+      op[i] = static_cast<float>(ap[i]) * requant + b;
+  }
+}
+
+}  // namespace
+
+// --- fp32 dispatcher ---------------------------------------------------------
+
+void Conv2dForward(const Tensor& weight, const Tensor& bias, const Tensor& x,
+                   Tensor& out, const Conv2dGeom& geom, KernelMode mode,
+                   runtime::Workspace& scratch) {
+  AXSNN_CHECK(x.rank() >= 3, "Conv2dForward expects [*, C, H, W]");
+  const Dims d = MakeDims(x.numel(), x.shape(), geom);
+  AXSNN_CHECK(weight.numel() == d.c_out * d.w_per_out,
+              "Conv2dForward weight shape mismatch");
+  AXSNN_CHECK(out.numel() == d.n * d.o_sample, "Conv2dForward output not sized");
+
+  const float* xd = x.data();
+  const float* wd = weight.data();
+  const float* bd = bias.data();
+  float* od = out.data();
+
+  mode = ResolveKernelMode(mode);
+  // Dense fallback naive: the reference loops vectorize their contiguous
+  // row MACs and skip pruned weights, beating im2col+GEMM on the bench
+  // shapes (see kernels/dispatch.hpp).
+  mode = ChooseByDensity(mode, mode == KernelMode::kAuto
+                                   ? Density(xd, x.numel())
+                                   : 0.0f,
+                         kConvSparseDensityMax, KernelMode::kNaive);
+
+  if (mode == KernelMode::kNaive) {
+    Conv2dNaive(xd, wd, bd, od, d);
+    return;
+  }
+
+  const long grain = runtime::DefaultGrain(d.n);
+  const long chunks = runtime::NumChunks(d.n, grain);
+
+  if (mode == KernelMode::kGemm) {
+    // One im2col matrix per chunk; a chunk's samples reuse it in turn.
+    Tensor& pack =
+        scratch.Acquire(slots::kPack, chunks * d.w_per_out * d.o_plane);
+    float* pd = pack.data();
+    runtime::ParallelForChunks(
+        0, d.n,
+        [&](long chunk, long lo, long hi) {
+          float* col = pd + chunk * d.w_per_out * d.o_plane;
+          for (long s = lo; s < hi; ++s) {
+            PackIm2col(xd + s * d.x_sample, col, d);
+            GemmSampleF32(wd, bd, col, od + s * d.o_sample, d.c_out,
+                          d.w_per_out, d.o_plane);
+          }
+        },
+        grain);
+    return;
+  }
+
+  // kSparse: per-chunk gather lists sized for one sample at a time.
+  auto& offs = scratch.AcquireI32(
+      slots::kOffsets, static_cast<std::size_t>(chunks * (d.c_in + 1)));
+  auto& rows = scratch.AcquireI32(slots::kRows,
+                                  static_cast<std::size_t>(chunks * d.x_sample));
+  auto& cols = scratch.AcquireI32(slots::kCols,
+                                  static_cast<std::size_t>(chunks * d.x_sample));
+  Tensor& vals = scratch.Acquire(slots::kSparseVals, chunks * d.x_sample);
+  std::int32_t* offs_d = offs.data();
+  std::int32_t* rows_d = rows.data();
+  std::int32_t* cols_d = cols.data();
+  float* vals_d = vals.data();
+  runtime::ParallelForChunks(
+      0, d.n,
+      [&](long chunk, long lo, long hi) {
+        std::int32_t* c_offs = offs_d + chunk * (d.c_in + 1);
+        std::int32_t* c_rows = rows_d + chunk * d.x_sample;
+        std::int32_t* c_cols = cols_d + chunk * d.x_sample;
+        float* c_vals = vals_d + chunk * d.x_sample;
+        for (long s = lo; s < hi; ++s) {
+          GatherNonzeros(xd + s * d.x_sample, d, c_offs, c_rows, c_cols,
+                         c_vals);
+          float* os = od + s * d.o_sample;
+          for (long co = 0; co < d.c_out; ++co) {
+            float* op = os + co * d.o_plane;
+            const float b = bd[co];
+            for (long i = 0; i < d.o_plane; ++i) op[i] = b;
+            ScatterChannelF32(wd + co * d.w_per_out, c_offs, c_rows, c_cols,
+                              c_vals, op, d);
+          }
+        }
+      },
+      grain);
+}
+
+// --- int8 dispatcher ---------------------------------------------------------
+
+void Int8Conv2dForward(const QuantizedTensor& weight, const Tensor& bias,
+                       const std::int32_t* qact, float act_scale, long n,
+                       long h, long w, Tensor& out, const Conv2dGeom& geom,
+                       KernelMode mode, runtime::Workspace& scratch) {
+  Shape x_shape{n, geom.in_channels, h, w};
+  const long x_numel = n * geom.in_channels * h * w;
+  const Dims d = MakeDims(x_numel, x_shape, geom);
+  AXSNN_CHECK(weight.rows() == d.c_out && weight.row_size() == d.w_per_out,
+              "Int8Conv2dForward weight shape mismatch");
+  AXSNN_CHECK(out.numel() == d.n * d.o_sample,
+              "Int8Conv2dForward output not sized");
+
+  const std::int8_t* wd = weight.data();
+  const float* scales = weight.scales().data();
+  const float* bd = bias.data();
+  float* od = out.data();
+
+  mode = ResolveKernelMode(mode);
+  // Dense fallback naive: int8 gemm pays im2col's int32 packing traffic
+  // without a wider inner loop (see kernels/dispatch.hpp).
+  mode = ChooseByDensity(mode, mode == KernelMode::kAuto
+                                   ? Density(qact, x_numel)
+                                   : 0.0f,
+                         kConvSparseDensityMax, KernelMode::kNaive);
+
+  if (mode == KernelMode::kNaive) {
+    // Same loop nest as the float Conv2dNaive: one disjoint output plane per
+    // (sample, out-channel) index, contiguous inner loop over ox, chunks
+    // fanned out on the runtime pool. One plane-sized accumulator per chunk
+    // (each chunk's planes are processed one at a time) instead of a full
+    // output-sized scratch.
+    const long total = d.n * d.c_out;
+    const long grain = runtime::DefaultGrain(total);
+    auto& acc = scratch.AcquireI32(
+        slots::kAcc, static_cast<std::size_t>(
+                         runtime::NumChunks(total, grain) * d.o_plane));
+    std::int32_t* ad = acc.data();
+    runtime::ParallelForChunks(
+        0, total,
+        [&](long chunk, long lo, long hi) {
+          Conv2dPlanes(lo, hi, qact, wd, scales, bd, act_scale,
+                       ad + chunk * d.o_plane, od, d.c_in, d.h, d.w, d.c_out,
+                       d.kernel, d.pad);
+        },
+        grain);
+    return;
+  }
+
+  const long grain = runtime::DefaultGrain(d.n);
+  const long chunks = runtime::NumChunks(d.n, grain);
+
+  if (mode == KernelMode::kGemm) {
+    auto& pack = scratch.AcquireI32(
+        slots::kQVals,
+        static_cast<std::size_t>(chunks * d.w_per_out * d.o_plane));
+    std::int32_t* pd = pack.data();
+    runtime::ParallelForChunks(
+        0, d.n,
+        [&](long chunk, long lo, long hi) {
+          std::int32_t* col = pd + chunk * d.w_per_out * d.o_plane;
+          for (long s = lo; s < hi; ++s) {
+            PackIm2col(qact + s * d.x_sample, col, d);
+            GemmSampleI32(wd, scales, act_scale, bd, col, od + s * d.o_sample,
+                          d.c_out, d.w_per_out, d.o_plane);
+          }
+        },
+        grain);
+    return;
+  }
+
+  // kSparse: gather nonzero codes once per sample, scatter per channel into
+  // a chunk-owned int32 plane, requantize on write-out.
+  auto& offs = scratch.AcquireI32(
+      slots::kOffsets, static_cast<std::size_t>(chunks * (d.c_in + 1)));
+  auto& rows = scratch.AcquireI32(slots::kRows,
+                                  static_cast<std::size_t>(chunks * d.x_sample));
+  auto& cols = scratch.AcquireI32(slots::kCols,
+                                  static_cast<std::size_t>(chunks * d.x_sample));
+  auto& vals = scratch.AcquireI32(slots::kQVals,
+                                  static_cast<std::size_t>(chunks * d.x_sample));
+  auto& acc = scratch.AcquireI32(slots::kAcc,
+                                 static_cast<std::size_t>(chunks * d.o_plane));
+  std::int32_t* offs_d = offs.data();
+  std::int32_t* rows_d = rows.data();
+  std::int32_t* cols_d = cols.data();
+  std::int32_t* vals_d = vals.data();
+  std::int32_t* acc_d = acc.data();
+  runtime::ParallelForChunks(
+      0, d.n,
+      [&](long chunk, long lo, long hi) {
+        std::int32_t* c_offs = offs_d + chunk * (d.c_in + 1);
+        std::int32_t* c_rows = rows_d + chunk * d.x_sample;
+        std::int32_t* c_cols = cols_d + chunk * d.x_sample;
+        std::int32_t* c_vals = vals_d + chunk * d.x_sample;
+        std::int32_t* ap = acc_d + chunk * d.o_plane;
+        for (long s = lo; s < hi; ++s) {
+          GatherNonzeros(qact + s * d.x_sample, d, c_offs, c_rows, c_cols,
+                         c_vals);
+          float* os = od + s * d.o_sample;
+          for (long co = 0; co < d.c_out; ++co) {
+            for (long i = 0; i < d.o_plane; ++i) ap[i] = 0;
+            ScatterChannelI32(wd + co * d.w_per_out, c_offs, c_rows, c_cols,
+                              c_vals, ap, d);
+            const float requant = act_scale * scales[co];
+            const float b = bd[co];
+            float* op = os + co * d.o_plane;
+            for (long i = 0; i < d.o_plane; ++i)
+              op[i] = static_cast<float>(ap[i]) * requant + b;
+          }
+        }
+      },
+      grain);
+}
+
+}  // namespace axsnn::kernels

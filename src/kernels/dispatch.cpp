@@ -1,0 +1,88 @@
+#include "kernels/dispatch.hpp"
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+
+#include "runtime/parallel_for.hpp"
+
+namespace axsnn::kernels {
+
+const char* KernelModeName(KernelMode mode) {
+  switch (mode) {
+    case KernelMode::kAuto:
+      return "auto";
+    case KernelMode::kNaive:
+      return "naive";
+    case KernelMode::kGemm:
+      return "gemm";
+    case KernelMode::kSparse:
+      return "sparse";
+  }
+  return "?";
+}
+
+std::optional<KernelMode> ParseKernelMode(std::string_view name) {
+  if (name == "auto") return KernelMode::kAuto;
+  if (name == "naive") return KernelMode::kNaive;
+  if (name == "gemm") return KernelMode::kGemm;
+  if (name == "sparse") return KernelMode::kSparse;
+  return std::nullopt;
+}
+
+namespace {
+
+KernelMode ModeFromEnv() {
+  const char* env = std::getenv("AXSNN_KERNEL_MODE");
+  if (env == nullptr) return KernelMode::kAuto;
+  return ParseKernelMode(env).value_or(KernelMode::kAuto);
+}
+
+std::atomic<KernelMode> g_mode{ModeFromEnv()};
+
+/// Shared chunked nonzero count: exact at any pool size (integer counting
+/// is order-independent; the fixed-chunk shape keeps that self-evident).
+template <typename T>
+float DensityOf(const T* x, long n) {
+  if (n <= 0) return 0.0f;
+  const long grain = runtime::DefaultGrain(n);
+  std::array<long, runtime::kMaxChunks> partials{};
+  const long chunks = runtime::NumChunks(n, grain);
+  runtime::ParallelForChunks(
+      0, n,
+      [&](long chunk, long lo, long hi) {
+        long count = 0;
+        for (long i = lo; i < hi; ++i) count += (x[i] != T{0}) ? 1 : 0;
+        partials[static_cast<std::size_t>(chunk)] = count;
+      },
+      grain);
+  long nonzero = 0;
+  for (long c = 0; c < chunks; ++c)
+    nonzero += partials[static_cast<std::size_t>(c)];
+  return static_cast<float>(nonzero) / static_cast<float>(n);
+}
+
+}  // namespace
+
+KernelMode GlobalKernelMode() { return g_mode.load(std::memory_order_relaxed); }
+
+void SetGlobalKernelMode(KernelMode mode) {
+  g_mode.store(mode, std::memory_order_relaxed);
+}
+
+float Density(const float* x, long n) { return DensityOf(x, n); }
+float Density(const std::int32_t* x, long n) { return DensityOf(x, n); }
+float Density(const std::int8_t* x, long n) { return DensityOf(x, n); }
+
+KernelMode ResolveKernelMode(KernelMode requested) {
+  const KernelMode global = GlobalKernelMode();
+  return global != KernelMode::kAuto ? global : requested;
+}
+
+KernelMode ChooseByDensity(KernelMode mode, float density, float sparse_max,
+                           KernelMode dense_fallback) {
+  if (mode != KernelMode::kAuto) return mode;
+  return density <= sparse_max ? KernelMode::kSparse : dense_fallback;
+}
+
+}  // namespace axsnn::kernels

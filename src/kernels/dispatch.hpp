@@ -1,0 +1,127 @@
+// Sparsity-aware kernel dispatch: mode knob, density probe, slot map.
+//
+// SNN workloads guarantee one thing dense-ML kernels cannot assume: the
+// activations flowing through Conv2d/Dense are overwhelmingly zero (binary
+// spike trains, rate-encoded inputs, binned event frames), and Eq.-(1)
+// pruning adds weight sparsity on top. The kernel subsystem therefore ships
+// three implementations per (layer, precision) pair:
+//
+//   naive  — the original reference loops, retained verbatim. Every other
+//            path is pinned against it by the differential equivalence
+//            suite (tests/test_kernels.cpp).
+//   gemm   — im2col + register-blocked GEMM over packed buffers, for
+//            dense (mostly-nonzero) inputs.
+//   sparse — scans each input plane's nonzeros once and scatters weight
+//            rows. Work is proportional to the *nonzero* count, so it wins
+//            whenever spike density is below the thresholds here.
+//
+// Above the sparse threshold the auto probe falls back to the *measured*
+// best dense path per kernel family, not unconditionally to gemm: on the
+// bench shapes (BENCH_runtime.json "kernel_dispatch") gemm beats naive
+// only for fp32 dense layers — the conv naive loops already vectorize
+// their contiguous row MACs and skip pruned weights, and the int8 variants
+// pay im2col's int32 packing traffic without a wider inner loop. Each
+// dispatcher therefore passes its own dense-regime fallback to
+// ChooseByDensity; re-calibrate with bench_micro_runtime when the kernels
+// or target hardware change.
+//
+// Every path produces bit-identical fp32 results (identical per-element
+// accumulation order — see DESIGN.md "Kernel dispatch") and identical int8
+// results (integer accumulation is exact), so the dispatch decision can
+// never change an experiment outcome; the golden determinism test pins
+// that end to end.
+//
+// Mode precedence for one kernel call:
+//   1. a non-auto *global* mode (AXSNN_KERNEL_MODE env var, or
+//      SetGlobalKernelMode) forces that path everywhere — the CI matrix and
+//      the differential tests use this to pin each path;
+//   2. otherwise a non-auto *layer/config* mode
+//      (ApproxConfig::kernel_mode -> Conv2d/Dense::set_kernel_mode);
+//   3. otherwise (auto) a per-call density probe picks sparse at or below
+//      the density thresholds, the family's dense fallback above them
+//      (per-family, see the paragraph above — gemm only for fp32 dense).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace axsnn::kernels {
+
+/// Kernel implementation selector; kAuto defers to the density probe.
+enum class KernelMode { kAuto, kNaive, kGemm, kSparse };
+
+/// "auto" / "naive" / "gemm" / "sparse".
+const char* KernelModeName(KernelMode mode);
+
+/// Inverse of KernelModeName; nullopt for unknown names.
+std::optional<KernelMode> ParseKernelMode(std::string_view name);
+
+/// Process-global mode, initialized once from the AXSNN_KERNEL_MODE
+/// environment variable (unset / unparsable -> kAuto). A non-auto global
+/// mode overrides every per-layer setting (precedence rule 1 above).
+KernelMode GlobalKernelMode();
+
+/// Overrides the global mode at runtime (tests, benchmarks). Not
+/// thread-safe against concurrent kernel calls.
+void SetGlobalKernelMode(KernelMode mode);
+
+/// Scoped global-mode override: forces one path for the scope's duration
+/// (winning over a CI-exported AXSNN_KERNEL_MODE too — precedence rule 1)
+/// and restores the prior mode on exit. The differential equivalence
+/// tests and the dispatch benchmarks pin each path with this.
+class ScopedKernelMode {
+ public:
+  explicit ScopedKernelMode(KernelMode mode) : saved_(GlobalKernelMode()) {
+    SetGlobalKernelMode(mode);
+  }
+  ~ScopedKernelMode() { SetGlobalKernelMode(saved_); }
+  ScopedKernelMode(const ScopedKernelMode&) = delete;
+  ScopedKernelMode& operator=(const ScopedKernelMode&) = delete;
+
+ private:
+  KernelMode saved_;
+};
+
+/// Density thresholds for the auto probe: the sparse path runs scalar MACs
+/// on gathered nonzeros while gemm runs vectorized MACs on everything, so
+/// sparse wins once the nonzero fraction is below roughly 1/vector-width
+/// with headroom. Measured on the bench_micro_runtime shapes; see
+/// DESIGN.md "Kernel dispatch".
+inline constexpr float kConvSparseDensityMax = 0.15f;
+inline constexpr float kDenseSparseDensityMax = 0.15f;
+
+/// Fraction of nonzero elements in [0, 1] (0 for n <= 0). Deterministic
+/// chunked parallel count (exact — counting is order-independent).
+float Density(const float* x, long n);
+float Density(const std::int32_t* x, long n);
+float Density(const std::int8_t* x, long n);
+
+/// Applies precedence rule 1: a non-auto global mode wins over `requested`.
+KernelMode ResolveKernelMode(KernelMode requested);
+
+/// Applies precedence rule 3: maps kAuto to kSparse below `sparse_max`, to
+/// `dense_fallback` (the family's measured-best dense path — see the file
+/// comment) at or above it. Non-auto modes pass through unchanged.
+KernelMode ChooseByDensity(KernelMode mode, float density, float sparse_max,
+                           KernelMode dense_fallback);
+
+/// Workspace slot map shared by the kernel implementations. Each Conv2d /
+/// Dense layer owns one scratch Workspace (runtime::LocalScratch), so slot
+/// indices only need to be unique within one layer's kernel calls.
+namespace slots {
+// float slots (Workspace::Acquire)
+inline constexpr std::size_t kPack = 0;        ///< im2col / transposed packs
+inline constexpr std::size_t kSparseVals = 1;  ///< gathered nonzero values
+// int32 slots (Workspace::AcquireI32)
+inline constexpr std::size_t kOffsets = 0;  ///< per-plane nonzero offsets
+inline constexpr std::size_t kRows = 1;     ///< nonzero row coords / indices
+inline constexpr std::size_t kCols = 2;     ///< nonzero col coords
+inline constexpr std::size_t kQAct = 3;     ///< conv activation codes
+inline constexpr std::size_t kAcc = 4;      ///< int8 accumulator planes
+inline constexpr std::size_t kQVals = 5;    ///< gathered / packed codes
+// int8 slots (Workspace::AcquireI8)
+inline constexpr std::size_t kQActI8 = 0;  ///< dense activation codes
+}  // namespace slots
+
+}  // namespace axsnn::kernels

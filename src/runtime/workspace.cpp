@@ -13,4 +13,30 @@ Tensor& Workspace::Acquire(std::size_t index, const Shape& shape) {
   return t;
 }
 
+Tensor& Workspace::Acquire(std::size_t index, long size) {
+  Tensor& t = Slot(index);
+  // Skip ResizeTo when the slot already matches: constructing the
+  // temporary Shape would heap-allocate, and the kernel dispatchers call
+  // this on every forward pass (one slot per layer would otherwise cost
+  // one allocation per pass in steady state).
+  if (t.rank() != 1 || t.dim(0) != size) t.ResizeTo({size});
+  return t;
+}
+
+std::vector<std::int32_t>& Workspace::AcquireI32(std::size_t index,
+                                                std::size_t size) {
+  while (i32_slots_.size() <= index) i32_slots_.emplace_back();
+  std::vector<std::int32_t>& v = i32_slots_[index];
+  v.resize(size);  // never shrinks capacity: allocation-free once warm
+  return v;
+}
+
+std::vector<std::int8_t>& Workspace::AcquireI8(std::size_t index,
+                                               std::size_t size) {
+  while (i8_slots_.size() <= index) i8_slots_.emplace_back();
+  std::vector<std::int8_t>& v = i8_slots_[index];
+  v.resize(size);
+  return v;
+}
+
 }  // namespace axsnn::runtime

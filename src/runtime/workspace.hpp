@@ -4,8 +4,10 @@
 // Acquire(slot, shape) resizes the slot's tensor to `shape` without
 // shrinking its capacity, so after the first pass over a given problem size
 // every subsequent pass reuses the same heap blocks — Network::ForwardShared
-// ping-pongs activations between two slots, and the inference helpers stage
-// batches/encodings in further slots.
+// ping-pongs activations between two slots, the inference helpers stage
+// batches/encodings in further slots, and the kernel dispatch engine
+// (src/kernels/) keeps its im2col packing buffers, nonzero gather lists and
+// int8 code/accumulator scratch in the typed arenas (AcquireI32/AcquireI8).
 //
 // Ownership rules (see DESIGN.md "Runtime subsystem"):
 //  * A Workspace belongs to exactly one execution context (one Network, one
@@ -18,7 +20,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <vector>
 
 #include "tensor/tensor.hpp"
 
@@ -43,14 +47,52 @@ class Workspace {
   /// Returns slot `index` as-is, creating it empty when absent.
   Tensor& Slot(std::size_t index);
 
-  /// Number of materialized slots.
+  /// 1-D variant of Acquire that avoids constructing a temporary Shape
+  /// (and its heap allocation) when the slot already holds `size` elements
+  /// — the kernel dispatchers call this every forward pass.
+  Tensor& Acquire(std::size_t index, long size);
+
+  /// Integer scratch arenas with the same contract as Acquire: resized to
+  /// `size` elements without shrinking capacity, contents unspecified. The
+  /// kernel subsystem stages activation codes, accumulator planes and
+  /// nonzero gather lists here; slot indices are independent of the float
+  /// slots (see kernels::slots for the shared map).
+  std::vector<std::int32_t>& AcquireI32(std::size_t index, std::size_t size);
+  std::vector<std::int8_t>& AcquireI8(std::size_t index, std::size_t size);
+
+  /// Number of materialized float slots.
   std::size_t slot_count() const { return slots_.size(); }
 
-  /// Releases all slot storage (capacity included).
-  void Clear() { slots_.clear(); }
+  /// Releases all slot storage (capacity included), typed arenas too.
+  void Clear() {
+    slots_.clear();
+    i32_slots_.clear();
+    i8_slots_.clear();
+  }
 
  private:
   std::deque<Tensor> slots_;  // deque: references stay valid as slots grow
+  std::deque<std::vector<std::int32_t>> i32_slots_;
+  std::deque<std::vector<std::int8_t>> i8_slots_;
+};
+
+/// Workspace holder for layers that own per-layer kernel scratch but must
+/// stay copyable (Layer::Clone copy-constructs the layer): copying yields a
+/// fresh empty workspace — scratch contents are never meaningful across
+/// copies, and a clone must not share buffers with its source.
+class LocalScratch {
+ public:
+  LocalScratch() = default;
+  LocalScratch(LocalScratch&&) = default;
+  LocalScratch& operator=(LocalScratch&&) = default;
+  LocalScratch(const LocalScratch& /*other*/) {}  // copy = fresh scratch
+  LocalScratch& operator=(const LocalScratch& /*other*/) { return *this; }
+
+  Workspace& operator*() { return ws_; }
+  Workspace* operator->() { return &ws_; }
+
+ private:
+  Workspace ws_;
 };
 
 }  // namespace axsnn::runtime

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "approx/int8_backend.hpp"
+#include "kernels/conv2d_kernels.hpp"
 #include "runtime/parallel_for.hpp"
 #include "tensor/check.hpp"
 
@@ -52,68 +53,24 @@ void Conv2d::EnableInt8Kernel(std::span<const float> row_scales) {
   qweight_ = QuantizedTensor::FromWeights(weight_, row_scales);
 }
 
-void Conv2d::ForwardInto(const Tensor& x, Tensor& out, bool /*train*/) {
+void Conv2d::ForwardInto(const Tensor& x, Tensor& out, bool train) {
   SizeOutput(x, out);
+  if (train || grad_cache()) {
+    cached_input_ = x;  // vector copy-assign: reuses capacity in steady state
+  } else {
+    // Invalidate, don't just skip: a stale cache from an earlier training
+    // pass would let Backward silently differentiate the wrong activations
+    // instead of throwing.
+    cached_input_ = Tensor();
+  }
+  const kernels::Conv2dGeom geom{in_channels_, out_channels_, kernel_, pad_};
   if (!qweight_.empty()) {
-    cached_input_ = x;
-    approx::Conv2dGeom geom{in_channels_, out_channels_, kernel_, pad_};
-    approx::Int8Conv2dForward(qweight_, bias_, x, out, geom, int8_act_,
-                              int8_acc_);
+    approx::Int8Conv2dForward(qweight_, bias_, x, out, geom, kernel_mode_,
+                              *scratch_);
     return;
   }
-  const std::size_t r = x.rank();
-  const long c_in = x.dim(r - 3);
-  const long h = x.dim(r - 2);
-  const long w = x.dim(r - 1);
-  const long n = x.numel() / (c_in * h * w);  // flattened [T, B] prefix
-  const long h_out = h + 2 * pad_ - kernel_ + 1;
-  const long w_out = w + 2 * pad_ - kernel_ + 1;
-
-  cached_input_ = x;  // vector copy-assign: reuses capacity in steady state
-
-  const float* xd = x.data();
-  const float* wd = weight_.data();
-  const float* bd = bias_.data();
-  float* od = out.data();
-
-  const long x_plane = h * w;
-  const long x_sample = c_in * x_plane;
-  const long o_plane = h_out * w_out;
-  const long o_sample = out_channels_ * o_plane;
-  const long w_per_out = in_channels_ * kernel_ * kernel_;
-
-  // Row-accumulation layout: the inner loop over ox is contiguous in both
-  // input and output, so it auto-vectorizes. Border handling is hoisted into
-  // the per-(ky, kx) column bounds. Parallelism runs over the flattened
-  // (sample, out-channel) grid; each iteration owns one disjoint out plane.
-  runtime::ParallelFor(0, n * out_channels_, [&](long idx) {
-    const long s = idx / out_channels_;
-    const long co = idx % out_channels_;
-    const float* xs = xd + s * x_sample;
-    const float* wf = wd + co * w_per_out;
-    float* op = od + s * o_sample + co * o_plane;
-    const float b = bd[co];
-    for (long i = 0; i < o_plane; ++i) op[i] = b;
-    for (long ci = 0; ci < c_in; ++ci) {
-      const float* xp = xs + ci * x_plane;
-      const float* wp = wf + ci * kernel_ * kernel_;
-      for (long ky = 0; ky < kernel_; ++ky) {
-        for (long kx = 0; kx < kernel_; ++kx) {
-          const float wv = wp[ky * kernel_ + kx];
-          if (wv == 0.0f) continue;  // pruned connection: no work
-          const long ox_lo = std::max(0L, pad_ - kx);
-          const long ox_hi = std::min(w_out, w + pad_ - kx);
-          for (long oy = 0; oy < h_out; ++oy) {
-            const long iy = oy + ky - pad_;
-            if (iy < 0 || iy >= h) continue;
-            const float* xrow = xp + iy * w + (kx - pad_);
-            float* orow = op + oy * w_out;
-            for (long ox = ox_lo; ox < ox_hi; ++ox) orow[ox] += wv * xrow[ox];
-          }
-        }
-      }
-    }
-  });
+  kernels::Conv2dForward(weight_, bias_, x, out, geom, kernel_mode_,
+                         *scratch_);
 }
 
 Tensor Conv2d::Backward(const Tensor& grad_out) {
@@ -215,10 +172,8 @@ Tensor Conv2d::Backward(const Tensor& grad_out) {
 
 std::unique_ptr<Layer> Conv2d::Clone() const {
   auto copy = std::make_unique<Conv2d>(*this);
-  copy->cached_input_ = Tensor();  // drop activation cache
-  copy->int8_act_ = {};            // release int8 scratch (assigning an
-  copy->int8_acc_ = {};            // empty vector frees the copied buffer);
-  return copy;                     // qweight_ is kept
-}
+  copy->cached_input_ = Tensor();  // drop activation cache (kernel scratch
+  return copy;                     // starts fresh by LocalScratch copy);
+}                                  // qweight_ is kept
 
 }  // namespace axsnn::snn

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "kernels/dispatch.hpp"
+#include "runtime/workspace.hpp"
 #include "snn/layer.hpp"
 #include "tensor/quantized.hpp"
 #include "tensor/random.hpp"
@@ -64,6 +66,12 @@ class Conv2d final : public Layer {
   /// (callers re-enable if they still want integer execution).
   void OnWeightsChanged() override { DisableInt8Kernel(); }
 
+  /// Kernel-implementation knob (src/kernels/): kAuto probes activation
+  /// density per call, the other values pin one path. A non-auto global
+  /// mode (AXSNN_KERNEL_MODE) overrides this — see kernels/dispatch.hpp.
+  void set_kernel_mode(kernels::KernelMode mode) { kernel_mode_ = mode; }
+  kernels::KernelMode kernel_mode() const { return kernel_mode_; }
+
  private:
   std::string name_;
   long in_channels_ = 0;
@@ -75,9 +83,9 @@ class Conv2d final : public Layer {
   Tensor dweight_;
   Tensor dbias_;
   Tensor cached_input_;  // saved activation for Backward
-  QuantizedTensor qweight_;            // int8 backend weights (empty = off)
-  std::vector<std::int32_t> int8_act_; // activation codes (int32 SIMD lanes)
-  std::vector<std::int32_t> int8_acc_; // int8 backend accumulator scratch
+  QuantizedTensor qweight_;  // int8 backend weights (empty = off)
+  kernels::KernelMode kernel_mode_ = kernels::KernelMode::kAuto;
+  runtime::LocalScratch scratch_;  // kernel packing/code buffers (not copied)
 };
 
 }  // namespace axsnn::snn

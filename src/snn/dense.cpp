@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "approx/int8_backend.hpp"
+#include "kernels/dense_kernels.hpp"
 #include "runtime/parallel_for.hpp"
 #include "tensor/check.hpp"
 
@@ -43,32 +44,19 @@ void Dense::EnableInt8Kernel(std::span<const float> row_scales) {
   qweight_ = QuantizedTensor::FromWeights(weight_, row_scales);
 }
 
-void Dense::ForwardInto(const Tensor& x, Tensor& out, bool /*train*/) {
+void Dense::ForwardInto(const Tensor& x, Tensor& out, bool train) {
   SizeOutput(x, out);
-  const long n = x.numel() / in_features_;
-
-  cached_input_ = x;
-
+  if (train || grad_cache()) {
+    cached_input_ = x;
+  } else {
+    cached_input_ = Tensor();  // invalidate: Backward must throw, not
+  }                            // reuse a stale training-pass input
   if (!qweight_.empty()) {
-    approx::Int8DenseForward(qweight_, bias_, x, out, int8_act_);
+    approx::Int8DenseForward(qweight_, bias_, x, out, kernel_mode_,
+                             *scratch_);
     return;
   }
-
-  const float* xd = x.data();
-  const float* wd = weight_.data();
-  const float* bd = bias_.data();
-  float* od = out.data();
-
-  runtime::ParallelFor(0, n, [&](long s) {
-    const float* xs = xd + s * in_features_;
-    float* os = od + s * out_features_;
-    for (long o = 0; o < out_features_; ++o) {
-      const float* wr = wd + o * in_features_;
-      float acc = bd[o];
-      for (long i = 0; i < in_features_; ++i) acc += wr[i] * xs[i];
-      os[o] = acc;
-    }
-  });
+  kernels::DenseForward(weight_, bias_, x, out, kernel_mode_, *scratch_);
 }
 
 Tensor Dense::Backward(const Tensor& grad_out) {
@@ -116,9 +104,8 @@ Tensor Dense::Backward(const Tensor& grad_out) {
 
 std::unique_ptr<Layer> Dense::Clone() const {
   auto copy = std::make_unique<Dense>(*this);
-  copy->cached_input_ = Tensor();
-  copy->int8_act_ = {};  // release int8 scratch; qweight_ is kept
-  return copy;
+  copy->cached_input_ = Tensor();  // kernel scratch starts fresh by
+  return copy;                     // LocalScratch copy; qweight_ is kept
 }
 
 }  // namespace axsnn::snn

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "kernels/dispatch.hpp"
+#include "runtime/workspace.hpp"
 #include "snn/layer.hpp"
 #include "tensor/quantized.hpp"
 #include "tensor/random.hpp"
@@ -53,6 +55,11 @@ class Dense final : public Layer {
   /// (callers re-enable if they still want integer execution).
   void OnWeightsChanged() override { DisableInt8Kernel(); }
 
+  /// Kernel-implementation knob (src/kernels/); same contract as
+  /// Conv2d::set_kernel_mode.
+  void set_kernel_mode(kernels::KernelMode mode) { kernel_mode_ = mode; }
+  kernels::KernelMode kernel_mode() const { return kernel_mode_; }
+
  private:
   std::string name_;
   long in_features_ = 0;
@@ -62,8 +69,9 @@ class Dense final : public Layer {
   Tensor dweight_;
   Tensor dbias_;
   Tensor cached_input_;
-  QuantizedTensor qweight_;            // int8 backend weights (empty = off)
-  std::vector<std::int8_t> int8_act_;  // int8 backend activation scratch
+  QuantizedTensor qweight_;  // int8 backend weights (empty = off)
+  kernels::KernelMode kernel_mode_ = kernels::KernelMode::kAuto;
+  runtime::LocalScratch scratch_;  // kernel packing/code buffers (not copied)
 };
 
 }  // namespace axsnn::snn

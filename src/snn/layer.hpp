@@ -43,8 +43,12 @@ class Layer {
   /// Runs the layer on a time-major activation, writing the result into
   /// `out` (resized by the implementation; contents fully overwritten).
   /// `out` must not alias `x`. `train` enables stochastic behaviour
-  /// (dropout); gradient caches are populated on every call so attacks can
-  /// backpropagate through inference-mode passes.
+  /// (dropout) and input caching for Backward. Inference passes
+  /// (train == false) skip — and invalidate — the input-activation cache
+  /// unless grad_cache() is set, so Backward after an uncached pass throws
+  /// rather than differentiating a stale input; callers that backpropagate
+  /// through inference-mode forwards (the gradient-based attacks) enable
+  /// caching first via Network::SetGradCache / snn::GradCacheScope.
   virtual void ForwardInto(const Tensor& x, Tensor& out, bool train) = 0;
 
   /// Allocating convenience wrapper around ForwardInto.
@@ -78,6 +82,14 @@ class Layer {
   /// (as ApplyApproximation does by enabling int8 after its last edit).
   virtual void OnWeightsChanged() {}
 
+  /// Gradient-cache switch for inference-mode passes: when set, layers keep
+  /// their Backward caches on train == false forwards too (the attacks'
+  /// threat model — craft on the accurate model in eval mode). Default off:
+  /// pure inference (AccuracyStatic, sweeps) skips the per-layer input
+  /// copies. Training passes (train == true) always cache.
+  void set_grad_cache(bool on) { grad_cache_ = on; }
+  bool grad_cache() const { return grad_cache_; }
+
   /// Short identifier used in diagnostics and state dicts, e.g. "conv1".
   virtual std::string Name() const = 0;
 
@@ -101,6 +113,7 @@ class Layer {
  private:
   Shape last_in_shape_;   // memoized SizeOutput key
   Shape last_out_shape_;  // memoized SizeOutput value
+  bool grad_cache_ = false;  // cache inputs on inference passes too
 };
 
 }  // namespace axsnn::snn

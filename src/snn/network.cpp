@@ -42,6 +42,14 @@ Tensor Network::Backward(const Tensor& grad_out) {
   return g;
 }
 
+void Network::SetGradCache(bool on) {
+  for (auto& layer : layers_) layer->set_grad_cache(on);
+}
+
+bool Network::GradCacheEnabled() const {
+  return !layers_.empty() && layers_.front()->grad_cache();
+}
+
 void Network::ZeroGrad() {
   for (auto& layer : layers_) layer->ZeroGrad();
 }

@@ -63,6 +63,17 @@ class Network {
   /// Backpropagates through the last Forward; returns dL/d(input).
   Tensor Backward(const Tensor& grad_out);
 
+  /// Enables/disables gradient caching on inference-mode forwards for every
+  /// layer (Layer::set_grad_cache). The gradient-based attacks switch this
+  /// on around their craft loops — they backpropagate through train=false
+  /// passes — and restore it so pure evaluation stays copy-free (use
+  /// GradCacheScope rather than calling this directly).
+  void SetGradCache(bool on);
+
+  /// Current SetGradCache state (false for an empty network). All layers
+  /// always share one value — SetGradCache is the only writer.
+  bool GradCacheEnabled() const;
+
   /// Clears all parameter gradients.
   void ZeroGrad();
 
@@ -99,6 +110,26 @@ class Network {
  private:
   std::vector<std::unique_ptr<Layer>> layers_;
   runtime::Workspace workspace_;  // activation ping-pong for ForwardShared
+};
+
+/// Scoped inference-pass gradient caching: the gradient-based attacks
+/// backpropagate through train=false forwards, so the layers must keep
+/// their Backward caches for the scope's duration. Restores the *prior*
+/// state on exit (exception-safe), so a caller that already enabled
+/// caching keeps it.
+class GradCacheScope {
+ public:
+  explicit GradCacheScope(Network& net)
+      : net_(net), saved_(net.GradCacheEnabled()) {
+    net_.SetGradCache(true);
+  }
+  ~GradCacheScope() { net_.SetGradCache(saved_); }
+  GradCacheScope(const GradCacheScope&) = delete;
+  GradCacheScope& operator=(const GradCacheScope&) = delete;
+
+ private:
+  Network& net_;
+  bool saved_;
 };
 
 }  // namespace axsnn::snn

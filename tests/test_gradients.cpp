@@ -33,9 +33,12 @@ float PipelineLoss(Network& net, const Tensor& images, long t_steps,
   return SoftmaxCrossEntropy(logits, labels).loss;
 }
 
-/// Analytic input gradient of PipelineLoss w.r.t. the images.
+/// Analytic input gradient of PipelineLoss w.r.t. the images. Backward
+/// through a train=false pass needs the layers' input caches alive (the
+/// attacks' threat model — see Network::SetGradCache).
 Tensor PipelineInputGradient(Network& net, const Tensor& images, long t_steps,
                              std::span<const int> labels) {
+  net.SetGradCache(true);
   Tensor input = EncodeDirect(images, t_steps);
   Tensor seq = net.Forward(input, false);
   Tensor logits = ReadoutMean(seq);
@@ -137,6 +140,7 @@ TEST(FullNetworkGradient, WeightGradientsMatchNumerics) {
   std::vector<int> labels = {0, 1};
   const long t_steps = 2;
 
+  net.SetGradCache(true);
   Tensor input = EncodeDirect(images, t_steps);
   Tensor seq = net.Forward(input, false);
   LossResult loss = SoftmaxCrossEntropy(ReadoutMean(seq), labels);

@@ -1,0 +1,437 @@
+// Differential kernel-equivalence suite for the sparsity-aware dispatch
+// engine (src/kernels/): every kernel flavour (naive / gemm / sparse) must
+// produce the *same* result for the same inputs — bit-identical for fp32
+// (identical per-element accumulation order, see kernels/*.hpp), and within
+// one accumulation ULP for int8 (integer accumulation is exact; only the
+// final requantize multiply is float).
+//
+// The suite sweeps shapes (1x1 kernels, pad 0 and kernel-1, H=W=1, single
+// channels, odd sizes), spike densities 0 / 1% / 50% / 100%, and pool sizes
+// 1 and 4, then pins the end-to-end guarantee with a golden determinism
+// test: a fig2-style mini sweep whose report is byte-identical across every
+// kernel mode and pool size, so Algorithm-1 search results can never depend
+// on the dispatch decision.
+//
+// Modes are forced through SetGlobalKernelMode (precedence rule 1), so the
+// comparisons stay meaningful even when CI exports AXSNN_KERNEL_MODE.
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "approx/approximation.hpp"
+#include "approx/int8_backend.hpp"
+#include "core/workbench.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "eval/report.hpp"
+#include "kernels/conv2d_kernels.hpp"
+#include "kernels/dense_kernels.hpp"
+#include "kernels/dispatch.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/workspace.hpp"
+#include "snn/dense.hpp"
+#include "snn/models.hpp"
+#include "tensor/quantized.hpp"
+#include "tensor/random.hpp"
+#include "tensor/tensor.hpp"
+
+namespace axsnn {
+namespace {
+
+using kernels::KernelMode;
+// Forces one kernel path globally for a scope (and shields the test from
+// any AXSNN_KERNEL_MODE the environment exports).
+using kernels::ScopedKernelMode;
+
+/// Pool-size override for a scope; restores the default on exit.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int threads) { runtime::SetGlobalThreads(threads); }
+  ~ScopedThreads() { runtime::SetGlobalThreads(0); }
+};
+
+/// Spike-like activation tensor: each element is nonzero with probability
+/// `density`, drawn from [0.25, 1) so values are representative of rate
+/// coding (and never denormal).
+Tensor MakeSpikes(Shape shape, float density, Rng& rng) {
+  Tensor gate = Tensor::Uniform(shape, 0.0f, 1.0f, rng);
+  Tensor vals = Tensor::Uniform(shape, 0.25f, 1.0f, rng);
+  Tensor x(std::move(shape));
+  for (long i = 0; i < x.numel(); ++i)
+    x[i] = gate[i] < density ? vals[i] : 0.0f;
+  return x;
+}
+
+/// Weights with ~25% exact zeros, mimicking Eq.-(1) pruning.
+Tensor MakePrunedWeights(Shape shape, Rng& rng) {
+  Tensor gate = Tensor::Uniform(shape, 0.0f, 1.0f, rng);
+  Tensor w = Tensor::Normal(std::move(shape), 0.0f, 0.5f, rng);
+  for (long i = 0; i < w.numel(); ++i)
+    if (gate[i] < 0.25f) w[i] = 0.0f;
+  return w;
+}
+
+/// ULP distance between two floats (max() for sign mismatch / non-finite).
+long UlpDistance(float a, float b) {
+  if (a == b) return 0;
+  if (!std::isfinite(a) || !std::isfinite(b)) return 1L << 30;
+  const auto ia = std::bit_cast<std::int32_t>(a);
+  const auto ib = std::bit_cast<std::int32_t>(b);
+  if ((ia < 0) != (ib < 0)) return 1L << 30;
+  return std::labs(static_cast<long>(ia) - static_cast<long>(ib));
+}
+
+void ExpectBitIdentical(const Tensor& got, const Tensor& want,
+                        const char* what) {
+  ASSERT_EQ(got.shape(), want.shape()) << what;
+  for (long i = 0; i < got.numel(); ++i)
+    ASSERT_EQ(got[i], want[i]) << what << " diverges at flat index " << i;
+}
+
+void ExpectWithinOneUlp(const Tensor& got, const Tensor& want,
+                        const char* what) {
+  ASSERT_EQ(got.shape(), want.shape()) << what;
+  for (long i = 0; i < got.numel(); ++i)
+    ASSERT_LE(UlpDistance(got[i], want[i]), 1)
+        << what << " diverges at flat index " << i << ": " << got[i]
+        << " vs " << want[i];
+}
+
+// --- conv2d differential sweep ----------------------------------------------
+
+struct ConvCase {
+  long n, c_in, c_out, h, w, k, pad;
+};
+
+const ConvCase kConvCases[] = {
+    {2, 3, 4, 5, 7, 3, 1},  // odd spatial sizes, typical pad
+    {1, 1, 2, 4, 4, 1, 0},  // 1x1 kernel, single input channel
+    {2, 2, 3, 6, 5, 3, 0},  // pad 0
+    {1, 2, 2, 5, 5, 3, 2},  // pad = kernel-1 (full padding)
+    {3, 4, 3, 1, 1, 1, 0},  // H = W = 1
+    {1, 1, 1, 3, 3, 3, 2},  // single in/out channel, pad = kernel-1
+};
+
+const float kDensities[] = {0.0f, 0.01f, 0.5f, 1.0f};
+
+Tensor RunConv(const ConvCase& c, const Tensor& w, const Tensor& b,
+               const Tensor& x, KernelMode mode) {
+  ScopedKernelMode force(mode);
+  runtime::Workspace scratch;
+  const long h_out = c.h + 2 * c.pad - c.k + 1;
+  const long w_out = c.w + 2 * c.pad - c.k + 1;
+  Tensor out({c.n, c.c_out, h_out, w_out});
+  const kernels::Conv2dGeom geom{c.c_in, c.c_out, c.k, c.pad};
+  kernels::Conv2dForward(w, b, x, out, geom, mode, scratch);
+  return out;
+}
+
+TEST(KernelEquivalence, Conv2dFp32BitIdenticalAcrossModes) {
+  Rng rng(40);
+  for (int threads : {1, 4}) {
+    ScopedThreads pool(threads);
+    for (const ConvCase& c : kConvCases) {
+      Tensor w = MakePrunedWeights({c.c_out, c.c_in, c.k, c.k}, rng);
+      Tensor b = Tensor::Normal({c.c_out}, 0.0f, 0.1f, rng);
+      for (float density : kDensities) {
+        SCOPED_TRACE(::testing::Message()
+                     << "threads=" << threads << " c_in=" << c.c_in
+                     << " c_out=" << c.c_out << " h=" << c.h << " w=" << c.w
+                     << " k=" << c.k << " pad=" << c.pad
+                     << " density=" << density);
+        Tensor x = MakeSpikes({c.n, c.c_in, c.h, c.w}, density, rng);
+        Tensor naive = RunConv(c, w, b, x, KernelMode::kNaive);
+        ExpectBitIdentical(RunConv(c, w, b, x, KernelMode::kGemm), naive,
+                           "conv2d gemm");
+        ExpectBitIdentical(RunConv(c, w, b, x, KernelMode::kSparse), naive,
+                           "conv2d sparse");
+        ExpectBitIdentical(RunConv(c, w, b, x, KernelMode::kAuto), naive,
+                           "conv2d auto");
+      }
+    }
+  }
+}
+
+Tensor RunConvInt8(const ConvCase& c, const QuantizedTensor& qw,
+                   const Tensor& b, const Tensor& x, KernelMode mode) {
+  ScopedKernelMode force(mode);
+  runtime::Workspace scratch;
+  std::vector<std::int32_t> qact;
+  const float act_scale = approx::Int8QuantizeActivations(x, qact);
+  const long h_out = c.h + 2 * c.pad - c.k + 1;
+  const long w_out = c.w + 2 * c.pad - c.k + 1;
+  Tensor out({c.n, c.c_out, h_out, w_out});
+  const kernels::Conv2dGeom geom{c.c_in, c.c_out, c.k, c.pad};
+  kernels::Int8Conv2dForward(qw, b, qact.data(), act_scale, c.n, c.h, c.w,
+                             out, geom, mode, scratch);
+  return out;
+}
+
+TEST(KernelEquivalence, Conv2dInt8WithinOneUlpAcrossModes) {
+  Rng rng(41);
+  for (int threads : {1, 4}) {
+    ScopedThreads pool(threads);
+    for (const ConvCase& c : kConvCases) {
+      Tensor w = MakePrunedWeights({c.c_out, c.c_in, c.k, c.k}, rng);
+      QuantizedTensor qw = QuantizedTensor::QuantizeRowwise(w);
+      Tensor b = Tensor::Normal({c.c_out}, 0.0f, 0.1f, rng);
+      for (float density : kDensities) {
+        SCOPED_TRACE(::testing::Message()
+                     << "threads=" << threads << " c_in=" << c.c_in
+                     << " c_out=" << c.c_out << " h=" << c.h << " w=" << c.w
+                     << " k=" << c.k << " pad=" << c.pad
+                     << " density=" << density);
+        Tensor x = MakeSpikes({c.n, c.c_in, c.h, c.w}, density, rng);
+        Tensor naive = RunConvInt8(c, qw, b, x, KernelMode::kNaive);
+        ExpectWithinOneUlp(RunConvInt8(c, qw, b, x, KernelMode::kGemm),
+                           naive, "int8 conv2d gemm");
+        ExpectWithinOneUlp(RunConvInt8(c, qw, b, x, KernelMode::kSparse),
+                           naive, "int8 conv2d sparse");
+        ExpectWithinOneUlp(RunConvInt8(c, qw, b, x, KernelMode::kAuto),
+                           naive, "int8 conv2d auto");
+      }
+    }
+  }
+}
+
+// --- dense differential sweep ------------------------------------------------
+
+struct DenseCase {
+  long n, f_in, f_out;
+};
+
+const DenseCase kDenseCases[] = {
+    {1, 1, 1},    // degenerate single MAC
+    {4, 7, 5},    // odd sizes below one register tile
+    {9, 16, 3},   // ragged sample block (9 % kNr != 0)
+    {5, 33, 9},   // ragged feature tile (9 % kMr != 0)
+    {8, 64, 16},  // exact tiles
+};
+
+Tensor RunDense(const DenseCase& c, const Tensor& w, const Tensor& b,
+                const Tensor& x, KernelMode mode) {
+  ScopedKernelMode force(mode);
+  runtime::Workspace scratch;
+  Tensor out({c.n, c.f_out});
+  kernels::DenseForward(w, b, x, out, mode, scratch);
+  return out;
+}
+
+TEST(KernelEquivalence, DenseFp32BitIdenticalAcrossModes) {
+  Rng rng(42);
+  for (int threads : {1, 4}) {
+    ScopedThreads pool(threads);
+    for (const DenseCase& c : kDenseCases) {
+      Tensor w = MakePrunedWeights({c.f_out, c.f_in}, rng);
+      Tensor b = Tensor::Normal({c.f_out}, 0.0f, 0.1f, rng);
+      for (float density : kDensities) {
+        SCOPED_TRACE(::testing::Message()
+                     << "threads=" << threads << " n=" << c.n
+                     << " f_in=" << c.f_in << " f_out=" << c.f_out
+                     << " density=" << density);
+        Tensor x = MakeSpikes({c.n, c.f_in}, density, rng);
+        Tensor naive = RunDense(c, w, b, x, KernelMode::kNaive);
+        ExpectBitIdentical(RunDense(c, w, b, x, KernelMode::kGemm), naive,
+                           "dense gemm");
+        ExpectBitIdentical(RunDense(c, w, b, x, KernelMode::kSparse), naive,
+                           "dense sparse");
+        ExpectBitIdentical(RunDense(c, w, b, x, KernelMode::kAuto), naive,
+                           "dense auto");
+      }
+    }
+  }
+}
+
+Tensor RunDenseInt8(const DenseCase& c, const QuantizedTensor& qw,
+                    const Tensor& b, const Tensor& x, KernelMode mode) {
+  ScopedKernelMode force(mode);
+  runtime::Workspace scratch;
+  std::vector<std::int8_t> qact;
+  const float act_scale = approx::Int8QuantizeActivations(x, qact);
+  Tensor out({c.n, c.f_out});
+  kernels::Int8DenseForward(qw, b, qact.data(), act_scale, c.n, out, mode,
+                            scratch);
+  return out;
+}
+
+TEST(KernelEquivalence, DenseInt8WithinOneUlpAcrossModes) {
+  Rng rng(43);
+  for (int threads : {1, 4}) {
+    ScopedThreads pool(threads);
+    for (const DenseCase& c : kDenseCases) {
+      Tensor w = MakePrunedWeights({c.f_out, c.f_in}, rng);
+      QuantizedTensor qw = QuantizedTensor::QuantizeRowwise(w);
+      Tensor b = Tensor::Normal({c.f_out}, 0.0f, 0.1f, rng);
+      for (float density : kDensities) {
+        SCOPED_TRACE(::testing::Message()
+                     << "threads=" << threads << " n=" << c.n
+                     << " f_in=" << c.f_in << " f_out=" << c.f_out
+                     << " density=" << density);
+        Tensor x = MakeSpikes({c.n, c.f_in}, density, rng);
+        Tensor naive = RunDenseInt8(c, qw, b, x, KernelMode::kNaive);
+        ExpectWithinOneUlp(RunDenseInt8(c, qw, b, x, KernelMode::kGemm),
+                           naive, "int8 dense gemm");
+        ExpectWithinOneUlp(RunDenseInt8(c, qw, b, x, KernelMode::kSparse),
+                           naive, "int8 dense sparse");
+      }
+    }
+  }
+}
+
+// --- dispatch unit tests -----------------------------------------------------
+
+TEST(KernelDispatch, ModeNamesRoundTrip) {
+  for (KernelMode m : {KernelMode::kAuto, KernelMode::kNaive,
+                       KernelMode::kGemm, KernelMode::kSparse})
+    EXPECT_EQ(kernels::ParseKernelMode(kernels::KernelModeName(m)), m);
+  EXPECT_FALSE(kernels::ParseKernelMode("fast").has_value());
+  EXPECT_FALSE(kernels::ParseKernelMode("").has_value());
+}
+
+TEST(KernelDispatch, DensityCountsNonzerosExactly) {
+  const float x[] = {0.0f, 1.0f, 0.0f, -2.0f};
+  EXPECT_FLOAT_EQ(kernels::Density(x, 4), 0.5f);
+  EXPECT_FLOAT_EQ(kernels::Density(x, 0), 0.0f);
+  const std::int8_t q[] = {0, 0, 0, 5};
+  EXPECT_FLOAT_EQ(kernels::Density(q, 4), 0.25f);
+}
+
+TEST(KernelDispatch, ChooseByDensityProbesOnlyAuto) {
+  using kernels::ChooseByDensity;
+  const float max = kernels::kConvSparseDensityMax;
+  EXPECT_EQ(ChooseByDensity(KernelMode::kAuto, max, max, KernelMode::kGemm),
+            KernelMode::kSparse);  // at the threshold: sparse
+  EXPECT_EQ(ChooseByDensity(KernelMode::kAuto, max + 0.01f, max,
+                            KernelMode::kGemm),
+            KernelMode::kGemm);  // above: the family's dense fallback
+  EXPECT_EQ(ChooseByDensity(KernelMode::kAuto, max + 0.01f, max,
+                            KernelMode::kNaive),
+            KernelMode::kNaive);
+  EXPECT_EQ(ChooseByDensity(KernelMode::kAuto, 0.0f, max, KernelMode::kGemm),
+            KernelMode::kSparse);
+  // Pinned modes pass through regardless of density.
+  EXPECT_EQ(ChooseByDensity(KernelMode::kNaive, 0.0f, max, KernelMode::kGemm),
+            KernelMode::kNaive);
+  EXPECT_EQ(ChooseByDensity(KernelMode::kGemm, 0.0f, max, KernelMode::kGemm),
+            KernelMode::kGemm);
+}
+
+TEST(KernelDispatch, GlobalModeOverridesRequested) {
+  {
+    ScopedKernelMode force(KernelMode::kGemm);
+    EXPECT_EQ(kernels::ResolveKernelMode(KernelMode::kSparse),
+              KernelMode::kGemm);
+    EXPECT_EQ(kernels::ResolveKernelMode(KernelMode::kAuto),
+              KernelMode::kGemm);
+  }
+  ScopedKernelMode neutral(KernelMode::kAuto);
+  EXPECT_EQ(kernels::ResolveKernelMode(KernelMode::kSparse),
+            KernelMode::kSparse);
+  EXPECT_EQ(kernels::ResolveKernelMode(KernelMode::kAuto), KernelMode::kAuto);
+}
+
+TEST(KernelDispatch, ApproxConfigKnobReachesLayers) {
+  // ApplyApproximation plumbs cfg.kernel_mode to every weight layer, and the
+  // resulting networks produce identical logits in every mode.
+  ScopedKernelMode neutral(KernelMode::kAuto);
+  snn::StaticNetOptions opts;
+  opts.height = 16;
+  opts.width = 16;
+  opts.conv1_channels = 4;
+  opts.conv2_channels = 8;
+  opts.conv3_channels = 8;
+  opts.hidden = 32;
+  snn::Network net = snn::BuildStaticNet(opts);
+  Rng rng(44);
+  Tensor input = Tensor::Uniform({4, 2, 1, 16, 16}, 0.0f, 1.0f, rng);
+  approx::CalibrationStats stats = approx::Calibrate(net, input);
+
+  std::vector<Tensor> outs;
+  for (KernelMode mode : {KernelMode::kNaive, KernelMode::kGemm,
+                          KernelMode::kSparse, KernelMode::kAuto}) {
+    approx::ApproxConfig cfg;
+    cfg.precision = approx::Precision::kInt8;
+    cfg.level = 0.01;
+    cfg.kernel_mode = mode;
+    auto [ax, report] = approx::MakeApproximate(net, cfg, stats);
+    (void)report;
+    outs.push_back(ax.Forward(input, false));
+  }
+  for (std::size_t i = 1; i < outs.size(); ++i)
+    ExpectWithinOneUlp(outs[i], outs[0], "ApproxConfig kernel_mode logits");
+}
+
+TEST(KernelDispatch, LayerKnobDefaultsToAutoAndSticks) {
+  Rng rng(45);
+  snn::Dense fc("fc", 4, 2, rng);
+  EXPECT_EQ(fc.kernel_mode(), KernelMode::kAuto);
+  fc.set_kernel_mode(KernelMode::kSparse);
+  EXPECT_EQ(fc.kernel_mode(), KernelMode::kSparse);
+}
+
+// --- golden determinism: fig2-style mini sweep -------------------------------
+
+TEST(GoldenDeterminism, SweepReportByteIdenticalAcrossModesAndPools) {
+  // A miniature Fig.-2 sweep (train -> craft PGD -> evaluate variants) whose
+  // rendered report must be byte-identical for every kernel mode x pool
+  // size, so an Algorithm-1 search outcome can never depend on the dispatch
+  // decision or the thread count.
+  core::StaticWorkbench::Options opts;
+  opts.net.lif.v_threshold = 0.25f;
+  opts.train.epochs = 2;
+  opts.train.batch_size = 32;
+  opts.train_time_steps_cap = 6;
+  opts.attack_time_steps_cap = 6;
+  opts.attack_steps = 3;
+  opts.eval_batch = 64;
+
+  data::SyntheticMnistOptions d;
+  d.count = 192;
+  d.seed = 51;
+  data::StaticDataset train = data::MakeSyntheticMnist(d);
+  d.count = 48;
+  d.seed = 52;
+  data::StaticDataset test = data::MakeSyntheticMnist(d);
+  core::StaticWorkbench bench(std::move(train), std::move(test), opts);
+
+  auto model = bench.Train(0.25f, 8);
+  Tensor adversarial = bench.Craft(model, core::AttackKind::kPgd, 0.1f);
+  const std::vector<core::VariantSpec> specs = {
+      {approx::Precision::kFp32, 0.0},
+      {approx::Precision::kFp32, 0.01},
+      {approx::Precision::kInt8, 0.01},
+  };
+
+  std::string golden;
+  for (KernelMode mode : {KernelMode::kNaive, KernelMode::kGemm,
+                          KernelMode::kSparse, KernelMode::kAuto}) {
+    for (int threads : {1, 4}) {
+      ScopedThreads pool(threads);
+      ScopedKernelMode force(mode);
+      const std::vector<float> robustness =
+          bench.EvaluateVariants(model, adversarial, specs);
+      ASSERT_EQ(robustness.size(), specs.size());
+
+      std::vector<eval::Series> series;
+      for (std::size_t i = 0; i < specs.size(); ++i)
+        series.push_back({"variant" + std::to_string(i),
+                          {static_cast<double>(robustness[i])}});
+      std::ostringstream os;
+      eval::PrintSeriesTable(os, "golden mini sweep", "eps", {0.1}, series);
+
+      if (golden.empty()) {
+        golden = os.str();
+      } else {
+        EXPECT_EQ(golden, os.str())
+            << "report changed under kernel mode "
+            << kernels::KernelModeName(mode) << ", pool size " << threads;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace axsnn

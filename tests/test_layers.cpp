@@ -149,6 +149,33 @@ TEST(Conv2d, RejectsBadConstruction) {
   EXPECT_THROW(conv.Backward(Tensor({1, 1, 4, 4})), std::invalid_argument);
 }
 
+TEST(Conv2d, InferenceForwardSkipsInputCache) {
+  // Inference passes (train == false, grad_cache off) must not copy the
+  // input into the Backward cache — Backward after such a pass throws, and
+  // enabling grad_cache restores the attack-style backprop-through-eval.
+  Rng rng(30);
+  Conv2d conv("c", 1, 2, 3, 1, rng);
+  Tensor x = Tensor::Uniform({1, 1, 4, 4}, 0.0f, 1.0f, rng);
+  Tensor out;
+  conv.ForwardInto(x, out, false);
+  Tensor grad = Tensor::Ones(out.shape());
+  EXPECT_THROW(conv.Backward(grad), std::invalid_argument);
+
+  conv.set_grad_cache(true);
+  conv.ForwardInto(x, out, false);
+  EXPECT_EQ(conv.Backward(grad).shape(), x.shape());
+
+  conv.set_grad_cache(false);
+  conv.ForwardInto(x, out, true);  // training passes always cache
+  EXPECT_EQ(conv.Backward(grad).shape(), x.shape());
+
+  // An uncached pass after a cached one must invalidate, not keep, the
+  // stale cache: Backward would otherwise silently differentiate the
+  // earlier input.
+  conv.ForwardInto(x, out, false);
+  EXPECT_THROW(conv.Backward(grad), std::invalid_argument);
+}
+
 TEST(Dense, ForwardMatchesManualMatmul) {
   Rng rng(12);
   Dense fc("fc", 3, 2, rng);
@@ -182,6 +209,20 @@ TEST(Dense, InputAndWeightGradientsNumerical) {
   CheckGradient(x, grad_in, loss, 1e-3f, 1e-2f);
   Tensor analytic_w = *fc.Grads()[0];
   CheckGradient(fc.weight(), analytic_w, loss, 1e-3f, 1e-2f);
+}
+
+TEST(Dense, InferenceForwardSkipsInputCache) {
+  Rng rng(31);
+  Dense fc("fc", 4, 2, rng);
+  Tensor x = Tensor::Uniform({3, 4}, 0.0f, 1.0f, rng);
+  Tensor out;
+  fc.ForwardInto(x, out, false);
+  Tensor grad = Tensor::Ones(out.shape());
+  EXPECT_THROW(fc.Backward(grad), std::invalid_argument);
+
+  fc.set_grad_cache(true);
+  fc.ForwardInto(x, out, false);
+  EXPECT_EQ(fc.Backward(grad).shape(), x.shape());
 }
 
 TEST(Dense, RejectsIndivisibleInput) {

@@ -29,6 +29,7 @@ Network TinyNet(std::uint64_t seed = 1) {
 
 TEST(Network, ForwardBackwardShapes) {
   Network net = TinyNet();
+  net.SetGradCache(true);  // Backward through a train=false pass
   Rng rng(2);
   Tensor x = Tensor::Uniform({5, 2, 4}, 0.0f, 1.0f, rng);
   Tensor y = net.Forward(x, false);

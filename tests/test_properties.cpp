@@ -9,6 +9,7 @@
 #include "approx/approximation.hpp"
 #include "approx/precision.hpp"
 #include "data/dvs_gesture.hpp"
+#include "tensor/quantized.hpp"
 #include "data/synthetic_mnist.hpp"
 #include "snn/encoding.hpp"
 #include "snn/inference.hpp"
@@ -95,6 +96,68 @@ INSTANTIATE_TEST_SUITE_P(AllPrecisions, PrecisionTest,
                          ::testing::Values(approx::Precision::kFp32,
                                            approx::Precision::kFp16,
                                            approx::Precision::kInt8));
+
+// --- QuantizedTensor invariants (the int8 backend's storage contract) -------
+
+TEST(QuantizedTensorProperties, FromWeightsRoundTripPreservesSignAndZero) {
+  // Symmetric rowwise quantization: zeros stay exactly zero and no value
+  // changes sign through quantize -> dequantize, for any weight pattern.
+  Rng rng(20);
+  Tensor w = Tensor::Normal({6, 24}, 0.0f, 0.4f, rng);
+  for (long i = 0; i < w.numel(); i += 5) w[i] = 0.0f;  // pruned weights
+  QuantizedTensor q = QuantizedTensor::FromWeights(w, {});
+  Tensor back = q.Dequantized();
+  ASSERT_EQ(back.shape(), w.shape());
+  for (long i = 0; i < w.numel(); ++i) {
+    if (w[i] == 0.0f) {
+      EXPECT_EQ(back[i], 0.0f) << "zero not preserved at " << i;
+    } else if (w[i] > 0.0f) {
+      EXPECT_GE(back[i], 0.0f) << "sign flipped at " << i;
+    } else {
+      EXPECT_LE(back[i], 0.0f) << "sign flipped at " << i;
+    }
+    // Round-trip error is bounded by half a quantization step per row.
+    const long row = i / q.row_size();
+    EXPECT_LE(std::fabs(back[i] - w[i]), 0.5f * q.scale(row) + 1e-7f);
+  }
+}
+
+TEST(QuantizedTensorProperties, RowScalesAreMonotoneInRowMagnitude) {
+  // scales[r] = max|row r| / 127: scaling a row's values scales its scale
+  // proportionally, and a row with larger max-abs never gets the smaller
+  // scale. Rows here have strictly increasing max-abs 0.1, 0.2, ... 0.8.
+  Tensor w({8, 4});
+  for (long r = 0; r < 8; ++r)
+    for (long c = 0; c < 4; ++c)
+      w(r, c) = (c == 0 ? 1.0f : 0.5f) * 0.1f * static_cast<float>(r + 1) *
+                ((c % 2 == 0) ? 1.0f : -1.0f);
+  QuantizedTensor q = QuantizedTensor::QuantizeRowwise(w);
+  ASSERT_EQ(q.rows(), 8);
+  for (long r = 1; r < 8; ++r)
+    EXPECT_GT(q.scale(r), q.scale(r - 1))
+        << "row " << r << " has larger max|w| but not larger scale";
+  for (long r = 0; r < 8; ++r)
+    EXPECT_NEAR(q.scale(r), 0.1f * static_cast<float>(r + 1) / 127.0f,
+                1e-7f);
+  // An all-zero row quantizes to all-zero codes with the sentinel scale 1.
+  Tensor z({2, 3});
+  z(1, 0) = 0.25f;
+  QuantizedTensor qz = QuantizedTensor::QuantizeRowwise(z);
+  EXPECT_FLOAT_EQ(qz.scale(0), 1.0f);
+  for (long c = 0; c < 3; ++c) EXPECT_EQ(qz.data()[c], 0);
+}
+
+TEST(QuantizedTensorProperties, CodesStayInSymmetricRange) {
+  // The symmetric scheme never emits -128, so negation of any code is
+  // always representable (the kernels rely on this headroom bound).
+  Rng rng(21);
+  Tensor w = Tensor::Uniform({5, 17}, -2.0f, 2.0f, rng);
+  QuantizedTensor q = QuantizedTensor::QuantizeRowwise(w);
+  for (long i = 0; i < q.numel(); ++i) {
+    EXPECT_GE(q.data()[i], -127);
+    EXPECT_LE(q.data()[i], 127);
+  }
+}
 
 // --- Approximation invariants across precision x level ----------------------
 
