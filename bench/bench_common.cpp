@@ -1,13 +1,13 @@
 #include "bench_common.hpp"
 
 #include <filesystem>
-#include <functional>
 #include <iostream>
 #include <sstream>
 
 #include "eval/report.hpp"
-#include "runtime/parallel_for.hpp"
+#include "runtime/thread_pool.hpp"
 #include "snn/lif_layer.hpp"
+#include "tensor/check.hpp"
 #include "tensor/serialize.hpp"
 
 namespace axsnn::bench {
@@ -96,6 +96,26 @@ core::DvsWorkbench::Options DvsOptions() {
   return opts;
 }
 
+core::StaticWorkbench MiniFig2Workbench() {
+  core::StaticWorkbench::Options opts;
+  opts.net.lif.v_threshold = 0.25f;
+  opts.train.epochs = 2;
+  opts.train.batch_size = 32;
+  opts.train_time_steps_cap = 6;
+  opts.attack_time_steps_cap = 6;
+  opts.attack_steps = 3;
+  opts.eval_batch = 64;
+
+  data::SyntheticMnistOptions d;
+  d.count = 192;
+  d.seed = 51;
+  data::StaticDataset train = data::MakeSyntheticMnist(d);
+  d.count = 48;
+  d.seed = 52;
+  data::StaticDataset test = data::MakeSyntheticMnist(d);
+  return core::StaticWorkbench(std::move(train), std::move(test), opts);
+}
+
 std::string CacheDir() {
   const std::string dir = "axsnn_bench_cache";
   std::filesystem::create_directories(dir);
@@ -179,24 +199,44 @@ HeatmapCell MakeHeatmapCell(const core::StaticWorkbench& bench, float vth,
   return cell;
 }
 
-void ForEachHeatmapCell(
-    const core::StaticWorkbench& bench,
-    const std::function<void(HeatmapCell&, std::size_t, std::size_t)>& fn) {
-  const auto vths = VthGrid();
-  const auto times = TimeGrid();
-  const long total = static_cast<long>(vths.size() * times.size());
-  // Cells are independent; outer parallelism wins because each cell's inner
-  // loops are small (the pool throttles nested parallelism to inline, which
-  // is intended). grain 1 = one sweep cell per pool task.
-  runtime::ParallelFor(
-      0, total,
-      [&](long idx) {
-        const std::size_t row = static_cast<std::size_t>(idx) / vths.size();
-        const std::size_t col = static_cast<std::size_t>(idx) % vths.size();
-        HeatmapCell cell = MakeHeatmapCell(bench, vths[col], times[row]);
-        fn(cell, row, col);
-      },
-      /*grain=*/1);
+void HeatmapCellStore::Attach(scenario::StaticScenarioEngine& engine) {
+  engine.set_train_fn([this](float vth, long t) { return Train(vth, t); });
+  engine.set_craft_fn(
+      [this](const core::StaticWorkbench::TrainedModel& model,
+             const scenario::AttackSpec& attack, float epsilon) {
+        return Images(model, attack, epsilon);
+      });
+}
+
+core::StaticWorkbench::TrainedModel HeatmapCellStore::Train(float vth,
+                                                            long t) {
+  HeatmapCell cell = MakeHeatmapCell(bench_, vth, t);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    images_.emplace(std::make_pair(static_cast<int>(vth * 100), t),
+                    std::make_pair(std::move(cell.pgd_images),
+                                   std::move(cell.bim_images)));
+  }
+  return std::move(cell.model);
+}
+
+Tensor HeatmapCellStore::Images(
+    const core::StaticWorkbench::TrainedModel& model,
+    const scenario::AttackSpec& attack, float epsilon) const {
+  if (attack.name == "none") return bench_.test_set().images;
+  AXSNN_CHECK(attack.name == "PGD" || attack.name == "BIM",
+              "heatmap cell cache holds PGD/BIM sets only, not '"
+                  << attack.name << "'");
+  const float cached_eps = static_cast<float>(1.0 * kEpsilonScale);
+  AXSNN_CHECK(epsilon == cached_eps,
+              "heatmap cells are crafted at paper eps 1.0");
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = images_.find(
+      {static_cast<int>(model.v_threshold * 100), model.time_steps});
+  AXSNN_CHECK(it != images_.end(),
+              "heatmap cell images missing — craft hook called before the "
+              "train hook for this structural cell");
+  return attack.name == "PGD" ? it->second.first : it->second.second;
 }
 
 void PrintBanner(const std::string& artifact, const std::string& paper_claim) {
@@ -210,26 +250,82 @@ void PrintBanner(const std::string& artifact, const std::string& paper_claim) {
             << "#############################################################\n";
 }
 
+void RunEpsSweepFigure(const EpsSweepFigure& figure) {
+  PrintBanner(figure.artifact, figure.paper_claim);
+  std::cout << "runtime pool: " << runtime::GlobalPool().thread_count()
+            << " thread(s)\n";
+
+  core::StaticWorkbench workbench(MakeStaticTrain(2048), MakeStaticTest(512),
+                                  FigureOptions());
+  scenario::StaticScenarioEngine engine(workbench);
+
+  const std::vector<double> eps_grid = PaperEpsGrid();
+  scenario::ScenarioGrid grid;
+  grid.v_thresholds = {0.25f};
+  grid.time_steps = {32};
+  grid.attacks = {scenario::AttackSpec{figure.attack, {}}};
+  grid.epsilons.clear();
+  for (double paper_eps : eps_grid) {
+    // Multiply in float exactly like the pre-engine harnesses, so crafted
+    // sets (and the golden fig2 report) stay bit-identical.
+    grid.epsilons.push_back(
+        static_cast<double>(static_cast<float>(paper_eps) * kEpsilonScale));
+  }
+  grid.levels = figure.levels;
+
+  const scenario::ScenarioOutcome outcome = engine.Run(grid);
+
+  std::cout << "trained AccSNN: train accuracy "
+            << outcome.train_accuracy_pct.front() << "%\n";
+  for (double paper_eps : eps_grid)
+    std::cout << "paper eps " << paper_eps << " done\n";
+
+  std::vector<eval::Series> series;
+  for (std::size_t il = 0; il < figure.levels.size(); ++il) {
+    eval::Series s{figure.series_names[il], {}};
+    for (std::size_t ie = 0; ie < eps_grid.size(); ++ie)
+      s.values.push_back(outcome.Robustness(0, 0, 0, ie, 0, 0, il, 0));
+    series.push_back(std::move(s));
+  }
+  eval::PrintSeriesTable(std::cout, figure.table_title, "eps", eps_grid,
+                         series);
+  eval::PrintRunFooter(std::cout, outcome.stats.sweep_seconds,
+                       static_cast<long>(grid.CellCount()),
+                       runtime::GlobalPool().thread_count());
+}
+
 void RunPrecisionHeatmap(approx::Precision precision,
                          const std::string& figure_name,
                          const std::string& paper_claim) {
   PrintBanner(figure_name, paper_claim);
   core::StaticWorkbench workbench(MakeStaticTrain(384), MakeStaticTest(192),
                                   HeatmapOptions());
+  scenario::StaticScenarioEngine engine(workbench);
+  HeatmapCellStore store(workbench);
+  store.Attach(engine);
+
+  scenario::ScenarioGrid grid;
+  grid.v_thresholds = VthGrid();
+  grid.time_steps = TimeGrid();
+  grid.attacks = {scenario::AttackSpec{"PGD", {}},
+                  scenario::AttackSpec{"BIM", {}}};
+  grid.epsilons = {1.0 * kEpsilonScale};  // paper eps 1.0
+  grid.precisions = {precision};
+  grid.levels = {0.01};
+
+  const scenario::ScenarioOutcome outcome = engine.Run(grid);
+
   const auto vths = VthGrid();
   const auto times = TimeGrid();
   std::vector<std::vector<double>> pgd(times.size(),
                                        std::vector<double>(vths.size()));
   std::vector<std::vector<double>> bim = pgd;
-
-  ForEachHeatmapCell(workbench, [&](HeatmapCell& cell, std::size_t row,
-                                    std::size_t col) {
-    snn::Network ax = workbench.MakeAx(cell.model, 0.01, precision);
-    pgd[row][col] = workbench.AccuracyPct(ax, cell.pgd_images,
-                                          cell.model.time_steps);
-    bim[row][col] = workbench.AccuracyPct(ax, cell.bim_images,
-                                          cell.model.time_steps);
-  });
+  for (std::size_t row = 0; row < times.size(); ++row) {
+    for (std::size_t col = 0; col < vths.size(); ++col) {
+      pgd[row][col] = outcome.Robustness(col, row, 0, 0, 0, 0, 0, 0);
+      bim[row][col] = outcome.Robustness(col, row, 1, 0, 0, 0, 0, 0);
+    }
+  }
 
   std::vector<double> time_labels(times.begin(), times.end());
   std::vector<double> vth_labels(vths.begin(), vths.end());

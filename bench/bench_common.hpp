@@ -11,12 +11,15 @@
 // measured at eps * kEpsilonScale. EXPERIMENTS.md documents this deviation.
 #pragma once
 
-#include <functional>
+#include <map>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/search.hpp"
 #include "core/workbench.hpp"
+#include "scenario/engine.hpp"
 
 namespace axsnn::bench {
 
@@ -54,6 +57,13 @@ core::StaticWorkbench::Options HeatmapOptions();
 /// Workbench options for the DVS benches (Fig. 7b, Table II).
 core::DvsWorkbench::Options DvsOptions();
 
+/// The miniature fig2-style workbench (2-epoch training on 192 synthetic
+/// digits, 3-step PGD, T caps 6) shared by the scenario-golden CI gate and
+/// the micro_runtime scenario section — and mirrored, to stay
+/// self-contained, by the golden determinism tests. Seconds to train, yet
+/// it exercises the full train -> craft -> variant-evaluation pipeline.
+core::StaticWorkbench MiniFig2Workbench();
+
 // ---------------------------------------------------------------------------
 // Heatmap cell cache
 // ---------------------------------------------------------------------------
@@ -83,19 +93,57 @@ void SaveHeatmapCell(const HeatmapCell& cell);
 HeatmapCell MakeHeatmapCell(const core::StaticWorkbench& bench, float vth,
                             long t);
 
-/// Runs `fn(cell, row, col)` over the full (TimeGrid x VthGrid) grid with
-/// cells computed in parallel; `fn` must be thread-safe w.r.t. distinct
-/// (row, col). Rows follow TimeGrid() order, columns VthGrid() order.
-void ForEachHeatmapCell(
-    const core::StaticWorkbench& bench,
-    const std::function<void(HeatmapCell&, std::size_t, std::size_t)>& fn);
+/// Splices the persistent heatmap disk cache into a scenario engine: the
+/// train hook runs MakeHeatmapCell (load-or-train+attack, saved to disk)
+/// and parks the cell's pre-crafted adversarial sets here; the craft hook
+/// serves them back by attack name ("PGD" / "BIM"; "none" returns the
+/// clean test images — any other attack, or a non-paper epsilon, is a
+/// programming error and throws). The store must outlive the engine runs
+/// it feeds.
+class HeatmapCellStore {
+ public:
+  explicit HeatmapCellStore(const core::StaticWorkbench& bench)
+      : bench_(bench) {}
+
+  /// Installs the train/craft hooks on `engine`.
+  void Attach(scenario::StaticScenarioEngine& engine);
+
+ private:
+  core::StaticWorkbench::TrainedModel Train(float vth, long t);
+  Tensor Images(const core::StaticWorkbench::TrainedModel& model,
+                const scenario::AttackSpec& attack, float epsilon) const;
+
+  const core::StaticWorkbench& bench_;
+  mutable std::mutex mu_;
+  /// (vth bits as int, T) -> (pgd images, bim images)
+  std::map<std::pair<int, long>, std::pair<Tensor, Tensor>> images_;
+};
 
 /// Prints the standard bench banner with reproduction context.
 void PrintBanner(const std::string& artifact, const std::string& paper_claim);
 
+/// A Figs. 1-3 style experiment, declaratively: one accurate model
+/// (Vth 0.25, T 32, FigureOptions training budget), one gradient attack
+/// swept over the paper's epsilon axis, and one FP32 variant series per
+/// approximation level. `series_names` aligns with `levels`.
+struct EpsSweepFigure {
+  std::string artifact;     ///< banner line, e.g. "Fig. 2 (PGD vs ...)"
+  std::string paper_claim;  ///< banner claim
+  std::string attack;       ///< registry name: "PGD" / "BIM" / ...
+  std::string table_title;  ///< PrintSeriesTable title
+  std::vector<std::string> series_names;
+  std::vector<double> levels;
+};
+
+/// Runs the figure on the scenario engine and prints the standard report
+/// (banner, pool size, train accuracy, per-eps progress, series table,
+/// sweep footer).
+void RunEpsSweepFigure(const EpsSweepFigure& figure);
+
 /// Shared driver for Figs. 4-6: accuracy heatmaps of the AxSNN at
 /// approximation level 0.01 and the given precision scale, under PGD and
-/// BIM at paper eps 1.0, over the (Vth x T) grid. Prints two heatmaps.
+/// BIM at paper eps 1.0, over the (Vth x T) grid — one declarative
+/// ScenarioGrid over the disk-cached cells. Prints two heatmaps.
 void RunPrecisionHeatmap(approx::Precision precision,
                          const std::string& figure_name,
                          const std::string& paper_claim);

@@ -4,46 +4,26 @@
 // Paper: at eps = 0 the AccSNN/AxSNN accuracies are 97%/52%; the AxSNN curve
 // stays far below the AccSNN curve across the whole axis, and both collapse
 // at the end of it.
-#include <iostream>
-
+//
+// Declarative form: the same grid as Fig. 2 with a two-entry level axis —
+// level 0 *is* the accurate model (FP32 quantization is the identity and
+// level 0 prunes nothing), so the AccSNN series is just another variant
+// cell.
 #include "bench_common.hpp"
-#include "eval/report.hpp"
 
 using namespace axsnn;
 
 int main() {
-  bench::PrintBanner(
-      "Fig. 1 (motivation: AccSNN vs AxSNN level 0.1 under PGD)",
+  bench::EpsSweepFigure figure;
+  figure.artifact = "Fig. 1 (motivation: AccSNN vs AxSNN level 0.1 under PGD)";
+  figure.paper_claim =
       "AxSNN is drastically less robust: 97%/52% clean, 95%/40% @ paper "
-      "eps 0.5");
-
-  core::StaticWorkbench workbench(bench::MakeStaticTrain(2048),
-                                  bench::MakeStaticTest(512),
-                                  bench::FigureOptions());
-  auto model = workbench.Train(/*vth=*/0.25f, /*time_steps=*/32);
-  std::cout << "trained AccSNN (Vth=0.25, T=32): train accuracy "
-            << model.train_accuracy_pct << "%\n";
-
-  snn::Network axsnn =
-      workbench.MakeAx(model, /*level=*/0.1, approx::Precision::kFp32);
-
-  const std::vector<double> eps_grid = bench::PaperEpsGrid();
-  eval::Series acc_series{"AccSNN", {}};
-  eval::Series ax_series{"AxSNN(0.1)", {}};
-  for (double paper_eps : eps_grid) {
-    const float eps = static_cast<float>(paper_eps) * bench::kEpsilonScale;
-    Tensor adversarial =
-        workbench.Craft(model, core::AttackKind::kPgd, eps);
-    acc_series.values.push_back(
-        workbench.AccuracyPct(model.net, adversarial, model.time_steps));
-    ax_series.values.push_back(
-        workbench.AccuracyPct(axsnn, adversarial, model.time_steps));
-    std::cout << "paper eps " << paper_eps << " done\n";
-  }
-
-  eval::PrintSeriesTable(
-      std::cout,
-      "Fig. 1: accuracy [%] vs perturbation budget (paper eps axis)",
-      "eps", eps_grid, {acc_series, ax_series});
+      "eps 0.5";
+  figure.attack = "PGD";
+  figure.table_title =
+      "Fig. 1: accuracy [%] vs perturbation budget (paper eps axis)";
+  figure.levels = {0.0, 0.1};
+  figure.series_names = {"AccSNN", "AxSNN(0.1)"};
+  bench::RunEpsSweepFigure(figure);
   return 0;
 }

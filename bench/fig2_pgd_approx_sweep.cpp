@@ -4,62 +4,28 @@
 // Paper: clean accuracy degrades with level (96 / 96 / 93 / 51 / 10 %), and
 // under attack the ordering is preserved while every curve decays; level
 // 1.0 sits at chance everywhere.
-#include <chrono>
-#include <iostream>
-
+//
+// Declarative form: one ScenarioGrid — (Vth 0.25, T 32) x PGD x the paper
+// epsilon axis x five FP32 approximation levels — executed by the scenario
+// engine (bench_common::RunEpsSweepFigure). The rendered report is
+// byte-identical to the pre-engine hand-rolled sweep; CI pins a miniature
+// version of this grid against a checked-in golden file.
 #include "bench_common.hpp"
 #include "eval/report.hpp"
-#include "runtime/thread_pool.hpp"
 
 using namespace axsnn;
 
 int main() {
-  bench::PrintBanner(
-      "Fig. 2 (PGD vs approximation level)",
+  bench::EpsSweepFigure figure;
+  figure.artifact = "Fig. 2 (PGD vs approximation level)";
+  figure.paper_claim =
       "accuracy ordering 0 > 0.001 > 0.01 > 0.1 > 1 at every eps; level 1 "
-      "is chance");
-  std::cout << "runtime pool: " << runtime::GlobalPool().thread_count()
-            << " thread(s)\n";
-
-  core::StaticWorkbench workbench(bench::MakeStaticTrain(2048),
-                                  bench::MakeStaticTest(512),
-                                  bench::FigureOptions());
-  auto model = workbench.Train(/*vth=*/0.25f, /*time_steps=*/32);
-  std::cout << "trained AccSNN: train accuracy " << model.train_accuracy_pct
-            << "%\n";
-
-  const std::vector<double> levels = {0.0, 0.001, 0.01, 0.1, 1.0};
-  std::vector<core::VariantSpec> specs;
-  for (double level : levels)
-    specs.push_back({approx::Precision::kFp32, level});
-
-  const std::vector<double> eps_grid = bench::PaperEpsGrid();
-  std::vector<eval::Series> series;
-  for (double level : levels)
-    series.push_back({"lvl=" + eval::FormatValue(level, 3), {}});
-
-  const auto sweep_start = std::chrono::steady_clock::now();
-  for (double paper_eps : eps_grid) {
-    const float eps = static_cast<float>(paper_eps) * bench::kEpsilonScale;
-    Tensor adversarial =
-        workbench.Craft(model, core::AttackKind::kPgd, eps);
-    // All approximation-level variants of this eps cell fan out on the pool.
-    const std::vector<float> robustness =
-        workbench.EvaluateVariants(model, adversarial, specs);
-    for (std::size_t i = 0; i < robustness.size(); ++i)
-      series[i].values.push_back(robustness[i]);
-    std::cout << "paper eps " << paper_eps << " done\n";
-  }
-  const double sweep_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    sweep_start)
-          .count();
-
-  eval::PrintSeriesTable(std::cout,
-                         "Fig. 2: PGD accuracy [%] by approximation level",
-                         "eps", eps_grid, series);
-  std::cout << "sweep wall-clock: " << sweep_seconds << " s ("
-            << eps_grid.size() * levels.size() << " cells, pool size "
-            << runtime::GlobalPool().thread_count() << ")\n";
+      "is chance";
+  figure.attack = "PGD";
+  figure.table_title = "Fig. 2: PGD accuracy [%] by approximation level";
+  figure.levels = {0.0, 0.001, 0.01, 0.1, 1.0};
+  for (double level : figure.levels)
+    figure.series_names.push_back("lvl=" + eval::FormatValue(level, 3));
+  bench::RunEpsSweepFigure(figure);
   return 0;
 }

@@ -4,6 +4,9 @@
 //
 // Paper: broad high-accuracy plateau (94-99%) with degradation in the
 // high-Vth corner where spiking activity dies out.
+//
+// Declarative form: the Figs. 4-6 grid with attack "none" and level 0 (the
+// identity variant), over the same disk-cached structural cells.
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -17,18 +20,25 @@ int main() {
   core::StaticWorkbench workbench(bench::MakeStaticTrain(384),
                                   bench::MakeStaticTest(192),
                                   bench::HeatmapOptions());
+  scenario::StaticScenarioEngine engine(workbench);
+  bench::HeatmapCellStore store(workbench);
+  store.Attach(engine);
+
+  scenario::ScenarioGrid grid;
+  grid.v_thresholds = bench::VthGrid();
+  grid.time_steps = bench::TimeGrid();
+  grid.attacks = {scenario::AttackSpec{"none", {}}};
+  grid.levels = {0.0};  // FP32 level 0 == the accurate model
+
+  const scenario::ScenarioOutcome outcome = engine.Run(grid);
+
   const auto vths = bench::VthGrid();
   const auto times = bench::TimeGrid();
   std::vector<std::vector<double>> clean(times.size(),
                                          std::vector<double>(vths.size()));
-
-  bench::ForEachHeatmapCell(
-      workbench,
-      [&](bench::HeatmapCell& cell, std::size_t row, std::size_t col) {
-        clean[row][col] = workbench.AccuracyPct(
-            cell.model.net, workbench.test_set().images,
-            cell.model.time_steps);
-      });
+  for (std::size_t row = 0; row < times.size(); ++row)
+    for (std::size_t col = 0; col < vths.size(); ++col)
+      clean[row][col] = outcome.Robustness(col, row, 0, 0, 0, 0, 0, 0);
 
   std::vector<double> time_labels(times.begin(), times.end());
   std::vector<double> vth_labels(vths.begin(), vths.end());

@@ -4,6 +4,10 @@
 // Paper: AccSNN 92% clean; both models collapse under both neuromorphic
 // attacks (AccSNN to 12%/10%, AxSNN similar) — motivating the AQF defense
 // evaluated in Table II.
+//
+// Declarative form: one DVS ScenarioGrid — attack axis {none, Sparse,
+// Frame} x level axis {0, 0.1} (level 0 is the accurate model) — with the
+// engine training once and crafting each attack once.
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -18,27 +22,30 @@ int main() {
 
   core::DvsWorkbench workbench(bench::MakeDvsTrain(550),
                                bench::MakeDvsTest(110), bench::DvsOptions());
-  auto model = workbench.Train(/*vth=*/1.0f);
+  scenario::DvsScenarioEngine engine(workbench);
+
+  scenario::ScenarioGrid grid;
+  grid.v_thresholds = {1.0f};
+  grid.attacks = {scenario::AttackSpec{"none", {}},
+                  scenario::AttackSpec{"Sparse", {}},
+                  scenario::AttackSpec{"Frame", {}}};
+  grid.levels = {0.0, 0.1};  // AccSNN, AxSNN(0.1)
+
+  const scenario::ScenarioOutcome outcome = engine.Run(grid);
   std::cout << "trained AccSNN (Vth=1.0, " << workbench.options().time_bins
-            << " time bins): train accuracy " << model.train_accuracy_pct
-            << "%\n";
-
-  snn::Network axsnn =
-      workbench.MakeAx(model, /*level=*/0.1, approx::Precision::kFp32);
-
-  data::EventDataset clean = workbench.test_set();
-  data::EventDataset sparse = workbench.Craft(model, core::AttackKind::kSparse);
-  data::EventDataset frame = workbench.Craft(model, core::AttackKind::kFrame);
+            << " time bins): train accuracy "
+            << outcome.train_accuracy_pct.front() << "%\n";
 
   std::vector<std::vector<std::string>> rows;
-  auto add_row = [&](const std::string& name, snn::Network& net) {
-    rows.push_back({name,
-                    eval::FormatValue(workbench.AccuracyPct(net, clean)),
-                    eval::FormatValue(workbench.AccuracyPct(net, sparse)),
-                    eval::FormatValue(workbench.AccuracyPct(net, frame))});
+  const auto add_row = [&](const std::string& name, std::size_t level_i) {
+    std::vector<std::string> row = {name};
+    for (std::size_t attack_i = 0; attack_i < grid.attacks.size(); ++attack_i)
+      row.push_back(eval::FormatValue(
+          outcome.Robustness(0, 0, attack_i, 0, 0, 0, level_i, 0)));
+    rows.push_back(std::move(row));
   };
-  add_row("AccSNN", model.net);
-  add_row("AxSNN(0.1)", axsnn);
+  add_row("AccSNN", 0);
+  add_row("AxSNN(0.1)", 1);
 
   eval::PrintTable(std::cout,
                    "Fig. 7b: DVS128-Gesture-class accuracy [%] (no defense)",

@@ -9,7 +9,10 @@
 //     accumulation) forward throughput of the Conv2d and Dense kernels;
 //  4. kernel dispatch — naive vs gemm vs sparse throughput at a
 //     representative spike density (10% nonzeros), fp32 and int8, for the
-//     sparsity-aware dispatch engine (src/kernels/).
+//     sparsity-aware dispatch engine (src/kernels/);
+//  5. scenario grids — wall-clock of a miniature fig2-style ScenarioGrid
+//     with and without the engine's trained-model cache (the cache is what
+//     makes grids sharing structural cells cheap).
 //
 // Prints a human-readable table and emits BENCH_runtime.json next to the
 // working directory so baselines can be recorded in-tree.
@@ -26,6 +29,7 @@
 #include "kernels/dispatch.hpp"
 #include "runtime/parallel_for.hpp"
 #include "runtime/thread_pool.hpp"
+#include "scenario/engine.hpp"
 #include "snn/conv2d.hpp"
 #include "snn/dense.hpp"
 #include "snn/models.hpp"
@@ -225,6 +229,50 @@ DispatchTimings RunDispatchComparison(int repeats) {
   return t;
 }
 
+struct ScenarioGridTimings {
+  long cells = 0;
+  long units = 0;
+  double with_cache_s = 0.0;
+  double without_cache_s = 0.0;
+  long trained_with_cache = 0;
+  long trained_without_cache = 0;
+  long train_cache_hits = 0;
+};
+
+/// Times one miniature fig2-style grid (1 structural cell, PGD at two
+/// epsilons, two approximation levels) with the trained-model cache on and
+/// off. Training dominates, so the uncached run pays it once per work unit
+/// while the cached run pays it once per structural cell — the wall-clock
+/// ratio is the cache's whole value proposition for the fig4-fig7 heatmap
+/// grids (63 shared cells, 2 attacks each).
+ScenarioGridTimings RunScenarioComparison() {
+  core::StaticWorkbench workbench = bench::MiniFig2Workbench();
+
+  scenario::ScenarioGrid grid;
+  grid.v_thresholds = {0.25f};
+  grid.time_steps = {8};
+  grid.attacks = {scenario::AttackSpec{"PGD", {}}};
+  grid.epsilons = {0.025, 0.05};
+  grid.levels = {0.0, 0.01};
+
+  ScenarioGridTimings t;
+  t.cells = static_cast<long>(grid.CellCount());
+  t.units = static_cast<long>(grid.epsilons.size());
+
+  scenario::StaticScenarioEngine cached(workbench);
+  const auto cached_out = cached.Run(grid);
+  t.with_cache_s = cached_out.stats.wall_seconds;
+  t.trained_with_cache = cached_out.stats.trained_models;
+  t.train_cache_hits = cached_out.stats.train_cache_hits;
+
+  scenario::StaticScenarioEngine uncached(workbench);
+  uncached.set_model_cache_enabled(false);
+  const auto uncached_out = uncached.Run(grid);
+  t.without_cache_s = uncached_out.stats.wall_seconds;
+  t.trained_without_cache = uncached_out.stats.trained_models;
+  return t;
+}
+
 }  // namespace
 }  // namespace axsnn
 
@@ -274,6 +322,19 @@ int main(int argc, char** argv) {
   print_modes("dense  fp32", dispatch.dense_fp32);
   print_modes("dense  int8", dispatch.dense_int8);
 
+  const auto scenario_grid = axsnn::RunScenarioComparison();
+  std::printf("\nscenario grid (%ld cells, %ld work units sharing one "
+              "structural cell):\n",
+              scenario_grid.cells, scenario_grid.units);
+  std::printf("  model cache on    %7.3f s   (%ld training runs, %ld hits)\n",
+              scenario_grid.with_cache_s, scenario_grid.trained_with_cache,
+              scenario_grid.train_cache_hits);
+  std::printf("  model cache off   %7.3f s   (%ld training runs)\n",
+              scenario_grid.without_cache_s,
+              scenario_grid.trained_without_cache);
+  std::printf("  cache speedup     %7.2fx\n",
+              scenario_grid.without_cache_s / scenario_grid.with_cache_s);
+
   if (FILE* f = std::fopen("BENCH_runtime.json", "w")) {
     std::fprintf(f, "{\n  \"workload\": \"static_net_forward[8,16,1,16,16]\",\n");
     std::fprintf(f, "  \"repeats\": %d,\n", repeats);
@@ -315,6 +376,20 @@ int main(int argc, char** argv) {
     emit_modes("conv2d_int8", dispatch.conv_int8, ",");
     emit_modes("dense_fp32", dispatch.dense_fp32, ",");
     emit_modes("dense_int8", dispatch.dense_int8, "");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"scenario_grid\": {\n");
+    std::fprintf(f, "    \"cells\": %ld,\n", scenario_grid.cells);
+    std::fprintf(f, "    \"work_units\": %ld,\n", scenario_grid.units);
+    std::fprintf(f, "    \"with_model_cache_s\": %.4f,\n",
+                 scenario_grid.with_cache_s);
+    std::fprintf(f, "    \"without_model_cache_s\": %.4f,\n",
+                 scenario_grid.without_cache_s);
+    std::fprintf(f, "    \"cache_speedup\": %.3f,\n",
+                 scenario_grid.without_cache_s / scenario_grid.with_cache_s);
+    std::fprintf(f, "    \"trained_with_cache\": %ld,\n",
+                 scenario_grid.trained_with_cache);
+    std::fprintf(f, "    \"trained_without_cache\": %ld\n",
+                 scenario_grid.trained_without_cache);
     std::fprintf(f, "  }\n}\n");
     std::fclose(f);
     std::printf("\nwrote BENCH_runtime.json\n");

@@ -6,6 +6,11 @@
 //   (0.25,32) PGD -> (FP32, 0.01)  88%   BIM -> (INT8, 0.009) 80%
 //   (0.75,32) PGD -> (INT8, 0.011) 92%   BIM -> (FP16, 0.013) 91%
 //   (1.0,48)  PGD -> (FP32, 0.01)  97%   BIM -> (INT8, 0.0125) 96%
+//
+// Each row is one Algorithm-1 search; in whole-grid mode the search runs
+// its declarative ScenarioGrid on the shared engine, whose trained-model
+// cache lets the PGD and BIM searches of one structural cell train it only
+// once (6 searches, 3 trainings).
 #include <iostream>
 #include <sstream>
 
@@ -23,6 +28,7 @@ int main() {
   core::StaticWorkbench workbench(bench::MakeStaticTrain(1024),
                                   bench::MakeStaticTest(256),
                                   bench::FigureOptions());
+  scenario::StaticScenarioEngine engine(workbench);
 
   const std::vector<std::pair<float, long>> cells = {
       {0.25f, 32}, {0.75f, 32}, {1.0f, 48}};
@@ -44,7 +50,7 @@ int main() {
       cfg.quality_constraint_pct = 60.0f;
       cfg.return_first = false;  // evaluate the grid, report the best
       core::SearchOutcome outcome =
-          core::PrecisionScalingSearch(workbench, space, cfg);
+          core::PrecisionScalingSearch(workbench, space, cfg, &engine);
 
       std::ostringstream cell_name;
       cell_name << '(' << vth << ',' << t << ')';

@@ -43,9 +43,9 @@ int main() {
   core::AqfConfig aqf;  // (s, T1, T2) = (2, 5, 50), qt = 0.015 s
 
   // --- Attack and defend -----------------------------------------------------
-  data::EventDataset sparse = bench.Craft(model, core::AttackKind::kSparse);
-  data::EventDataset frame = bench.Craft(model, core::AttackKind::kFrame);
-
+  // The whole DVS-Attacks family by registry name — Corner and Dash have no
+  // workbench enum case, the string-keyed registry is what reaches them.
+  data::EventDataset frame = bench.Craft(model, "Frame");
   std::vector<std::vector<std::string>> rows;
   auto report = [&](const std::string& name, const data::EventDataset& set) {
     rows.push_back(
@@ -53,8 +53,10 @@ int main() {
          eval::FormatValue(bench.AccuracyPct(axsnn, set, aqf))});
   };
   report("clean", bench.test_set());
-  report("sparse attack", sparse);
-  report("frame attack", frame);
+  report("Sparse attack", bench.Craft(model, "Sparse"));
+  report("Frame attack", frame);
+  report("Corner attack", bench.Craft(model, "Corner"));
+  report("Dash attack", bench.Craft(model, "Dash"));
 
   eval::PrintTable(std::cout, "AxSNN accuracy [%], without / with AQF",
                    {"input", "no defense", "AQF"}, rows);

@@ -1,0 +1,253 @@
+// Registry adapters for the built-in attack families.
+//
+// Each adapter wraps one of the free-function attack implementations
+// (gradient_attacks / neuromorphic_attacks / extra_neuromorphic) behind the
+// polymorphic Attack interface: it declares the knobs of its config struct
+// as a parameter schema, builds the config from (context, params), and —
+// for the white-box attacks — clones the accurate network so crafting is
+// const-correct and its gradient-cache scope stays local to the clone.
+#include <cmath>
+
+#include "attacks/extra_neuromorphic.hpp"
+#include "attacks/gradient_attacks.hpp"
+#include "attacks/neuromorphic_attacks.hpp"
+#include "attacks/registry.hpp"
+
+namespace axsnn::attacks {
+
+namespace {
+
+/// "No attack": the clean-data baseline of every sweep, as a first-class
+/// scenario cell.
+class NoneAttack final : public Attack {
+ public:
+  std::string name() const override { return "none"; }
+  std::string description() const override {
+    return "no perturbation; evaluates the clean test data";
+  }
+  bool supports_static() const override { return true; }
+  bool supports_events() const override { return true; }
+
+  Tensor CraftStatic(const snn::Network&, const Tensor& images,
+                     std::span<const int>, const StaticCraftContext&,
+                     const ParamMap& params) const override {
+    (void)ResolveParams(params);
+    return images;
+  }
+
+  data::EventDataset CraftEvents(const snn::Network&,
+                                 const data::EventDataset& dataset,
+                                 const EventCraftContext&,
+                                 const ParamMap& params) const override {
+    (void)ResolveParams(params);
+    return dataset;
+  }
+};
+
+/// Shared PGD/BIM adapter: both drive IterativeAttack with the same config
+/// surface and differ only in the free function they call.
+class GradientAttackBase : public Attack {
+ public:
+  std::vector<ParamSpec> param_schema() const override {
+    return {{"steps", 0.0, "gradient iterations; 0 takes the workbench cap"},
+            {"step_size", 0.0,
+             "per-step size; 0 selects the standard default"}};
+  }
+  bool supports_static() const override { return true; }
+
+  Tensor CraftStatic(const snn::Network& net, const Tensor& images,
+                     std::span<const int> labels,
+                     const StaticCraftContext& ctx,
+                     const ParamMap& params) const override {
+    const ParamMap p = ResolveParams(params);
+    GradientAttackConfig cfg;
+    cfg.epsilon = ctx.epsilon;
+    cfg.steps = p.at("steps") > 0.0 ? static_cast<long>(p.at("steps"))
+                                    : ctx.steps;
+    cfg.step_size = static_cast<float>(p.at("step_size"));
+    cfg.time_steps = ctx.time_steps;
+    cfg.encoding = ctx.encoding;
+    cfg.seed = ctx.seed;
+    cfg.batch_size = ctx.batch_size;
+    // Const-correctness: the craft loop backpropagates (and scopes the
+    // layers' gradient caches) through a private clone, leaving the caller's
+    // accurate model untouched. Clone() is exact, so the crafted images are
+    // bit-identical to attacking the original.
+    snn::Network local = net.Clone();
+    return Run(local, images, labels, cfg);
+  }
+
+ protected:
+  virtual Tensor Run(snn::Network& net, const Tensor& images,
+                     std::span<const int> labels,
+                     const GradientAttackConfig& cfg) const = 0;
+};
+
+class PgdRegistryAttack final : public GradientAttackBase {
+ public:
+  std::string name() const override { return "PGD"; }
+  std::string description() const override {
+    return "projected gradient descent (l_inf, random start)";
+  }
+
+ protected:
+  Tensor Run(snn::Network& net, const Tensor& images,
+             std::span<const int> labels,
+             const GradientAttackConfig& cfg) const override {
+    return PgdAttack(net, images, labels, cfg);
+  }
+};
+
+class BimRegistryAttack final : public GradientAttackBase {
+ public:
+  std::string name() const override { return "BIM"; }
+  std::string description() const override {
+    return "basic iterative method (l_inf, no random start)";
+  }
+
+ protected:
+  Tensor Run(snn::Network& net, const Tensor& images,
+             std::span<const int> labels,
+             const GradientAttackConfig& cfg) const override {
+    return BimAttack(net, images, labels, cfg);
+  }
+};
+
+class SparseRegistryAttack final : public Attack {
+ public:
+  std::string name() const override { return "Sparse"; }
+  std::string description() const override {
+    return "stealthy loss-guided event injection (DVS-Attacks)";
+  }
+  std::vector<ParamSpec> param_schema() const override {
+    const SparseAttackConfig d;
+    return {{"max_iterations", static_cast<double>(d.max_iterations),
+             "loss-gradient iterations per stream"},
+            {"events_per_iteration",
+             static_cast<double>(d.events_per_iteration),
+             "events injected per iteration"},
+            {"min_spacing", static_cast<double>(d.min_spacing),
+             "minimum Chebyshev spacing of same-bin injections"}};
+  }
+  bool supports_events() const override { return true; }
+
+  data::EventDataset CraftEvents(const snn::Network& net,
+                                 const data::EventDataset& dataset,
+                                 const EventCraftContext& ctx,
+                                 const ParamMap& params) const override {
+    const ParamMap p = ResolveParams(params);
+    SparseAttackConfig cfg;
+    cfg.max_iterations = static_cast<long>(p.at("max_iterations"));
+    cfg.events_per_iteration =
+        static_cast<long>(p.at("events_per_iteration"));
+    cfg.min_spacing = static_cast<long>(p.at("min_spacing"));
+    cfg.time_bins = ctx.time_bins;
+    cfg.seed = ctx.seed;
+    // White-box: clone for const-correctness (SparseAttackDataset clones
+    // again per worker chunk, so this adds one clone per craft).
+    snn::Network local = net.Clone();
+    return SparseAttackDataset(local, dataset, cfg);
+  }
+};
+
+class FrameRegistryAttack final : public Attack {
+ public:
+  std::string name() const override { return "Frame"; }
+  std::string description() const override {
+    return "model-free bright border across the whole recording";
+  }
+  std::vector<ParamSpec> param_schema() const override {
+    const FrameAttackConfig d;
+    return {{"period_ms", d.period_ms, "interval between injected events"},
+            {"border", static_cast<double>(d.border),
+             "attacked border thickness in pixels"},
+            {"both_polarities", d.both_polarities ? 1.0 : 0.0,
+             "inject both polarities (1) or ON only (0)"}};
+  }
+  bool supports_events() const override { return true; }
+
+  data::EventDataset CraftEvents(const snn::Network&,
+                                 const data::EventDataset& dataset,
+                                 const EventCraftContext&,
+                                 const ParamMap& params) const override {
+    const ParamMap p = ResolveParams(params);
+    FrameAttackConfig cfg;
+    cfg.period_ms = static_cast<float>(p.at("period_ms"));
+    cfg.border = static_cast<long>(p.at("border"));
+    cfg.both_polarities = p.at("both_polarities") != 0.0;
+    return FrameAttackDataset(dataset, cfg);
+  }
+};
+
+class CornerRegistryAttack final : public Attack {
+ public:
+  std::string name() const override { return "Corner"; }
+  std::string description() const override {
+    return "model-free event patches in the four sensor corners";
+  }
+  std::vector<ParamSpec> param_schema() const override {
+    const CornerAttackConfig d;
+    return {{"patch", static_cast<double>(d.patch),
+             "corner patch side length in pixels"},
+            {"period_ms", d.period_ms, "interval between injected events"},
+            {"both_polarities", d.both_polarities ? 1.0 : 0.0,
+             "inject both polarities (1) or ON only (0)"}};
+  }
+  bool supports_events() const override { return true; }
+
+  data::EventDataset CraftEvents(const snn::Network&,
+                                 const data::EventDataset& dataset,
+                                 const EventCraftContext&,
+                                 const ParamMap& params) const override {
+    const ParamMap p = ResolveParams(params);
+    CornerAttackConfig cfg;
+    cfg.patch = static_cast<long>(p.at("patch"));
+    cfg.period_ms = static_cast<float>(p.at("period_ms"));
+    cfg.both_polarities = p.at("both_polarities") != 0.0;
+    return CornerAttackDataset(dataset, cfg);
+  }
+};
+
+class DashRegistryAttack final : public Attack {
+ public:
+  std::string name() const override { return "Dash"; }
+  std::string description() const override {
+    return "model-free event patch sweeping across the sensor";
+  }
+  std::vector<ParamSpec> param_schema() const override {
+    const DashAttackConfig d;
+    return {{"patch", static_cast<double>(d.patch),
+             "patch side length in pixels"},
+            {"speed_px_per_ms", d.speed_px_per_ms, "sweep speed"},
+            {"period_ms", d.period_ms, "interval between injected events"},
+            {"lane", d.lane, "vertical lane as a fraction of sensor height"}};
+  }
+  bool supports_events() const override { return true; }
+
+  data::EventDataset CraftEvents(const snn::Network&,
+                                 const data::EventDataset& dataset,
+                                 const EventCraftContext&,
+                                 const ParamMap& params) const override {
+    const ParamMap p = ResolveParams(params);
+    DashAttackConfig cfg;
+    cfg.patch = static_cast<long>(p.at("patch"));
+    cfg.speed_px_per_ms = static_cast<float>(p.at("speed_px_per_ms"));
+    cfg.period_ms = static_cast<float>(p.at("period_ms"));
+    cfg.lane = static_cast<float>(p.at("lane"));
+    return DashAttackDataset(dataset, cfg);
+  }
+};
+
+}  // namespace
+
+void RegisterBuiltinAttacks(AttackRegistry& registry) {
+  registry.Register(std::make_unique<NoneAttack>());
+  registry.Register(std::make_unique<PgdRegistryAttack>());
+  registry.Register(std::make_unique<BimRegistryAttack>());
+  registry.Register(std::make_unique<SparseRegistryAttack>());
+  registry.Register(std::make_unique<FrameRegistryAttack>());
+  registry.Register(std::make_unique<CornerRegistryAttack>());
+  registry.Register(std::make_unique<DashRegistryAttack>());
+}
+
+}  // namespace axsnn::attacks

@@ -1,0 +1,123 @@
+#include "attacks/registry.hpp"
+
+#include <sstream>
+
+#include "tensor/check.hpp"
+
+namespace axsnn::attacks {
+
+// Defined in builtin_attacks.cpp. Called from Global()'s one-time
+// initializer — an explicit call rather than per-TU static registrars, so
+// the static-library linker can never drop a registration object file.
+void RegisterBuiltinAttacks(AttackRegistry& registry);
+
+Attack::~Attack() = default;
+
+namespace {
+
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i) os << ", ";
+    os << names[i];
+  }
+  return os.str();
+}
+
+}  // namespace
+
+Tensor Attack::CraftStatic(const snn::Network&, const Tensor&,
+                           std::span<const int>, const StaticCraftContext&,
+                           const ParamMap&) const {
+  AXSNN_CHECK(false, "attack '" << name()
+                                << "' does not apply to static image "
+                                   "batches (use an event workbench)");
+  return {};
+}
+
+data::EventDataset Attack::CraftEvents(const snn::Network&,
+                                       const data::EventDataset&,
+                                       const EventCraftContext&,
+                                       const ParamMap&) const {
+  AXSNN_CHECK(false, "attack '" << name()
+                                << "' does not apply to event datasets "
+                                   "(use a static workbench)");
+  return {};
+}
+
+ParamMap Attack::ResolveParams(const ParamMap& overrides) const {
+  const std::vector<ParamSpec> schema = param_schema();
+  ParamMap resolved;
+  for (const ParamSpec& spec : schema)
+    resolved.emplace(spec.name, spec.default_value);
+  for (const auto& [key, value] : overrides) {
+    auto it = resolved.find(key);
+    if (it == resolved.end()) {
+      std::ostringstream declared;
+      for (std::size_t i = 0; i < schema.size(); ++i) {
+        if (i) declared << ", ";
+        declared << schema[i].name;
+      }
+      AXSNN_CHECK(false, "attack '"
+                             << name() << "' has no parameter '" << key
+                             << "' (declared: "
+                             << (schema.empty() ? "<none>" : declared.str())
+                             << ")");
+    }
+    it->second = value;
+  }
+  return resolved;
+}
+
+AttackRegistry& AttackRegistry::Global() {
+  static AttackRegistry* registry = [] {
+    auto* r = new AttackRegistry();
+    RegisterBuiltinAttacks(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void AttackRegistry::Register(std::unique_ptr<Attack> attack) {
+  AXSNN_CHECK(attack != nullptr, "cannot register a null attack");
+  const std::string name = attack->name();
+  AXSNN_CHECK(!name.empty(), "attack name must be non-empty");
+  std::lock_guard<std::mutex> lock(mu_);
+  AXSNN_CHECK(by_name_.find(name) == by_name_.end(),
+              "attack '" << name << "' is already registered");
+  by_name_.emplace(name, attack.get());
+  attacks_.push_back(std::move(attack));
+}
+
+const Attack& AttackRegistry::Get(std::string_view name) const {
+  const Attack* attack = Find(name);
+  if (attack == nullptr) {
+    AXSNN_CHECK(false, "unknown attack '" << name << "' (registered: "
+                                          << JoinNames(Names()) << ")");
+  }
+  return *attack;
+}
+
+const Attack* AttackRegistry::Find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> AttackRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(attacks_.size());
+  for (const auto& attack : attacks_) names.push_back(attack->name());
+  return names;
+}
+
+const Attack& GetAttack(std::string_view name) {
+  return AttackRegistry::Global().Get(name);
+}
+
+std::vector<std::string> RegisteredAttackNames() {
+  return AttackRegistry::Global().Names();
+}
+
+}  // namespace axsnn::attacks

@@ -1,0 +1,154 @@
+// Pluggable attack registry: the open half of the scenario subsystem.
+//
+// The paper evaluates four attacks (PGD/BIM on static images, Sparse/Frame
+// on event streams), but the SNN attack surface is a family, not a fixed
+// list — "Is Spiking Secure?" (Marchisio et al.) alone catalogues several
+// more, and defense studies routinely add their own. Hard-coding an enum
+// switch per attack therefore scales linearly in edited call sites; this
+// header replaces it with a polymorphic `Attack` interface plus a
+// string-keyed registry, so a new attack is one self-contained registration
+// and every workbench, scenario grid and search picks it up by name.
+//
+// Contracts:
+//  * Attacks are stateless const objects; all per-call variation arrives
+//    through the craft context (workbench-derived: epsilon, seeds, time
+//    unrolling) and the ParamMap (attack-specific knobs, validated against
+//    the attack's declared schema — unknown keys throw).
+//  * `CraftStatic`/`CraftEvents` take the accurate model *const*: an
+//    implementation that backpropagates clones the network first, keeping
+//    its gradient-cache scoping RAII-local to the clone. Crafting can
+//    therefore never mutate a trained model another scenario cell is using.
+//  * Registration happens on first registry access (built-ins) or
+//    explicitly via `AttackRegistry::Global().Register(...)` (extensions);
+//    names are unique and lookups of unknown names throw with the list of
+//    registered attacks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/event.hpp"
+#include "snn/encoding.hpp"
+#include "snn/network.hpp"
+#include "tensor/tensor.hpp"
+
+namespace axsnn::attacks {
+
+/// Attack-specific parameters by name. All values are doubles; attacks
+/// round/threshold as their schema documents. Ordered so rendered labels
+/// are deterministic.
+using ParamMap = std::map<std::string, double, std::less<>>;
+
+/// One entry of an attack's declared parameter schema.
+struct ParamSpec {
+  std::string name;
+  double default_value = 0.0;
+  std::string doc;
+};
+
+/// Workbench-derived inputs of a static-batch craft (everything the legacy
+/// `StaticWorkbench::Craft` wired from its Options).
+struct StaticCraftContext {
+  /// l_inf budget for gradient attacks (images live in [0, 1]).
+  float epsilon = 0.0f;
+  /// Gradient-iteration budget.
+  long steps = 10;
+  /// Time steps the attack unrolls the SNN for.
+  long time_steps = 16;
+  /// Input encoding for each gradient query.
+  snn::Encoding encoding = snn::Encoding::kRate;
+  std::uint64_t seed = 99;
+  long batch_size = 64;
+};
+
+/// Workbench-derived inputs of an event-dataset craft.
+struct EventCraftContext {
+  /// Frame bins the victim/gradient model was trained with.
+  long time_bins = 20;
+  std::uint64_t seed = 77;
+};
+
+/// A named adversarial-perturbation family. Implementations are immutable
+/// after construction and safe to share across threads.
+class Attack {
+ public:
+  virtual ~Attack();
+
+  /// Canonical display name ("PGD", "Sparse", ...) — also the registry key.
+  virtual std::string name() const = 0;
+  /// One-line description for docs/CLIs.
+  virtual std::string description() const = 0;
+  /// Declared parameters; overrides outside this schema are rejected.
+  virtual std::vector<ParamSpec> param_schema() const { return {}; }
+
+  /// Whether the attack applies to static image batches / event datasets.
+  virtual bool supports_static() const { return false; }
+  virtual bool supports_events() const { return false; }
+
+  /// Crafts adversarial images from a clean [B, C, H, W] batch against the
+  /// accurate model. Throws std::invalid_argument when the attack does not
+  /// support static inputs.
+  virtual Tensor CraftStatic(const snn::Network& net, const Tensor& images,
+                             std::span<const int> labels,
+                             const StaticCraftContext& ctx,
+                             const ParamMap& params) const;
+
+  /// Crafts an adversarial event dataset against the accurate model
+  /// (model-free attacks ignore `net`). Throws std::invalid_argument when
+  /// the attack does not support event inputs.
+  virtual data::EventDataset CraftEvents(const snn::Network& net,
+                                         const data::EventDataset& dataset,
+                                         const EventCraftContext& ctx,
+                                         const ParamMap& params) const;
+
+  /// Validates `overrides` against the schema and fills missing entries
+  /// with defaults. Unknown keys throw std::invalid_argument naming the
+  /// declared parameters. Implementations call this first; scenario specs
+  /// call it up front so a typo fails before any training happens.
+  ParamMap ResolveParams(const ParamMap& overrides) const;
+};
+
+/// String-keyed attack registry. Built-in attacks (none, PGD, BIM, Sparse,
+/// Frame, Corner, Dash) are registered on first access; extensions register
+/// at startup or test setup. Lookups after registration are cheap and
+/// thread-safe; concurrent Register calls are serialized.
+class AttackRegistry {
+ public:
+  /// The process-wide registry, with built-ins already registered.
+  static AttackRegistry& Global();
+
+  /// Registers an attack under its name(); throws on duplicates.
+  void Register(std::unique_ptr<Attack> attack);
+
+  /// Lookup; throws std::invalid_argument listing every registered name
+  /// when `name` is unknown.
+  const Attack& Get(std::string_view name) const;
+
+  /// Lookup; nullptr when unknown.
+  const Attack* Find(std::string_view name) const;
+
+  /// Registered names in registration order (built-ins first, in the
+  /// canonical order above).
+  std::vector<std::string> Names() const;
+
+ private:
+  AttackRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Attack>> attacks_;  // registration order
+  std::map<std::string, const Attack*, std::less<>> by_name_;
+};
+
+/// Shorthand for AttackRegistry::Global().Get(name).
+const Attack& GetAttack(std::string_view name);
+
+/// Shorthand for AttackRegistry::Global().Names().
+std::vector<std::string> RegisteredAttackNames();
+
+}  // namespace axsnn::attacks

@@ -12,9 +12,15 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/workbench.hpp"
+
+namespace axsnn::scenario {
+class StaticScenarioEngine;
+class DvsScenarioEngine;
+}  // namespace axsnn::scenario
 
 namespace axsnn::core {
 
@@ -29,6 +35,12 @@ struct SearchSpace {
 /// Non-grid inputs of Algorithm 1.
 struct SearchConfig {
   AttackKind attack = AttackKind::kPgd;
+  /// Registry attack overriding `attack` when non-empty: any registered
+  /// attack applicable to the workbench works (attacks/registry.hpp), so
+  /// searches cover registry-only attacks without an enum case.
+  std::string attack_name;
+  /// Parameter overrides for the attack (validated against its schema).
+  attacks::ParamMap attack_params;
   /// Perturbation budget (gradient attacks only).
   float epsilon = 1.0f;
   /// Quality constraint Q [%]: minimum training accuracy for a structural
@@ -65,16 +77,27 @@ struct SearchOutcome {
   std::vector<CandidateResult> trace;
 };
 
-/// Algorithm 1 over a static-image task (PGD/BIM attacks).
-SearchOutcome PrecisionScalingSearch(const StaticWorkbench& bench,
-                                     const SearchSpace& space,
-                                     const SearchConfig& config);
+/// Algorithm 1 over a static-image task (any static-capable registry
+/// attack; the paper uses PGD/BIM).
+///
+/// Execution: with `return_first` the paper's serial grid walk runs, early-
+/// exiting at the first candidate meeting Q; otherwise the whole grid is a
+/// declarative ScenarioGrid executed on the scenario engine (training gate
+/// included) and folded back in grid order — bit-identical to the serial
+/// walk. Passing `engine` shares its trained-model and crafted-set caches
+/// across searches (e.g. Table I's PGD and BIM searches of one structural
+/// cell train it once); nullptr uses a search-local engine.
+SearchOutcome PrecisionScalingSearch(
+    const StaticWorkbench& bench, const SearchSpace& space,
+    const SearchConfig& config,
+    scenario::StaticScenarioEngine* engine = nullptr);
 
-/// Algorithm 1 over an event-stream task (Sparse/Frame attacks, optional
-/// AQF). Time steps are fixed by the workbench's binning, so the time_steps
-/// axis of `space` is ignored here.
-SearchOutcome PrecisionScalingSearch(const DvsWorkbench& bench,
-                                     const SearchSpace& space,
-                                     const SearchConfig& config);
+/// Algorithm 1 over an event-stream task (any event-capable registry
+/// attack, optional AQF). Time steps are fixed by the workbench's binning,
+/// so the time_steps axis of `space` is ignored here.
+SearchOutcome PrecisionScalingSearch(
+    const DvsWorkbench& bench, const SearchSpace& space,
+    const SearchConfig& config,
+    scenario::DvsScenarioEngine* engine = nullptr);
 
 }  // namespace axsnn::core

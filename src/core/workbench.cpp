@@ -9,19 +9,15 @@
 namespace axsnn::core {
 
 std::string AttackName(AttackKind kind) {
-  switch (kind) {
-    case AttackKind::kNone:
-      return "none";
-    case AttackKind::kPgd:
-      return "PGD";
-    case AttackKind::kBim:
-      return "BIM";
-    case AttackKind::kSparse:
-      return "Sparse";
-    case AttackKind::kFrame:
-      return "Frame";
-  }
-  return "?";
+  // Index-to-key table only; the canonical display name comes from the
+  // registered attack object, so the registry stays the single source of
+  // truth (a missing registration throws with the registered list).
+  static constexpr std::string_view kRegistryKeys[] = {"none", "PGD", "BIM",
+                                                       "Sparse", "Frame"};
+  const auto index = static_cast<std::size_t>(kind);
+  AXSNN_CHECK(index < std::size(kRegistryKeys),
+              "unknown AttackKind " << static_cast<int>(kind));
+  return attacks::GetAttack(kRegistryKeys[index]).name();
 }
 
 // ---------------------------------------------------------------------------
@@ -72,37 +68,42 @@ StaticWorkbench::TrainedModel StaticWorkbench::Train(float vth,
   return model;
 }
 
-Tensor StaticWorkbench::Craft(TrainedModel& model, AttackKind kind,
+Tensor StaticWorkbench::Craft(const TrainedModel& model,
+                              std::string_view attack, float epsilon,
+                              const attacks::ParamMap& params) const {
+  const attacks::Attack& impl = attacks::GetAttack(attack);
+  AXSNN_CHECK(impl.supports_static(),
+              "attack '" << impl.name()
+                         << "' does not apply to static image batches — "
+                            "neuromorphic attacks need the DvsWorkbench");
+  attacks::StaticCraftContext ctx;
+  ctx.epsilon = epsilon;
+  ctx.steps = options_.attack_steps;
+  ctx.time_steps = std::min(model.time_steps, options_.attack_time_steps_cap);
+  ctx.seed = options_.seed ^ 0xA77AC4ULL;
+  ctx.batch_size = options_.eval_batch;
+  return impl.CraftStatic(model.net, test_.images, test_.labels, ctx, params);
+}
+
+Tensor StaticWorkbench::Craft(const TrainedModel& model, AttackKind kind,
                               float epsilon) const {
-  attacks::GradientAttackConfig cfg;
-  cfg.epsilon = epsilon;
-  cfg.steps = options_.attack_steps;
-  cfg.time_steps = std::min(model.time_steps, options_.attack_time_steps_cap);
-  cfg.seed = options_.seed ^ 0xA77AC4ULL;
-  cfg.batch_size = options_.eval_batch;
-  switch (kind) {
-    case AttackKind::kNone:
-      return test_.images;
-    case AttackKind::kPgd:
-      return attacks::PgdAttack(model.net, test_.images, test_.labels, cfg);
-    case AttackKind::kBim:
-      return attacks::BimAttack(model.net, test_.images, test_.labels, cfg);
-    case AttackKind::kSparse:
-    case AttackKind::kFrame:
-      AXSNN_CHECK(false, "neuromorphic attacks need the DvsWorkbench");
-  }
-  return test_.images;
+  return Craft(model, AttackName(kind), epsilon);
 }
 
 snn::Network StaticWorkbench::MakeAx(const TrainedModel& model, double level,
                                      approx::Precision precision) const {
+  return MakeAx(model, VariantSpec{precision, level, std::nullopt});
+}
+
+snn::Network StaticWorkbench::MakeAx(const TrainedModel& model,
+                                     const VariantSpec& spec) const {
   approx::ApproxConfig cfg;
-  cfg.level = level;
-  cfg.precision = precision;
+  cfg.level = spec.level;
+  cfg.precision = spec.precision;
   cfg.time_steps = model.time_steps;
   cfg.threshold_gain = options_.threshold_gain;
   cfg.int8_kernels = options_.int8_kernels;
-  cfg.kernel_mode = options_.kernel_mode;
+  cfg.kernel_mode = spec.kernel_mode.value_or(options_.kernel_mode);
   auto [ax, report] = approx::MakeApproximate(model.net, cfg,
                                               model.calibration);
   (void)report;
@@ -128,7 +129,7 @@ std::vector<float> StaticWorkbench::EvaluateVariants(
       0, static_cast<long>(specs.size()),
       [&](long i) {
         const VariantSpec& spec = specs[static_cast<std::size_t>(i)];
-        snn::Network ax = MakeAx(model, spec.level, spec.precision);
+        snn::Network ax = MakeAx(model, spec);
         robustness[static_cast<std::size_t>(i)] =
             AccuracyPct(ax, images, model.time_steps);
       },
@@ -184,34 +185,64 @@ DvsWorkbench::TrainedModel DvsWorkbench::Train(float vth) const {
   return model;
 }
 
-data::EventDataset DvsWorkbench::Craft(TrainedModel& model,
+data::EventDataset DvsWorkbench::Craft(const TrainedModel& model,
+                                       std::string_view attack,
+                                       const attacks::ParamMap& params) const {
+  const attacks::Attack& impl = attacks::GetAttack(attack);
+  AXSNN_CHECK(impl.supports_events(),
+              "attack '" << impl.name()
+                         << "' does not apply to event datasets — "
+                            "gradient attacks need the StaticWorkbench");
+  // Workbench options seed the paper attacks' parameters; explicit caller
+  // params win over both the options and the schema defaults.
+  attacks::ParamMap merged = DefaultAttackParams(attack);
+  for (const auto& [key, value] : params)
+    merged.insert_or_assign(key, value);
+  attacks::EventCraftContext ctx;
+  ctx.time_bins = options_.time_bins;
+  ctx.seed = options_.sparse.seed;
+  return impl.CraftEvents(model.net, test_, ctx, merged);
+}
+
+data::EventDataset DvsWorkbench::Craft(const TrainedModel& model,
                                        AttackKind kind) const {
-  switch (kind) {
-    case AttackKind::kNone:
-      return test_;
-    case AttackKind::kSparse: {
-      attacks::SparseAttackConfig cfg = options_.sparse;
-      cfg.time_bins = options_.time_bins;
-      return attacks::SparseAttackDataset(model.net, test_, cfg);
-    }
-    case AttackKind::kFrame:
-      return attacks::FrameAttackDataset(test_, options_.frame);
-    case AttackKind::kPgd:
-    case AttackKind::kBim:
-      AXSNN_CHECK(false, "gradient attacks need the StaticWorkbench");
+  return Craft(model, AttackName(kind));
+}
+
+attacks::ParamMap DvsWorkbench::DefaultAttackParams(
+    std::string_view attack) const {
+  attacks::ParamMap params;
+  if (attack == "Sparse") {
+    params.emplace("max_iterations",
+                   static_cast<double>(options_.sparse.max_iterations));
+    params.emplace("events_per_iteration",
+                   static_cast<double>(options_.sparse.events_per_iteration));
+    params.emplace("min_spacing",
+                   static_cast<double>(options_.sparse.min_spacing));
+  } else if (attack == "Frame") {
+    params.emplace("period_ms",
+                   static_cast<double>(options_.frame.period_ms));
+    params.emplace("border", static_cast<double>(options_.frame.border));
+    params.emplace("both_polarities",
+                   options_.frame.both_polarities ? 1.0 : 0.0);
   }
-  return test_;
+  return params;
 }
 
 snn::Network DvsWorkbench::MakeAx(const TrainedModel& model, double level,
                                   approx::Precision precision) const {
+  return MakeAx(model, VariantSpec{precision, level, std::nullopt});
+}
+
+snn::Network DvsWorkbench::MakeAx(const TrainedModel& model,
+                                  const VariantSpec& spec) const {
   approx::ApproxConfig cfg;
-  cfg.level = level;
-  cfg.precision = precision;
+  cfg.level = spec.level;
+  cfg.precision = spec.precision;
   cfg.time_steps = model.time_bins;
   cfg.threshold_gain = options_.threshold_gain;
   cfg.int8_kernels = options_.int8_kernels;
-  cfg.kernel_mode = options_.kernel_mode;
+  cfg.kernel_mode = spec.kernel_mode.value_or(options_.kernel_mode);
   auto [ax, report] = approx::MakeApproximate(model.net, cfg,
                                               model.calibration);
   (void)report;
@@ -250,7 +281,7 @@ std::vector<float> DvsWorkbench::EvaluateVariants(
       0, static_cast<long>(specs.size()),
       [&](long i) {
         const VariantSpec& spec = specs[static_cast<std::size_t>(i)];
-        snn::Network ax = MakeAx(model, spec.level, spec.precision);
+        snn::Network ax = MakeAx(model, spec);
         robustness[static_cast<std::size_t>(i)] =
             100.0f * snn::AccuracyTemporal(ax, frames, eval_set->labels,
                                            options_.eval_batch);

@@ -19,6 +19,7 @@
 #include "approx/approximation.hpp"
 #include "attacks/gradient_attacks.hpp"
 #include "attacks/neuromorphic_attacks.hpp"
+#include "attacks/registry.hpp"
 #include "core/aqf.hpp"
 #include "data/dvs_gesture.hpp"
 #include "data/event.hpp"
@@ -28,17 +29,24 @@
 
 namespace axsnn::core {
 
-/// The four attack families of the paper plus "no attack".
+/// The four attack families of the paper plus "no attack". Kept as a
+/// convenience spelling of the common cases — every kind resolves to a
+/// registry attack by name, and the registry (attacks/registry.hpp) is the
+/// open set the scenario engine sweeps over.
 enum class AttackKind { kNone, kPgd, kBim, kSparse, kFrame };
 
-/// "none" / "PGD" / "BIM" / "Sparse" / "Frame".
+/// Canonical registry name of `kind` ("none" / "PGD" / "BIM" / "Sparse" /
+/// "Frame"), sourced from the registered attack object.
 std::string AttackName(AttackKind kind);
 
 /// One approximate-variant cell of the paper's sweep grid: the (precision
-/// scale, approximation level) pair derived from a trained accurate model.
+/// scale, approximation level) pair derived from a trained accurate model,
+/// plus an optional kernel-implementation override (bit-identical across
+/// modes — a perf axis, never an accuracy one).
 struct VariantSpec {
   approx::Precision precision = approx::Precision::kFp32;
   double level = 0.0;
+  std::optional<kernels::KernelMode> kernel_mode;  ///< unset: Options value
 };
 
 // ---------------------------------------------------------------------------
@@ -92,13 +100,25 @@ class StaticWorkbench {
   /// window `time_steps` (Algorithm 1, line 3).
   TrainedModel Train(float vth, long time_steps) const;
 
-  /// Crafts adversarial test images on the accurate model (Alg. 1 line 5).
-  /// kNone returns the clean test images.
-  Tensor Craft(TrainedModel& model, AttackKind kind, float epsilon) const;
+  /// Crafts adversarial test images on the accurate model (Alg. 1 line 5)
+  /// via the attack registry: any registered attack with static support
+  /// works, unknown names throw with the registered list. "none" returns
+  /// the clean test images. `params` overrides the attack's schema
+  /// defaults. The model is const: white-box attacks craft on a clone.
+  Tensor Craft(const TrainedModel& model, std::string_view attack,
+               float epsilon, const attacks::ParamMap& params = {}) const;
+
+  /// Enum convenience overload: Craft(model, AttackName(kind), epsilon).
+  Tensor Craft(const TrainedModel& model, AttackKind kind,
+               float epsilon) const;
 
   /// Builds the approximate variant (Alg. 1 lines 8-11).
   snn::Network MakeAx(const TrainedModel& model, double level,
                       approx::Precision precision) const;
+
+  /// Variant-spec overload; applies spec.kernel_mode when set.
+  snn::Network MakeAx(const TrainedModel& model,
+                      const VariantSpec& spec) const;
 
   /// Test accuracy [%] of `victim` on `images`, rate-encoded over the
   /// model's structural T. This equals the paper's robustness R(eps) when
@@ -166,13 +186,28 @@ class DvsWorkbench {
   /// Trains an accurate SNN with the given threshold voltage.
   TrainedModel Train(float vth) const;
 
-  /// Attacks the test streams (crafted on the accurate model for kSparse;
-  /// kFrame is model-free; kNone returns the clean streams).
-  data::EventDataset Craft(TrainedModel& model, AttackKind kind) const;
+  /// Attacks the test streams via the attack registry: any registered
+  /// attack with event support works (white-box attacks craft on a clone of
+  /// the accurate model; model-free attacks ignore it; "none" returns the
+  /// clean streams). `params` overrides DefaultAttackParams(attack).
+  data::EventDataset Craft(const TrainedModel& model, std::string_view attack,
+                           const attacks::ParamMap& params = {}) const;
+
+  /// Enum convenience overload: Craft(model, AttackName(kind)).
+  data::EventDataset Craft(const TrainedModel& model, AttackKind kind) const;
+
+  /// The options-derived parameter overrides this workbench applies for
+  /// `attack` before caller `params`: Options::sparse / Options::frame for
+  /// the paper's two attacks, empty otherwise (schema defaults apply).
+  attacks::ParamMap DefaultAttackParams(std::string_view attack) const;
 
   /// Builds the approximate variant.
   snn::Network MakeAx(const TrainedModel& model, double level,
                       approx::Precision precision) const;
+
+  /// Variant-spec overload; applies spec.kernel_mode when set.
+  snn::Network MakeAx(const TrainedModel& model,
+                      const VariantSpec& spec) const;
 
   /// Test accuracy [%] of `victim` on `streams`, optionally AQF-filtered
   /// first (Alg. 1 lines 12-14 with the neuromorphic flag set).

@@ -87,4 +87,10 @@ void PrintTable(std::ostream& os, const std::string& title,
   os << '\n';
 }
 
+void PrintRunFooter(std::ostream& os, double sweep_seconds, long cells,
+                    int pool_size) {
+  os << "sweep wall-clock: " << sweep_seconds << " s (" << cells
+     << " cells, pool size " << pool_size << ")\n";
+}
+
 }  // namespace axsnn::eval

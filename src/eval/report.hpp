@@ -43,4 +43,10 @@ void PrintTable(std::ostream& os, const std::string& title,
 /// Formats a double with the given precision (helper for table rows).
 std::string FormatValue(double v, int precision = 1);
 
+/// Prints the shared sweep footer
+///   sweep wall-clock: 12.3 s (40 cells, pool size 4)
+/// every grid-driving harness emits (hoisted so the format stays uniform).
+void PrintRunFooter(std::ostream& os, double sweep_seconds, long cells,
+                    int pool_size);
+
 }  // namespace axsnn::eval

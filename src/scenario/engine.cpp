@@ -1,0 +1,330 @@
+#include "scenario/engine.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+#include "runtime/parallel_for.hpp"
+#include "tensor/check.hpp"
+
+namespace axsnn::scenario {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::uint64_t DoubleKeyBits(double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+/// Collision-free craft-cache key: structural cell + attack identity (the
+/// deterministic label includes parameter overrides) + exact epsilon bits.
+std::string CraftKey(float vth, long time_steps, const AttackSpec& attack,
+                     double epsilon) {
+  std::ostringstream os;
+  os << 'v' << detail::FloatKeyBits(vth) << '|' << 't' << time_steps << '|'
+     << attack.Label() << '|' << 'e' << DoubleKeyBits(epsilon);
+  return os.str();
+}
+
+/// The per-unit variant list: the aqf x precision x level x kernel inner
+/// block of the documented nesting, in cell order. The aqf coordinate is
+/// not a variant property (the static engine forbids it, the DVS engine
+/// evaluates one aqf slice at a time), so the list covers precision x level
+/// x kernel and callers place it per aqf slice.
+std::vector<core::VariantSpec> VariantBlock(const ScenarioGrid& grid) {
+  std::vector<core::VariantSpec> specs;
+  specs.reserve(grid.precisions.size() * grid.levels.size() *
+                grid.kernel_modes.size());
+  for (approx::Precision precision : grid.precisions)
+    for (double level : grid.levels)
+      for (const std::optional<kernels::KernelMode>& mode : grid.kernel_modes)
+        specs.push_back({precision, level, mode});
+  return specs;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// StaticScenarioEngine
+// ---------------------------------------------------------------------------
+
+StaticScenarioEngine::StaticScenarioEngine(const core::StaticWorkbench& bench)
+    : bench_(bench) {
+  train_fn_ = [this](float vth, long t) { return bench_.Train(vth, t); };
+  craft_fn_ = [this](const TrainedModel& model, const AttackSpec& attack,
+                     float epsilon) {
+    return bench_.Craft(model, attack.name, epsilon, attack.params);
+  };
+}
+
+void StaticScenarioEngine::set_train_fn(TrainFn fn) {
+  AXSNN_CHECK(fn != nullptr, "train hook must be callable");
+  train_fn_ = std::move(fn);
+}
+
+void StaticScenarioEngine::set_craft_fn(CraftFn fn) {
+  AXSNN_CHECK(fn != nullptr, "craft hook must be callable");
+  craft_fn_ = std::move(fn);
+}
+
+const StaticScenarioEngine::TrainedModel& StaticScenarioEngine::TrainCached(
+    float vth, long time_steps) {
+  return model_cache_.GetOrTrain(
+      vth, time_steps, bench_.options().seed,
+      [&] { return train_fn_(vth, time_steps); });
+}
+
+void StaticScenarioEngine::ClearCraftCache() { craft_cache_.Clear(); }
+
+ScenarioOutcome StaticScenarioEngine::Run(const ScenarioGrid& grid) {
+  ValidateScenarioGrid(grid, /*for_events=*/false);
+
+  ScenarioOutcome outcome;
+  outcome.grid = grid;
+  outcome.cells = ExpandScenarioGrid(grid);
+  const std::size_t cell_count = outcome.cells.size();
+  outcome.robustness_pct.assign(cell_count,
+                                std::numeric_limits<float>::quiet_NaN());
+  outcome.train_accuracy_pct.assign(cell_count, 0.0f);
+  outcome.evaluated.assign(cell_count, 0);
+
+  const auto run_start = Clock::now();
+  const long train_hits0 = model_cache_.hits();
+  const long train_misses0 = model_cache_.misses();
+  const long craft_hits0 = craft_cache_.hits();
+  const long craft_misses0 = craft_cache_.misses();
+  std::atomic<long> uncached_trainings{0};
+  std::atomic<long> gated_units{0};
+
+  // Phase 1: train every unique structural cell, cells in parallel. With
+  // the cache disabled units train for themselves in phase 2.
+  const long vth_count = static_cast<long>(grid.v_thresholds.size());
+  const long time_count = static_cast<long>(grid.time_steps.size());
+  if (cache_enabled_) {
+    runtime::ParallelFor(
+        0, vth_count * time_count,
+        [&](long idx) {
+          const float vth =
+              grid.v_thresholds[static_cast<std::size_t>(idx / time_count)];
+          const long t =
+              grid.time_steps[static_cast<std::size_t>(idx % time_count)];
+          (void)TrainCached(vth, t);
+        },
+        /*grain=*/1);
+  }
+  outcome.stats.train_seconds = SecondsSince(run_start);
+
+  // Phase 2: one work unit per (structural cell, attack, epsilon) — craft
+  // once, then fan the variant block out through EvaluateVariants. Each
+  // unit owns a contiguous slice of the outcome, so the fan-out is
+  // bit-identical at any pool size.
+  const auto sweep_start = Clock::now();
+  const std::vector<core::VariantSpec> variants = VariantBlock(grid);
+  const std::size_t block =
+      grid.aqfs.size() * variants.size();  // cells per unit
+  const long attack_count = static_cast<long>(grid.attacks.size());
+  const long eps_count = static_cast<long>(grid.epsilons.size());
+  const long unit_count = vth_count * time_count * attack_count * eps_count;
+
+  runtime::ParallelFor(
+      0, unit_count,
+      [&](long unit) {
+        long rest = unit;
+        const std::size_t ie = static_cast<std::size_t>(rest % eps_count);
+        rest /= eps_count;
+        const std::size_t ia = static_cast<std::size_t>(rest % attack_count);
+        rest /= attack_count;
+        const std::size_t it = static_cast<std::size_t>(rest % time_count);
+        const std::size_t iv = static_cast<std::size_t>(rest / time_count);
+
+        const float vth = grid.v_thresholds[iv];
+        const long t = grid.time_steps[it];
+        const AttackSpec& attack = grid.attacks[ia];
+        const double epsilon = grid.epsilons[ie];
+
+        TrainedModel local;
+        const TrainedModel* model = nullptr;
+        if (cache_enabled_) {
+          model = &TrainCached(vth, t);
+        } else {
+          local = train_fn_(vth, t);
+          uncached_trainings.fetch_add(1, std::memory_order_relaxed);
+          model = &local;
+        }
+
+        const std::size_t base = grid.Index(iv, it, ia, ie, 0, 0, 0, 0);
+        for (std::size_t i = 0; i < block; ++i)
+          outcome.train_accuracy_pct[base + i] = model->train_accuracy_pct;
+
+        if (grid.min_train_accuracy_pct.has_value() &&
+            model->train_accuracy_pct < *grid.min_train_accuracy_pct) {
+          gated_units.fetch_add(1, std::memory_order_relaxed);
+          return;  // robustness stays NaN, evaluated stays false
+        }
+
+        // Craft through the cache (persistent across Run calls).
+        const Tensor& adversarial = craft_cache_.GetOrCompute(
+            CraftKey(vth, t, attack, epsilon), [&] {
+              return craft_fn_(*model, attack, static_cast<float>(epsilon));
+            });
+
+        const std::vector<float> robustness =
+            bench_.EvaluateVariants(*model, adversarial, variants);
+        for (std::size_t iq = 0; iq < grid.aqfs.size(); ++iq) {
+          const std::size_t slice = base + iq * variants.size();
+          for (std::size_t i = 0; i < variants.size(); ++i) {
+            outcome.robustness_pct[slice + i] = robustness[i];
+            outcome.evaluated[slice + i] = 1;
+          }
+        }
+      },
+      /*grain=*/1);
+
+  outcome.stats.sweep_seconds = SecondsSince(sweep_start);
+  outcome.stats.wall_seconds = SecondsSince(run_start);
+  outcome.stats.train_cache_hits = model_cache_.hits() - train_hits0;
+  outcome.stats.trained_models = model_cache_.misses() - train_misses0 +
+                                 uncached_trainings.load();
+  outcome.stats.craft_cache_hits = craft_cache_.hits() - craft_hits0;
+  outcome.stats.crafted_sets = craft_cache_.misses() - craft_misses0;
+  outcome.stats.gated_units = gated_units.load();
+  return outcome;
+}
+
+// ---------------------------------------------------------------------------
+// DvsScenarioEngine
+// ---------------------------------------------------------------------------
+
+DvsScenarioEngine::DvsScenarioEngine(const core::DvsWorkbench& bench)
+    : bench_(bench) {
+  train_fn_ = [this](float vth) { return bench_.Train(vth); };
+  craft_fn_ = [this](const TrainedModel& model, const AttackSpec& attack) {
+    return bench_.Craft(model, attack.name, attack.params);
+  };
+}
+
+void DvsScenarioEngine::set_train_fn(TrainFn fn) {
+  AXSNN_CHECK(fn != nullptr, "train hook must be callable");
+  train_fn_ = std::move(fn);
+}
+
+void DvsScenarioEngine::set_craft_fn(CraftFn fn) {
+  AXSNN_CHECK(fn != nullptr, "craft hook must be callable");
+  craft_fn_ = std::move(fn);
+}
+
+const DvsScenarioEngine::TrainedModel& DvsScenarioEngine::TrainCached(
+    float vth) {
+  return model_cache_.GetOrTrain(vth, bench_.options().time_bins,
+                                 bench_.options().seed,
+                                 [&] { return train_fn_(vth); });
+}
+
+void DvsScenarioEngine::ClearCraftCache() { craft_cache_.Clear(); }
+
+ScenarioOutcome DvsScenarioEngine::Run(const ScenarioGrid& grid) {
+  ValidateScenarioGrid(grid, /*for_events=*/true);
+
+  ScenarioOutcome outcome;
+  outcome.grid = grid;
+  outcome.cells =
+      ExpandScenarioGrid(grid, /*time_override=*/bench_.options().time_bins);
+  const std::size_t cell_count = outcome.cells.size();
+  outcome.robustness_pct.assign(cell_count,
+                                std::numeric_limits<float>::quiet_NaN());
+  outcome.train_accuracy_pct.assign(cell_count, 0.0f);
+  outcome.evaluated.assign(cell_count, 0);
+
+  const auto run_start = Clock::now();
+  const long train_hits0 = model_cache_.hits();
+  const long train_misses0 = model_cache_.misses();
+  const long craft_hits0 = craft_cache_.hits();
+  const long craft_misses0 = craft_cache_.misses();
+  std::atomic<long> uncached_trainings{0};
+  std::atomic<long> gated_units{0};
+
+  const long vth_count = static_cast<long>(grid.v_thresholds.size());
+  if (cache_enabled_) {
+    runtime::ParallelFor(
+        0, vth_count,
+        [&](long iv) {
+          (void)TrainCached(grid.v_thresholds[static_cast<std::size_t>(iv)]);
+        },
+        /*grain=*/1);
+  }
+  outcome.stats.train_seconds = SecondsSince(run_start);
+
+  // Phase 2: one unit per (vth, attack); AQF slices evaluate inside the
+  // unit (filter + binning are shared per slice by EvaluateVariants).
+  const auto sweep_start = Clock::now();
+  const std::vector<core::VariantSpec> variants = VariantBlock(grid);
+  const long attack_count = static_cast<long>(grid.attacks.size());
+  const long unit_count = vth_count * attack_count;
+
+  runtime::ParallelFor(
+      0, unit_count,
+      [&](long unit) {
+        const std::size_t ia = static_cast<std::size_t>(unit % attack_count);
+        const std::size_t iv = static_cast<std::size_t>(unit / attack_count);
+        const float vth = grid.v_thresholds[iv];
+        const AttackSpec& attack = grid.attacks[ia];
+
+        TrainedModel local;
+        const TrainedModel* model = nullptr;
+        if (cache_enabled_) {
+          model = &TrainCached(vth);
+        } else {
+          local = train_fn_(vth);
+          uncached_trainings.fetch_add(1, std::memory_order_relaxed);
+          model = &local;
+        }
+
+        const std::size_t base = grid.Index(iv, 0, ia, 0, 0, 0, 0, 0);
+        const std::size_t block = grid.aqfs.size() * variants.size();
+        for (std::size_t i = 0; i < block; ++i)
+          outcome.train_accuracy_pct[base + i] = model->train_accuracy_pct;
+
+        if (grid.min_train_accuracy_pct.has_value() &&
+            model->train_accuracy_pct < *grid.min_train_accuracy_pct) {
+          gated_units.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+
+        const data::EventDataset& adversarial = craft_cache_.GetOrCompute(
+            CraftKey(vth, bench_.options().time_bins, attack, /*epsilon=*/0.0),
+            [&] { return craft_fn_(*model, attack); });
+
+        for (std::size_t iq = 0; iq < grid.aqfs.size(); ++iq) {
+          const std::vector<float> robustness = bench_.EvaluateVariants(
+              *model, adversarial, grid.aqfs[iq], variants);
+          const std::size_t slice = base + iq * variants.size();
+          for (std::size_t i = 0; i < variants.size(); ++i) {
+            outcome.robustness_pct[slice + i] = robustness[i];
+            outcome.evaluated[slice + i] = 1;
+          }
+        }
+      },
+      /*grain=*/1);
+
+  outcome.stats.sweep_seconds = SecondsSince(sweep_start);
+  outcome.stats.wall_seconds = SecondsSince(run_start);
+  outcome.stats.train_cache_hits = model_cache_.hits() - train_hits0;
+  outcome.stats.trained_models = model_cache_.misses() - train_misses0 +
+                                 uncached_trainings.load();
+  outcome.stats.craft_cache_hits = craft_cache_.hits() - craft_hits0;
+  outcome.stats.crafted_sets = craft_cache_.misses() - craft_misses0;
+  outcome.stats.gated_units = gated_units.load();
+  return outcome;
+}
+
+}  // namespace axsnn::scenario

@@ -1,0 +1,151 @@
+// Scenario engine: executes a declarative ScenarioGrid on a workbench.
+//
+// The engine turns a grid into work units — one (structural cell, attack,
+// epsilon) triple per unit — and runs them on the global runtime pool with
+// grain 1, exactly like the hand-rolled sweep loops it replaces. Two caches
+// make shared grids cheap:
+//
+//   * a trained-model cache (model_cache.hpp) keyed (vth, T, seed): grids —
+//     and successive Run calls on one engine — sharing a structural cell
+//     never retrain it;
+//   * a crafted-dataset cache keyed (structural cell, attack label,
+//     epsilon): successive grids reusing an attack (Table II's operating
+//     points, Algorithm-1 searches over the same cell) never re-craft.
+//
+// Determinism: training, crafting and evaluation are each deterministic in
+// their seeds, every unit owns its output slots, and nested parallelism is
+// throttled to inline by the pool — so Run results are bit-identical at any
+// pool size and across cache hits/misses. Hooks (set_train_fn /
+// set_craft_fn) let harnesses splice in persistent disk caches (see
+// bench_common's heatmap cell cache) without touching the engine.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/workbench.hpp"
+#include "scenario/model_cache.hpp"
+#include "scenario/scenario.hpp"
+
+namespace axsnn::scenario {
+
+/// Execution counters of one Run call.
+struct ScenarioStats {
+  double wall_seconds = 0.0;   ///< whole Run
+  double train_seconds = 0.0;  ///< phase 1 (structural-cell training)
+  double sweep_seconds = 0.0;  ///< phase 2 (craft + variant evaluation)
+  long trained_models = 0;     ///< training runs this call (cache misses)
+  long train_cache_hits = 0;
+  long crafted_sets = 0;       ///< craft runs this call (cache misses)
+  long craft_cache_hits = 0;
+  long gated_units = 0;        ///< units skipped by min_train_accuracy_pct
+};
+
+/// Grid results, aligned with ExpandScenarioGrid(grid) order.
+struct ScenarioOutcome {
+  ScenarioGrid grid;
+  std::vector<ScenarioCell> cells;
+  /// R(eps) [%] per cell; NaN for gated (unevaluated) cells.
+  std::vector<float> robustness_pct;
+  /// Train accuracy [%] of the cell's accurate model.
+  std::vector<float> train_accuracy_pct;
+  /// False for cells skipped by the quality gate.
+  std::vector<char> evaluated;
+  ScenarioStats stats;
+
+  /// Robustness at one coordinate tuple (see ScenarioGrid::Index).
+  float Robustness(std::size_t vth_i, std::size_t time_i,
+                   std::size_t attack_i, std::size_t eps_i, std::size_t aqf_i,
+                   std::size_t precision_i, std::size_t level_i,
+                   std::size_t kernel_i) const {
+    return robustness_pct[grid.Index(vth_i, time_i, attack_i, eps_i, aqf_i,
+                                     precision_i, level_i, kernel_i)];
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Static-dataset engine
+// ---------------------------------------------------------------------------
+
+class StaticScenarioEngine {
+ public:
+  using TrainedModel = core::StaticWorkbench::TrainedModel;
+  using TrainFn = std::function<TrainedModel(float vth, long time_steps)>;
+  using CraftFn = std::function<Tensor(
+      const TrainedModel& model, const AttackSpec& attack, float epsilon)>;
+
+  explicit StaticScenarioEngine(const core::StaticWorkbench& bench);
+
+  /// Replaces how structural cells train / attacks craft (default:
+  /// bench.Train / registry-dispatched bench.Craft). Harness hook for
+  /// persistent disk caches.
+  void set_train_fn(TrainFn fn);
+  void set_craft_fn(CraftFn fn);
+
+  /// Disables the in-memory trained-model cache (every unit retrains) —
+  /// the with/without comparison bench_micro_runtime records. On by
+  /// default.
+  void set_model_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
+
+  /// Trains (or fetches) the model of one structural cell through the
+  /// cache — the Algorithm-1 serial path shares models with grids this way.
+  const TrainedModel& TrainCached(float vth, long time_steps);
+
+  /// Executes the grid. Validates first (throws std::invalid_argument on
+  /// unknown attacks/params or axis misuse).
+  ScenarioOutcome Run(const ScenarioGrid& grid);
+
+  StaticModelCache& model_cache() { return model_cache_; }
+  const core::StaticWorkbench& bench() const { return bench_; }
+
+  /// Drops cached crafted datasets (models stay; use model_cache().Clear()
+  /// for those).
+  void ClearCraftCache();
+
+ private:
+  const core::StaticWorkbench& bench_;
+  TrainFn train_fn_;
+  CraftFn craft_fn_;
+  bool cache_enabled_ = true;
+  StaticModelCache model_cache_;
+  detail::CacheTable<std::string, Tensor> craft_cache_;
+};
+
+// ---------------------------------------------------------------------------
+// Neuromorphic engine
+// ---------------------------------------------------------------------------
+
+class DvsScenarioEngine {
+ public:
+  using TrainedModel = core::DvsWorkbench::TrainedModel;
+  using TrainFn = std::function<TrainedModel(float vth)>;
+  using CraftFn = std::function<data::EventDataset(const TrainedModel& model,
+                                                   const AttackSpec& attack)>;
+
+  explicit DvsScenarioEngine(const core::DvsWorkbench& bench);
+
+  void set_train_fn(TrainFn fn);
+  void set_craft_fn(CraftFn fn);
+  void set_model_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
+
+  const TrainedModel& TrainCached(float vth);
+
+  /// Executes the grid (time_steps / epsilons must be single-entry; every
+  /// cell resolves T to the workbench binning).
+  ScenarioOutcome Run(const ScenarioGrid& grid);
+
+  DvsModelCache& model_cache() { return model_cache_; }
+  const core::DvsWorkbench& bench() const { return bench_; }
+  void ClearCraftCache();
+
+ private:
+  const core::DvsWorkbench& bench_;
+  TrainFn train_fn_;
+  CraftFn craft_fn_;
+  bool cache_enabled_ = true;
+  DvsModelCache model_cache_;
+  detail::CacheTable<std::string, data::EventDataset> craft_cache_;
+};
+
+}  // namespace axsnn::scenario

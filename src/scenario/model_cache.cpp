@@ -1,0 +1,13 @@
+#include "scenario/model_cache.hpp"
+
+#include <cstring>
+
+namespace axsnn::scenario::detail {
+
+std::uint32_t FloatKeyBits(float value) {
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+}  // namespace axsnn::scenario::detail

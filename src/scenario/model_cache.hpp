@@ -1,0 +1,134 @@
+// Trained-model caches for the scenario engine.
+//
+// Training an accurate SNN is the dominant cost of every sweep, and grids
+// routinely share structural cells: fig2's eight epsilon units share one
+// (Vth, T) model, Table I's PGD and BIM searches share each structural
+// cell, and the fig4-fig7a heatmaps share all 63. Training is deterministic
+// per (vth, T, seed) — every RNG is freshly derived from those inputs — so
+// a cache hit is bit-identical to retraining, and grid results stay
+// independent of evaluation order and pool size.
+//
+// Keys use the exact float bit pattern of vth (no epsilon-comparison
+// surprises) plus the workbench seed, so two workbenches with different
+// seeds sharing one cache never collide.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+#include "core/workbench.hpp"
+
+namespace axsnn::scenario {
+
+namespace detail {
+
+/// Mutex-guarded map<Key, unique_ptr<Model>> with GetOrCompute semantics:
+/// compute runs outside the lock (concurrent misses on *different* keys
+/// proceed in parallel); a lost same-key race discards the duplicate —
+/// every cached computation here (training, crafting) is deterministic,
+/// so both results are identical. Also backs the engines' craft caches.
+template <typename Key, typename Model>
+class CacheTable {
+ public:
+  const Model& GetOrCompute(const Key& key,
+                            const std::function<Model()>& compute) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = models_.find(key);
+      if (it != models_.end()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return *it->second;
+      }
+    }
+    auto model = std::make_unique<Model>(compute());
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = models_.emplace(key, std::move(model));
+    (void)inserted;
+    return *it->second;
+  }
+
+  const Model* Find(const Key& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = models_.find(key);
+    return it == models_.end() ? nullptr : it->second.get();
+  }
+
+  long hits() const { return hits_.load(std::memory_order_relaxed); }
+  long misses() const { return misses_.load(std::memory_order_relaxed); }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return models_.size();
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    models_.clear();
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<Key, std::unique_ptr<Model>> models_;  // node-stable references
+  std::atomic<long> hits_{0};
+  std::atomic<long> misses_{0};
+};
+
+/// Exact bit pattern of a float, for collision-free cache keys.
+std::uint32_t FloatKeyBits(float value);
+
+}  // namespace detail
+
+/// Cache of StaticWorkbench accurate models keyed (vth, T, seed).
+class StaticModelCache {
+ public:
+  using TrainedModel = core::StaticWorkbench::TrainedModel;
+
+  /// Returns the cached model, training via `train` on a miss. The
+  /// returned reference stays valid until Clear().
+  const TrainedModel& GetOrTrain(float vth, long time_steps,
+                                 std::uint64_t seed,
+                                 const std::function<TrainedModel()>& train) {
+    return table_.GetOrCompute({detail::FloatKeyBits(vth), time_steps, seed},
+                               train);
+  }
+
+  long hits() const { return table_.hits(); }
+  long misses() const { return table_.misses(); }
+  std::size_t size() const { return table_.size(); }
+  void Clear() { table_.Clear(); }
+
+ private:
+  using Key = std::tuple<std::uint32_t, long, std::uint64_t>;
+  detail::CacheTable<Key, TrainedModel> table_;
+};
+
+/// Cache of DvsWorkbench accurate models keyed (vth, time bins, seed).
+class DvsModelCache {
+ public:
+  using TrainedModel = core::DvsWorkbench::TrainedModel;
+
+  const TrainedModel& GetOrTrain(float vth, long time_bins,
+                                 std::uint64_t seed,
+                                 const std::function<TrainedModel()>& train) {
+    return table_.GetOrCompute({detail::FloatKeyBits(vth), time_bins, seed},
+                               train);
+  }
+
+  long hits() const { return table_.hits(); }
+  long misses() const { return table_.misses(); }
+  std::size_t size() const { return table_.size(); }
+  void Clear() { table_.Clear(); }
+
+ private:
+  using Key = std::tuple<std::uint32_t, long, std::uint64_t>;
+  detail::CacheTable<Key, TrainedModel> table_;
+};
+
+}  // namespace axsnn::scenario

@@ -1,0 +1,123 @@
+#include "scenario/scenario.hpp"
+
+#include <sstream>
+
+#include "tensor/check.hpp"
+
+namespace axsnn::scenario {
+
+std::string AttackSpec::Label() const {
+  if (params.empty()) return name;
+  std::ostringstream os;
+  os << name << '{';
+  bool first = true;
+  for (const auto& [key, value] : params) {
+    if (!first) os << ',';
+    first = false;
+    os << key << '=' << value;
+  }
+  os << '}';
+  return os.str();
+}
+
+std::size_t ScenarioGrid::CellCount() const {
+  return v_thresholds.size() * time_steps.size() * attacks.size() *
+         epsilons.size() * aqfs.size() * precisions.size() * levels.size() *
+         kernel_modes.size();
+}
+
+std::size_t ScenarioGrid::Index(std::size_t vth_i, std::size_t time_i,
+                                std::size_t attack_i, std::size_t eps_i,
+                                std::size_t aqf_i, std::size_t precision_i,
+                                std::size_t level_i,
+                                std::size_t kernel_i) const {
+  AXSNN_CHECK(vth_i < v_thresholds.size() && time_i < time_steps.size() &&
+                  attack_i < attacks.size() && eps_i < epsilons.size() &&
+                  aqf_i < aqfs.size() && precision_i < precisions.size() &&
+                  level_i < levels.size() && kernel_i < kernel_modes.size(),
+              "scenario cell coordinate out of range");
+  std::size_t index = vth_i;
+  index = index * time_steps.size() + time_i;
+  index = index * attacks.size() + attack_i;
+  index = index * epsilons.size() + eps_i;
+  index = index * aqfs.size() + aqf_i;
+  index = index * precisions.size() + precision_i;
+  index = index * levels.size() + level_i;
+  index = index * kernel_modes.size() + kernel_i;
+  return index;
+}
+
+std::vector<ScenarioCell> ExpandScenarioGrid(const ScenarioGrid& grid,
+                                             std::optional<long> time_override) {
+  std::vector<ScenarioCell> cells;
+  cells.reserve(grid.CellCount());
+  for (std::size_t iv = 0; iv < grid.v_thresholds.size(); ++iv)
+    for (std::size_t it = 0; it < grid.time_steps.size(); ++it)
+      for (std::size_t ia = 0; ia < grid.attacks.size(); ++ia)
+        for (std::size_t ie = 0; ie < grid.epsilons.size(); ++ie)
+          for (std::size_t iq = 0; iq < grid.aqfs.size(); ++iq)
+            for (std::size_t ip = 0; ip < grid.precisions.size(); ++ip)
+              for (std::size_t il = 0; il < grid.levels.size(); ++il)
+                for (std::size_t ik = 0; ik < grid.kernel_modes.size();
+                     ++ik) {
+                  ScenarioCell cell;
+                  cell.vth_index = iv;
+                  cell.time_index = it;
+                  cell.attack_index = ia;
+                  cell.eps_index = ie;
+                  cell.aqf_index = iq;
+                  cell.precision_index = ip;
+                  cell.level_index = il;
+                  cell.kernel_index = ik;
+                  cell.vth = grid.v_thresholds[iv];
+                  cell.time_steps =
+                      time_override.value_or(grid.time_steps[it]);
+                  cell.epsilon = grid.epsilons[ie];
+                  cell.precision = grid.precisions[ip];
+                  cell.level = grid.levels[il];
+                  cell.kernel_mode = grid.kernel_modes[ik];
+                  cells.push_back(cell);
+                }
+  return cells;
+}
+
+void ValidateScenarioGrid(const ScenarioGrid& grid, bool for_events) {
+  AXSNN_CHECK(!grid.v_thresholds.empty(), "empty Vth axis");
+  AXSNN_CHECK(!grid.time_steps.empty(), "empty time-step axis");
+  AXSNN_CHECK(!grid.attacks.empty(), "empty attack axis");
+  AXSNN_CHECK(!grid.epsilons.empty(), "empty epsilon axis");
+  AXSNN_CHECK(!grid.aqfs.empty(), "empty AQF axis");
+  AXSNN_CHECK(!grid.precisions.empty(), "empty precision axis");
+  AXSNN_CHECK(!grid.levels.empty(), "empty approximation-level axis");
+  AXSNN_CHECK(!grid.kernel_modes.empty(), "empty kernel-mode axis");
+
+  for (const AttackSpec& spec : grid.attacks) {
+    const attacks::Attack& attack = attacks::GetAttack(spec.name);
+    (void)attack.ResolveParams(spec.params);  // typo'd params fail up front
+    if (for_events) {
+      AXSNN_CHECK(attack.supports_events(),
+                  "attack '" << attack.name()
+                             << "' does not apply to event datasets");
+    } else {
+      AXSNN_CHECK(attack.supports_static(),
+                  "attack '" << attack.name()
+                             << "' does not apply to static image batches");
+    }
+  }
+
+  if (for_events) {
+    AXSNN_CHECK(grid.time_steps.size() == 1,
+                "the DVS workbench fixes T via binning — use a single "
+                "time_steps entry (its value is ignored)");
+    AXSNN_CHECK(grid.epsilons.size() == 1,
+                "event attacks have no epsilon budget — use a single "
+                "epsilons entry (its value is ignored)");
+  } else {
+    for (const auto& aqf : grid.aqfs)
+      AXSNN_CHECK(!aqf.has_value(),
+                  "AQF filters event streams — static grids must leave "
+                  "every aqfs entry disengaged");
+  }
+}
+
+}  // namespace axsnn::scenario

@@ -1,0 +1,112 @@
+// Declarative scenario grids — the data half of the scenario engine.
+//
+// The paper's Algorithm 1 and every figure/table harness sweep the same
+// axes: structural parameters (Vth, T), an attack with its parameters, a
+// perturbation budget, the approximation knobs (precision scale, level) and
+// — orthogonally — the kernel implementation and the AQF defense. A
+// ScenarioGrid names those axes once; the engine (engine.hpp) expands the
+// cross product into cells, shares trained models and crafted datasets
+// between cells, and fans the evaluation out on the runtime pool.
+//
+// Expansion order is part of the contract (drivers map results back to
+// figures by index): axes nest outer-to-inner as
+//
+//   vth -> time -> attack -> epsilon -> aqf -> precision -> level -> kernel
+//
+// so one "work unit" (a trained model + one crafted dataset) owns a
+// contiguous block of cells.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "approx/precision.hpp"
+#include "attacks/registry.hpp"
+#include "core/aqf.hpp"
+#include "kernels/dispatch.hpp"
+
+namespace axsnn::scenario {
+
+/// One attack-axis entry: a registry name plus parameter overrides.
+struct AttackSpec {
+  std::string name = "none";
+  attacks::ParamMap params;
+
+  /// "PGD" or "Sparse{max_iterations=4}" — deterministic (ParamMap is
+  /// ordered), used for reports and cache keys.
+  std::string Label() const;
+};
+
+/// The declarative sweep. Every axis must be non-empty; single-entry axes
+/// pin a value. The DVS engine requires time_steps and epsilons to be
+/// single-entry (binning fixes T; event attacks have no epsilon) and the
+/// static engine requires every aqf entry to be disengaged (AQF filters
+/// event streams only).
+struct ScenarioGrid {
+  std::vector<float> v_thresholds = {0.25f};
+  std::vector<long> time_steps = {32};
+  std::vector<AttackSpec> attacks = {AttackSpec{}};
+  /// Effective l_inf budgets handed to Craft (callers apply any paper-axis
+  /// compression themselves, see bench::kEpsilonScale).
+  std::vector<double> epsilons = {0.0};
+  std::vector<std::optional<core::AqfConfig>> aqfs = {std::nullopt};
+  std::vector<approx::Precision> precisions = {approx::Precision::kFp32};
+  std::vector<double> levels = {0.0};
+  /// Kernel-implementation axis (bit-identical across entries — a perf /
+  /// determinism-testing axis, never an accuracy one). nullopt defers to
+  /// the workbench option.
+  std::vector<std::optional<kernels::KernelMode>> kernel_modes = {
+      std::nullopt};
+
+  /// Algorithm 1 line 4: structural cells whose accurate model trains below
+  /// this [%] are gated — their cells are skipped (robustness NaN,
+  /// evaluated = false). Disengaged: evaluate everything.
+  std::optional<float> min_train_accuracy_pct;
+
+  /// Number of cells in the full cross product.
+  std::size_t CellCount() const;
+
+  /// Flat cell index for one coordinate tuple, in the documented nesting.
+  std::size_t Index(std::size_t vth_i, std::size_t time_i,
+                    std::size_t attack_i, std::size_t eps_i,
+                    std::size_t aqf_i, std::size_t precision_i,
+                    std::size_t level_i, std::size_t kernel_i) const;
+};
+
+/// One expanded cell: axis indices plus the resolved values (the AQF config
+/// is reached through grid.aqfs[aqf_index]).
+struct ScenarioCell {
+  std::size_t vth_index = 0;
+  std::size_t time_index = 0;
+  std::size_t attack_index = 0;
+  std::size_t eps_index = 0;
+  std::size_t aqf_index = 0;
+  std::size_t precision_index = 0;
+  std::size_t level_index = 0;
+  std::size_t kernel_index = 0;
+
+  float vth = 0.0f;
+  long time_steps = 0;
+  double epsilon = 0.0;
+  approx::Precision precision = approx::Precision::kFp32;
+  double level = 0.0;
+  std::optional<kernels::KernelMode> kernel_mode;
+};
+
+/// Expands the grid in the documented nesting order. `time_override`
+/// replaces every cell's resolved time_steps (the DVS engine passes its
+/// binning T); indices still follow the declared axis.
+std::vector<ScenarioCell> ExpandScenarioGrid(
+    const ScenarioGrid& grid, std::optional<long> time_override = {});
+
+/// Validates axes (non-empty), resolves every attack against the registry
+/// (unknown names/params throw) and checks workbench applicability:
+/// `for_events` selects event-dataset rules (attacks must support events,
+/// single time/epsilon entries), otherwise static rules (attacks must
+/// support static batches, every aqf disengaged). Throws
+/// std::invalid_argument describing the violation.
+void ValidateScenarioGrid(const ScenarioGrid& grid, bool for_events);
+
+}  // namespace axsnn::scenario
