@@ -5,6 +5,7 @@
 
 #include "bench_common.hpp"
 #include "data/dvs_gesture.hpp"
+#include "kernels/cpu_features.hpp"
 #include "kernels/dispatch.hpp"
 #include "snn/conv2d.hpp"
 #include "snn/dense.hpp"
@@ -27,6 +28,16 @@ Tensor MakeSpikesPct(Shape shape, long density_pct, Rng& rng) {
 constexpr long kModeNaive = static_cast<long>(kernels::KernelMode::kNaive);
 constexpr long kModeGemm = static_cast<long>(kernels::KernelMode::kGemm);
 constexpr long kModeSparse = static_cast<long>(kernels::KernelMode::kSparse);
+constexpr long kModeSimd = static_cast<long>(kernels::KernelMode::kSimd);
+
+/// Emitted once so benchmark logs say which ISA tier the simd rows ran on
+/// (google-benchmark context lines prefix the output table).
+const bool g_report_isa = [] {
+  benchmark::AddCustomContext(
+      "axsnn_simd_tier",
+      kernels::SimdTierName(kernels::ActiveSimdTier()));
+  return true;
+}();
 
 void BM_Conv2dForward(benchmark::State& state) {
   const long channels = state.range(0);
@@ -148,9 +159,11 @@ BENCHMARK(BM_Conv2dDispatch)
     ->Args({kModeNaive, 10})
     ->Args({kModeGemm, 10})
     ->Args({kModeSparse, 10})
+    ->Args({kModeSimd, 10})
     ->Args({kModeNaive, 100})
     ->Args({kModeGemm, 100})
-    ->Args({kModeSparse, 100});
+    ->Args({kModeSparse, 100})
+    ->Args({kModeSimd, 100});
 
 void BM_Conv2dDispatchInt8(benchmark::State& state) {
   // Same sweep on the int8 backend.
@@ -169,7 +182,10 @@ void BM_Conv2dDispatchInt8(benchmark::State& state) {
 BENCHMARK(BM_Conv2dDispatchInt8)
     ->Args({kModeNaive, 10})
     ->Args({kModeGemm, 10})
-    ->Args({kModeSparse, 10});
+    ->Args({kModeSparse, 10})
+    ->Args({kModeSimd, 10})
+    ->Args({kModeNaive, 100})
+    ->Args({kModeSimd, 100});
 
 void BM_DenseDispatch(benchmark::State& state) {
   kernels::ScopedKernelMode force(
@@ -187,7 +203,9 @@ BENCHMARK(BM_DenseDispatch)
     ->Args({kModeNaive, 10})
     ->Args({kModeGemm, 10})
     ->Args({kModeSparse, 10})
-    ->Args({kModeGemm, 100});
+    ->Args({kModeSimd, 10})
+    ->Args({kModeGemm, 100})
+    ->Args({kModeSimd, 100});
 
 void BM_RateEncode(benchmark::State& state) {
   Rng rng(6);

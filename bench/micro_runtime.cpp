@@ -7,9 +7,15 @@
 //     binary;
 //  3. kernel backends — fp32 vs int8 (per-output-channel scales, int32
 //     accumulation) forward throughput of the Conv2d and Dense kernels;
-//  4. kernel dispatch — naive vs gemm vs sparse throughput at a
-//     representative spike density (10% nonzeros), fp32 and int8, for the
-//     sparsity-aware dispatch engine (src/kernels/);
+//  4. kernel dispatch — naive vs gemm vs sparse vs simd vs auto throughput
+//     at a representative spike density (10% nonzeros), fp32 and int8, for
+//     the sparsity-aware dispatch engine (src/kernels/). Also asserts the
+//     dispatch contract that auto int8 is never slower than naive (within a
+//     10% timing-noise margin) — the regression this harness exists to
+//     catch; a violation fails the process;
+//  4b. SIMD tier sweep — the same forced-simd workloads at every ISA tier
+//      the machine supports (capped via ScopedSimdTier), recorded per tier
+//      so BENCH_runtime.json baselines are comparable across runners;
 //  5. scenario grids — wall-clock of a miniature fig2-style ScenarioGrid
 //     with and without the engine's trained-model cache (the cache is what
 //     makes grids sharing structural cells cheap).
@@ -26,6 +32,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "kernels/cpu_features.hpp"
 #include "kernels/dispatch.hpp"
 #include "runtime/parallel_for.hpp"
 #include "runtime/thread_pool.hpp"
@@ -50,10 +57,32 @@ void* operator new(std::size_t size) {
 
 void* operator new[](std::size_t size) { return ::operator new(size); }
 
+// The workspace arenas allocate through the aligned overloads
+// (runtime/aligned.hpp), which must be hooked too or their (first-pass)
+// allocations would go uncounted.
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t al = static_cast<std::size_t>(align);
+  if (void* p = std::aligned_alloc(al, (size + al - 1) & ~(al - 1))) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace axsnn {
 namespace {
@@ -167,13 +196,15 @@ KernelTimings RunKernelComparison(int repeats) {
   return t;
 }
 
-/// Per-mode timings for one layer/precision: naive / gemm / sparse ms.
+/// Per-mode timings for one layer/precision.
 struct ModeTimings {
   double naive_ms;
   double gemm_ms;
   double sparse_ms;
+  double simd_ms;  // forced kSimd (degrades to naive on scalar machines)
+  double auto_ms;  // what the dispatcher actually picks
   double best_speedup() const {
-    return naive_ms / std::min(gemm_ms, sparse_ms);
+    return naive_ms / std::min({gemm_ms, sparse_ms, simd_ms});
   }
 };
 
@@ -203,6 +234,14 @@ ModeTimings TimeModes(LayerT& layer, const Tensor& x, int repeats) {
     kernels::ScopedKernelMode force(kernels::KernelMode::kSparse);
     t.sparse_ms = MsPerForward(layer, x, repeats);
   }
+  {
+    kernels::ScopedKernelMode force(kernels::KernelMode::kSimd);
+    t.simd_ms = MsPerForward(layer, x, repeats);
+  }
+  {
+    kernels::ScopedKernelMode force(kernels::KernelMode::kAuto);
+    t.auto_ms = MsPerForward(layer, x, repeats);
+  }
   return t;
 }
 
@@ -227,6 +266,47 @@ DispatchTimings RunDispatchComparison(int repeats) {
   fc.EnableInt8Kernel();
   t.dense_int8 = TimeModes(fc, dx, repeats);
   return t;
+}
+
+/// Forced-simd timings at one ISA tier (the active tier after capping).
+struct SimdTierPoint {
+  const char* tier;
+  double conv_fp32_ms;
+  double conv_int8_ms;
+  double dense_fp32_ms;
+  double dense_int8_ms;
+};
+
+/// Times the RunDispatchComparison workloads with the kernel mode pinned to
+/// simd at every tier this machine can run: the detected tier, each lower
+/// cap, and scalar (where forced simd degrades to the naive reference).
+/// One row per tier makes BENCH baselines comparable across runners whose
+/// CPUs differ — a VNNI row from one machine lines up with the VNNI row of
+/// another.
+std::vector<SimdTierPoint> RunSimdTierSweep(int repeats) {
+  using kernels::SimdTier;
+  std::vector<SimdTierPoint> points;
+  const int detected = static_cast<int>(kernels::ActiveSimdTier());
+  for (SimdTier cap : {SimdTier::kVnni, SimdTier::kAvx2, SimdTier::kScalar}) {
+    if (static_cast<int>(cap) > detected) continue;
+    kernels::ScopedSimdTier scoped(cap);
+    kernels::ScopedKernelMode force(kernels::KernelMode::kSimd);
+    SimdTierPoint p{};
+    p.tier = kernels::SimdTierName(kernels::ActiveSimdTier());
+    Rng rng(7);
+    snn::Conv2d conv("c", 8, 16, 3, 1, rng);
+    Tensor cx = bench::MakeSpikes({8, 16, 8, 16, 16}, 0.10f, rng);
+    p.conv_fp32_ms = MsPerForward(conv, cx, repeats);
+    conv.EnableInt8Kernel();
+    p.conv_int8_ms = MsPerForward(conv, cx, repeats);
+    snn::Dense fc("fc", 512, 128, rng);
+    Tensor dx = bench::MakeSpikes({16, 64, 512}, 0.10f, rng);
+    p.dense_fp32_ms = MsPerForward(fc, dx, repeats);
+    fc.EnableInt8Kernel();
+    p.dense_int8_ms = MsPerForward(fc, dx, repeats);
+    points.push_back(p);
+  }
+  return points;
 }
 
 struct ScenarioGridTimings {
@@ -281,6 +361,12 @@ int main(int argc, char** argv) {
 
   std::printf("== runtime micro-benchmark ==\n");
   std::printf("hardware threads: %d\n", axsnn::runtime::DefaultThreadCount());
+  const auto& cpu = axsnn::kernels::DetectCpuFeatures();
+  const char* simd_tier =
+      axsnn::kernels::SimdTierName(axsnn::kernels::ActiveSimdTier());
+  std::printf(
+      "simd tier: %s (cpuid: avx2=%d fma=%d avx_vnni=%d avx512_vnni=%d)\n",
+      simd_tier, cpu.avx2, cpu.fma, cpu.avx_vnni, cpu.avx512_vnni);
 
   const auto scaling = axsnn::RunScaling(repeats);
   const double base = scaling.front().seconds_per_pass;
@@ -314,13 +400,36 @@ int main(int argc, char** argv) {
               dispatch.density * 100.0);
   const auto print_modes = [](const char* name, const auto& m) {
     std::printf("  %-11s naive %7.3f   gemm %7.3f   sparse %7.3f   "
-                "best %5.2fx\n",
-                name, m.naive_ms, m.gemm_ms, m.sparse_ms, m.best_speedup());
+                "simd %7.3f   auto %7.3f   best %5.2fx\n",
+                name, m.naive_ms, m.gemm_ms, m.sparse_ms, m.simd_ms,
+                m.auto_ms, m.best_speedup());
   };
   print_modes("conv2d fp32", dispatch.conv_fp32);
   print_modes("conv2d int8", dispatch.conv_int8);
   print_modes("dense  fp32", dispatch.dense_fp32);
   print_modes("dense  int8", dispatch.dense_int8);
+
+  // Dispatch contract: on int8 layers the auto mode must never lose to the
+  // naive reference — a regression here (e.g. the int32-im2col packing of
+  // the old gemm path) is exactly what this harness guards. 10% margin
+  // absorbs timer noise on shared runners.
+  bool dispatch_ok = true;
+  const auto check_auto = [&](const char* name, const auto& m) {
+    const bool ok = m.auto_ms <= m.naive_ms * 1.10;
+    if (!ok) dispatch_ok = false;
+    std::printf("  assert %-11s auto %7.3f <= 1.10 * naive %7.3f : %s\n",
+                name, m.auto_ms, m.naive_ms, ok ? "PASS" : "FAIL");
+  };
+  check_auto("conv2d int8", dispatch.conv_int8);
+  check_auto("dense  int8", dispatch.dense_int8);
+
+  const auto tiers = axsnn::RunSimdTierSweep(repeats);
+  std::printf("\nsimd tier sweep (forced simd, ms/pass, 10%% density):\n");
+  for (const auto& p : tiers)
+    std::printf("  %-9s conv fp32 %7.3f   conv int8 %7.3f   "
+                "dense fp32 %7.3f   dense int8 %7.3f\n",
+                p.tier, p.conv_fp32_ms, p.conv_int8_ms, p.dense_fp32_ms,
+                p.dense_int8_ms);
 
   const auto scenario_grid = axsnn::RunScenarioComparison();
   std::printf("\nscenario grid (%ld cells, %ld work units sharing one "
@@ -338,6 +447,7 @@ int main(int argc, char** argv) {
   if (FILE* f = std::fopen("BENCH_runtime.json", "w")) {
     std::fprintf(f, "{\n  \"workload\": \"static_net_forward[8,16,1,16,16]\",\n");
     std::fprintf(f, "  \"repeats\": %d,\n", repeats);
+    std::fprintf(f, "  \"simd_tier\": \"%s\",\n", simd_tier);
     std::fprintf(f, "  \"pool_scaling\": [\n");
     for (std::size_t i = 0; i < scaling.size(); ++i)
       std::fprintf(f, "    {\"threads\": %d, \"ms_per_pass\": %.4f}%s\n",
@@ -368,15 +478,28 @@ int main(int argc, char** argv) {
                                 const char* tail) {
       std::fprintf(f,
                    "    \"%s\": {\"naive_ms\": %.4f, \"gemm_ms\": %.4f, "
-                   "\"sparse_ms\": %.4f, \"best_speedup\": %.3f}%s\n",
-                   name, m.naive_ms, m.gemm_ms, m.sparse_ms,
-                   m.best_speedup(), tail);
+                   "\"sparse_ms\": %.4f, \"simd_ms\": %.4f, "
+                   "\"auto_ms\": %.4f, \"best_speedup\": %.3f}%s\n",
+                   name, m.naive_ms, m.gemm_ms, m.sparse_ms, m.simd_ms,
+                   m.auto_ms, m.best_speedup(), tail);
     };
     emit_modes("conv2d_fp32", dispatch.conv_fp32, ",");
     emit_modes("conv2d_int8", dispatch.conv_int8, ",");
     emit_modes("dense_fp32", dispatch.dense_fp32, ",");
-    emit_modes("dense_int8", dispatch.dense_int8, "");
+    emit_modes("dense_int8", dispatch.dense_int8, ",");
+    std::fprintf(f, "    \"int8_auto_never_slower_than_naive\": %s\n",
+                 dispatch_ok ? "true" : "false");
     std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"kernel_simd\": [\n");
+    for (std::size_t i = 0; i < tiers.size(); ++i)
+      std::fprintf(f,
+                   "    {\"tier\": \"%s\", \"conv2d_fp32_ms\": %.4f, "
+                   "\"conv2d_int8_ms\": %.4f, \"dense_fp32_ms\": %.4f, "
+                   "\"dense_int8_ms\": %.4f}%s\n",
+                   tiers[i].tier, tiers[i].conv_fp32_ms, tiers[i].conv_int8_ms,
+                   tiers[i].dense_fp32_ms, tiers[i].dense_int8_ms,
+                   i + 1 < tiers.size() ? "," : "");
+    std::fprintf(f, "  ],\n");
     std::fprintf(f, "  \"scenario_grid\": {\n");
     std::fprintf(f, "    \"cells\": %ld,\n", scenario_grid.cells);
     std::fprintf(f, "    \"work_units\": %ld,\n", scenario_grid.units);
@@ -393,6 +516,11 @@ int main(int argc, char** argv) {
     std::fprintf(f, "  }\n}\n");
     std::fclose(f);
     std::printf("\nwrote BENCH_runtime.json\n");
+  }
+  if (!dispatch_ok) {
+    std::fprintf(stderr,
+                 "FAIL: int8 auto dispatch slower than naive (see table)\n");
+    return 1;
   }
   return 0;
 }

@@ -47,14 +47,16 @@ float MaxAbs(const Tensor& x) {
 
 }  // namespace
 
+namespace detail {
+
+namespace {
+
 template <typename CodeT>
-float Int8QuantizeActivations(const Tensor& x, std::vector<CodeT>& qact) {
+float QuantizeInto(const Tensor& x, CodeT* qd) {
   const long n = x.numel();
-  qact.resize(static_cast<std::size_t>(n));  // no-op in steady state
   const float* xd = x.data();
   const float scale = Int8ActivationScale(MaxAbs(x));
   const float inv = 1.0f / scale;
-  CodeT* qd = qact.data();
   runtime::ParallelFor(0, n, [&](long i) {
     const float q = std::nearbyint(xd[i] * inv);
     qd[i] = static_cast<CodeT>(std::clamp(q, -127.0f, 127.0f));
@@ -62,10 +64,16 @@ float Int8QuantizeActivations(const Tensor& x, std::vector<CodeT>& qact) {
   return scale;
 }
 
-template float Int8QuantizeActivations(const Tensor&,
-                                       std::vector<std::int8_t>&);
-template float Int8QuantizeActivations(const Tensor&,
-                                       std::vector<std::int32_t>&);
+}  // namespace
+
+float Int8QuantizeInto(const Tensor& x, std::int8_t* qd) {
+  return QuantizeInto(x, qd);
+}
+float Int8QuantizeInto(const Tensor& x, std::int32_t* qd) {
+  return QuantizeInto(x, qd);
+}
+
+}  // namespace detail
 
 void Int8Conv2dForward(const QuantizedTensor& weight, const Tensor& bias,
                        const Tensor& x, Tensor& out, const Conv2dGeom& geom,

@@ -45,15 +45,29 @@ namespace axsnn::approx {
 /// up to 64 / 2^ceil(log2(max_abs)); returns 1/64 for max_abs == 0.
 float Int8ActivationScale(float max_abs);
 
+namespace detail {
+/// Raw-pointer quantization core: writes x.numel() codes to `qd` and
+/// returns the activation scale. The codes clamp to [-127, 127]; -128 is
+/// never produced (the SIMD int8 kernels' |q| precondition).
+float Int8QuantizeInto(const Tensor& x, std::int8_t* qd);
+float Int8QuantizeInto(const Tensor& x, std::int32_t* qd);
+}  // namespace detail
+
 /// Quantizes `x` into `qact` (resized) with the power-of-two scheme above;
-/// returns the activation scale. `CodeT` is the *storage* type of the codes
-/// (their values always fit int8): the dense kernels keep int8 rows — their
-/// contiguous dot products vectorize into widening multiply-adds — while
-/// the conv kernels stage int32 rows, which turn their scalar-weight-times-
-/// row inner loops into full-width integer lanes instead of per-element
-/// sign extensions.
-template <typename CodeT>
-float Int8QuantizeActivations(const Tensor& x, std::vector<CodeT>& qact);
+/// returns the activation scale. `VecT` is any contiguous resizable
+/// container of int8 or int32 codes — std::vector in tests,
+/// runtime::AlignedVector for the workspace arenas. The element type is the
+/// *storage* type of the codes (their values always fit int8): the dense
+/// kernels keep int8 rows — their contiguous dot products feed the SIMD
+/// tier's 32-MAC instructions directly — while the conv kernels stage int32
+/// rows, which keep the naive reference's scalar-weight-times-row inner
+/// loops on full-width integer lanes (the SIMD conv path narrows them to
+/// int8 while packing its panels).
+template <typename VecT>
+float Int8QuantizeActivations(const Tensor& x, VecT& qact) {
+  qact.resize(static_cast<std::size_t>(x.numel()));  // no-op in steady state
+  return detail::Int8QuantizeInto(x, qact.data());
+}
 
 /// Conv2d geometry (stride 1, symmetric zero padding — mirrors snn::Conv2d).
 using Conv2dGeom = kernels::Conv2dGeom;

@@ -1,7 +1,11 @@
 #include "kernels/conv2d_kernels.hpp"
 
 #include <algorithm>
+#include <cstring>
 
+#include "kernels/cpu_features.hpp"
+#include "kernels/simd_kernels.hpp"
+#include "kernels/spike_words.hpp"
 #include "runtime/parallel_for.hpp"
 #include "tensor/check.hpp"
 
@@ -27,13 +31,12 @@ struct Dims {
   long w_per_out = 0;  // im2col K axis: c_in * kernel * kernel
 };
 
-Dims MakeDims(long numel, const Shape& shape, const Conv2dGeom& geom) {
-  const std::size_t r = shape.size();
+Dims MakeDims(long n, long h, long w, const Conv2dGeom& geom) {
   Dims d;
-  d.c_in = shape[r - 3];
-  d.h = shape[r - 2];
-  d.w = shape[r - 1];
-  d.n = numel / (d.c_in * d.h * d.w);
+  d.c_in = geom.in_channels;
+  d.h = h;
+  d.w = w;
+  d.n = n;
   d.c_out = geom.out_channels;
   d.kernel = geom.kernel;
   d.pad = geom.pad;
@@ -44,9 +47,20 @@ Dims MakeDims(long numel, const Shape& shape, const Conv2dGeom& geom) {
   d.o_plane = d.h_out * d.w_out;
   d.o_sample = d.c_out * d.o_plane;
   d.w_per_out = d.c_in * d.kernel * d.kernel;
-  AXSNN_CHECK(d.c_in == geom.in_channels, "Conv2d kernel: channel mismatch");
   AXSNN_CHECK(d.h_out > 0 && d.w_out > 0, "Conv2d kernel: empty output");
   return d;
+}
+
+/// Shape-tensor entry point: validates the trailing [C, H, W] dims against
+/// the geometry, then delegates. The int8 dispatcher bypasses this (it is
+/// handed bare extents — building a Shape would allocate on the hot path).
+Dims MakeDims(long numel, const Shape& shape, const Conv2dGeom& geom) {
+  const std::size_t r = shape.size();
+  AXSNN_CHECK(r >= 3 && shape[r - 3] == geom.in_channels,
+              "Conv2d kernel: channel mismatch");
+  const long h = shape[r - 2];
+  const long w = shape[r - 1];
+  return MakeDims(numel / (geom.in_channels * h * w), h, w, geom);
 }
 
 // --- naive fp32 (reference; the seed repo's loops, retained verbatim) --------
@@ -98,35 +112,45 @@ constexpr long kNr = 8;
 /// Writes one sample's im2col matrix: col[k][o] with k walking (ci, ky, kx)
 /// in the naive loop order and o = oy * w_out + ox. Padding / out-of-range
 /// positions pack as exact zeros, so the GEMM's extra terms are ±0 no-ops
-/// on the accumulation (the bit-identity argument in the header).
-template <typename T>
-void PackIm2col(const T* xs, T* col, const Dims& d) {
+/// on the accumulation (the bit-identity argument in the header). DstT may
+/// narrow (int32 codes -> int8 col): conv activation codes are quantized
+/// to |q| <= 127 by construction, and narrowing during the pack is what
+/// removed the int8 gemm path's 4x packing-traffic penalty.
+template <typename SrcT, typename DstT>
+void PackIm2col(const SrcT* xs, DstT* col, const Dims& d) {
   long k = 0;
   for (long ci = 0; ci < d.c_in; ++ci) {
-    const T* xp = xs + ci * d.x_plane;
+    const SrcT* xp = xs + ci * d.x_plane;
     for (long ky = 0; ky < d.kernel; ++ky) {
       for (long kx = 0; kx < d.kernel; ++kx, ++k) {
-        T* crow = col + k * d.o_plane;
+        DstT* crow = col + k * d.o_plane;
         const long ox_lo = std::max(0L, d.pad - kx);
         const long ox_hi = std::min(d.w_out, d.w + d.pad - kx);
         const long x_off = kx - d.pad;
         for (long oy = 0; oy < d.h_out; ++oy) {
           const long iy = oy + ky - d.pad;
-          T* dst = crow + oy * d.w_out;
+          DstT* dst = crow + oy * d.w_out;
           if (iy < 0 || iy >= d.h) {
-            for (long ox = 0; ox < d.w_out; ++ox) dst[ox] = T{0};
+            for (long ox = 0; ox < d.w_out; ++ox) dst[ox] = DstT{0};
             continue;
           }
-          const T* xrow = xp + iy * d.w;
-          for (long ox = 0; ox < ox_lo; ++ox) dst[ox] = T{0};
-          for (long ox = ox_lo; ox < ox_hi; ++ox) dst[ox] = xrow[ox + x_off];
-          for (long ox = ox_hi; ox < d.w_out; ++ox) dst[ox] = T{0};
+          const SrcT* xrow = xp + iy * d.w;
+          for (long ox = 0; ox < ox_lo; ++ox) dst[ox] = DstT{0};
+          for (long ox = ox_lo; ox < ox_hi; ++ox)
+            dst[ox] = static_cast<DstT>(xrow[ox + x_off]);
+          for (long ox = ox_hi; ox < d.w_out; ++ox) dst[ox] = DstT{0};
         }
       }
     }
   }
 }
 
+/// Writes one sample's SIMD conv panel (layout in simd_kernels.hpp): 8
+/// output pixels per block, im2col k in dword groups of 4, byte
+/// (block, k4, pix, t) at ((block * kk4/4 + k4) * 8 + pix) * 4 + t holding
+/// the narrowed code for (k = 4*k4 + t, j = 8*block + pix). Out-of-range
+/// pixels (j >= o_plane), padded input positions, and the k tail up to kk4
+/// all pack as exact zeros, so the microkernel's extra MACs are no-ops.
 /// One sample's GEMM: out[co][o] = bias[co] + sum_k W[co][k] * col[k][o],
 /// k ascending — the naive accumulation order per output element. The
 /// noinline raw-pointer boundary and __restrict follow the int8 kernel's
@@ -177,15 +201,18 @@ void GemmSampleF32(const float* __restrict wd, const float* __restrict bd,
   }
 }
 
-/// Int32 sibling of GemmSampleF32: exact integer accumulation, requantized
+/// Integer sibling of GemmSampleF32: exact int32 accumulation, requantized
 /// on write-out with act_scale * weight_scale[co] before the float bias.
+/// ColT is the packed code type — int8 since the packing-traffic fix
+/// (kernels/dispatch.hpp); the int32 instantiation remains valid.
+template <typename ColT>
 #if defined(__GNUC__) || defined(__clang__)
 __attribute__((noinline))
 #endif
 void GemmSampleI32(const std::int8_t* __restrict wd,
                    const float* __restrict scales, float act_scale,
                    const float* __restrict bd,
-                   const std::int32_t* __restrict col, float* __restrict op,
+                   const ColT* __restrict col, float* __restrict op,
                    long c_out, long kk, long o_plane) {
   for (long i0 = 0; i0 < c_out; i0 += kMr) {
     const long mr = std::min(kMr, c_out - i0);
@@ -194,18 +221,20 @@ void GemmSampleI32(const std::int8_t* __restrict wd,
       std::int32_t acc[kMr][kNr] = {};
       if (mr == kMr && nr == kNr) {
         for (long k = 0; k < kk; ++k) {
-          const std::int32_t* brow = col + k * o_plane + j0;
+          const ColT* brow = col + k * o_plane + j0;
           for (long i = 0; i < kMr; ++i) {
             const std::int32_t av = wd[(i0 + i) * kk + k];
-            for (long j = 0; j < kNr; ++j) acc[i][j] += av * brow[j];
+            for (long j = 0; j < kNr; ++j)
+              acc[i][j] += av * static_cast<std::int32_t>(brow[j]);
           }
         }
       } else {
         for (long k = 0; k < kk; ++k) {
-          const std::int32_t* brow = col + k * o_plane + j0;
+          const ColT* brow = col + k * o_plane + j0;
           for (long i = 0; i < mr; ++i) {
             const std::int32_t av = wd[(i0 + i) * kk + k];
-            for (long j = 0; j < nr; ++j) acc[i][j] += av * brow[j];
+            for (long j = 0; j < nr; ++j)
+              acc[i][j] += av * static_cast<std::int32_t>(brow[j]);
           }
         }
       }
@@ -222,29 +251,36 @@ void GemmSampleI32(const std::int8_t* __restrict wd,
 
 // --- sparse-spike gather/scatter ---------------------------------------------
 
-/// Gathers one sample's nonzeros, plane by plane: coordinates in rows/cols,
-/// values in vals, per-plane boundaries in offs[0..c_in]. Returns the count.
-/// Scanning row-major keeps the scatter's per-output-element term order
-/// equal to the naive (ci, ky, kx) order (header contract).
+/// Gathers one sample's nonzeros from its bit-packed spike words
+/// (spike_words.hpp): coordinates in rows/cols, values in vals, per-plane
+/// boundaries in offs[0..c_in]. Returns the count. The ctz scan visits set
+/// bits in ascending flat-index (row-major) order — exactly the old scalar
+/// scan's order — so the scatter's per-output-element term order stays
+/// equal to the naive (ci, ky, kx) order (header contract). An all-zero
+/// 64-activation span now costs one 8-byte compare instead of 64 loads.
 template <typename T>
-long GatherNonzeros(const T* xs, const Dims& d, std::int32_t* offs,
-                    std::int32_t* rows, std::int32_t* cols, T* vals) {
+long GatherNonzerosWords(const T* xs, const std::uint64_t* words,
+                         const Dims& d, std::int32_t* offs,
+                         std::int32_t* rows, std::int32_t* cols, T* vals) {
   long m = 0;
+  long done = 0;  // planes whose end offset is already recorded
   offs[0] = 0;
-  for (long ci = 0; ci < d.c_in; ++ci) {
-    const T* xp = xs + ci * d.x_plane;
-    for (long iy = 0; iy < d.h; ++iy) {
-      const T* xrow = xp + iy * d.w;
-      for (long ix = 0; ix < d.w; ++ix) {
-        if (xrow[ix] != T{0}) {
-          rows[m] = static_cast<std::int32_t>(iy);
-          cols[m] = static_cast<std::int32_t>(ix);
-          vals[m] = xrow[ix];
-          ++m;
-        }
-      }
+  ForEachSetBit(words, SpikeWordCount(d.x_sample), [&](long i) {
+    const long ci = i / d.x_plane;
+    while (done < ci) {
+      offs[done + 1] = static_cast<std::int32_t>(m);
+      ++done;
     }
-    offs[ci + 1] = static_cast<std::int32_t>(m);
+    const long rem = i - ci * d.x_plane;
+    const long iy = rem / d.w;
+    rows[m] = static_cast<std::int32_t>(iy);
+    cols[m] = static_cast<std::int32_t>(rem - iy * d.w);
+    vals[m] = xs[i];
+    ++m;
+  });
+  while (done < d.c_in) {
+    offs[done + 1] = static_cast<std::int32_t>(m);
+    ++done;
   }
   return m;
 }
@@ -404,13 +440,27 @@ void Conv2dForward(const Tensor& weight, const Tensor& bias, const Tensor& x,
   float* od = out.data();
 
   mode = ResolveKernelMode(mode);
-  // Dense fallback naive: the reference loops vectorize their contiguous
-  // row MACs and skip pruned weights, beating im2col+GEMM on the bench
-  // shapes (see kernels/dispatch.hpp).
-  mode = ChooseByDensity(mode, mode == KernelMode::kAuto
-                                   ? Density(xd, x.numel())
-                                   : 0.0f,
-                         kConvSparseDensityMax, KernelMode::kNaive);
+  const long wps = SpikeWordCount(d.x_sample);
+  const std::uint64_t* words_d = nullptr;
+  if (mode == KernelMode::kAuto || mode == KernelMode::kSparse) {
+    // Spike words serve the density probe (popcount — the exact same count
+    // as the old elementwise probe) and, below, the sparse gather.
+    auto& words = scratch.AcquireU64(slots::kWords,
+                                     static_cast<std::size_t>(d.n * wps));
+    const long nonzero =
+        ParallelPackSpikeWords(xd, d.n, d.x_sample, words.data());
+    words_d = words.data();
+    // Dense fallback naive: the reference loops vectorize their contiguous
+    // row MACs and skip pruned weights, and auto never picks the
+    // tolerance-gated fp32 simd path (see kernels/dispatch.hpp).
+    mode = ChooseByDensity(mode,
+                           static_cast<float>(nonzero) /
+                               static_cast<float>(x.numel()),
+                           kConvSparseDensityMax, KernelMode::kNaive);
+  }
+  if (mode == KernelMode::kSimd &&
+      ActiveSimdTier() == SimdTier::kScalar)
+    mode = KernelMode::kNaive;  // forced simd without the tier: scalar ref
 
   if (mode == KernelMode::kNaive) {
     Conv2dNaive(xd, wd, bd, od, d);
@@ -420,19 +470,26 @@ void Conv2dForward(const Tensor& weight, const Tensor& bias, const Tensor& x,
   const long grain = runtime::DefaultGrain(d.n);
   const long chunks = runtime::NumChunks(d.n, grain);
 
-  if (mode == KernelMode::kGemm) {
+  if (mode == KernelMode::kGemm || mode == KernelMode::kSimd) {
     // One im2col matrix per chunk; a chunk's samples reuse it in turn.
+    // simd swaps the scalar-tiled GEMM for the 8-wide FMA microkernel over
+    // the same packed matrix.
     Tensor& pack =
         scratch.Acquire(slots::kPack, chunks * d.w_per_out * d.o_plane);
     float* pd = pack.data();
+    const bool use_simd = mode == KernelMode::kSimd;
     runtime::ParallelForChunks(
         0, d.n,
         [&](long chunk, long lo, long hi) {
           float* col = pd + chunk * d.w_per_out * d.o_plane;
           for (long s = lo; s < hi; ++s) {
             PackIm2col(xd + s * d.x_sample, col, d);
-            GemmSampleF32(wd, bd, col, od + s * d.o_sample, d.c_out,
-                          d.w_per_out, d.o_plane);
+            if (use_simd)
+              simd::ConvGemmF32(wd, bd, col, od + s * d.o_sample, d.c_out,
+                                d.w_per_out, d.o_plane);
+            else
+              GemmSampleF32(wd, bd, col, od + s * d.o_sample, d.c_out,
+                            d.w_per_out, d.o_plane);
           }
         },
         grain);
@@ -459,8 +516,8 @@ void Conv2dForward(const Tensor& weight, const Tensor& bias, const Tensor& x,
         std::int32_t* c_cols = cols_d + chunk * d.x_sample;
         float* c_vals = vals_d + chunk * d.x_sample;
         for (long s = lo; s < hi; ++s) {
-          GatherNonzeros(xd + s * d.x_sample, d, c_offs, c_rows, c_cols,
-                         c_vals);
+          GatherNonzerosWords(xd + s * d.x_sample, words_d + s * wps, d,
+                              c_offs, c_rows, c_cols, c_vals);
           float* os = od + s * d.o_sample;
           for (long co = 0; co < d.c_out; ++co) {
             float* op = os + co * d.o_plane;
@@ -480,9 +537,8 @@ void Int8Conv2dForward(const QuantizedTensor& weight, const Tensor& bias,
                        const std::int32_t* qact, float act_scale, long n,
                        long h, long w, Tensor& out, const Conv2dGeom& geom,
                        KernelMode mode, runtime::Workspace& scratch) {
-  Shape x_shape{n, geom.in_channels, h, w};
   const long x_numel = n * geom.in_channels * h * w;
-  const Dims d = MakeDims(x_numel, x_shape, geom);
+  const Dims d = MakeDims(n, h, w, geom);
   AXSNN_CHECK(weight.rows() == d.c_out && weight.row_size() == d.w_per_out,
               "Int8Conv2dForward weight shape mismatch");
   AXSNN_CHECK(out.numel() == d.n * d.o_sample,
@@ -494,12 +550,29 @@ void Int8Conv2dForward(const QuantizedTensor& weight, const Tensor& bias,
   float* od = out.data();
 
   mode = ResolveKernelMode(mode);
-  // Dense fallback naive: int8 gemm pays im2col's int32 packing traffic
-  // without a wider inner loop (see kernels/dispatch.hpp).
-  mode = ChooseByDensity(mode, mode == KernelMode::kAuto
-                                   ? Density(qact, x_numel)
-                                   : 0.0f,
-                         kConvSparseDensityMax, KernelMode::kNaive);
+  const SimdTier tier = ActiveSimdTier();
+  const long wps = SpikeWordCount(d.x_sample);
+  const std::uint64_t* words_d = nullptr;
+  if (mode == KernelMode::kAuto || mode == KernelMode::kSparse) {
+    auto& words = scratch.AcquireU64(slots::kWords,
+                                     static_cast<std::size_t>(d.n * wps));
+    const long nonzero =
+        ParallelPackSpikeWords(qact, d.n, d.x_sample, words.data());
+    words_d = words.data();
+    // ISA probe (dispatch rule 4): with the SIMD tier active the dense
+    // fallback is the exact int8 panel microkernel and the sparse
+    // crossover drops (32-MAC instructions raise the dense work rate);
+    // scalar machines keep the original naive fallback and threshold. All
+    // candidates are bit-identical, so this never changes results.
+    const bool simd_ok = tier != SimdTier::kScalar;
+    mode = ChooseByDensity(
+        mode,
+        static_cast<float>(nonzero) / static_cast<float>(x_numel),
+        simd_ok ? kConvSparseDensityMaxI8Simd : kConvSparseDensityMax,
+        simd_ok ? KernelMode::kSimd : KernelMode::kNaive);
+  }
+  if (mode == KernelMode::kSimd && tier == SimdTier::kScalar)
+    mode = KernelMode::kNaive;  // forced simd without the tier: scalar ref
 
   if (mode == KernelMode::kNaive) {
     // Same loop nest as the float Conv2dNaive: one disjoint output plane per
@@ -527,15 +600,52 @@ void Int8Conv2dForward(const QuantizedTensor& weight, const Tensor& bias,
   const long grain = runtime::DefaultGrain(d.n);
   const long chunks = runtime::NumChunks(d.n, grain);
 
-  if (mode == KernelMode::kGemm) {
-    auto& pack = scratch.AcquireI32(
-        slots::kQVals,
-        static_cast<std::size_t>(chunks * d.w_per_out * d.o_plane));
-    std::int32_t* pd = pack.data();
+  if (mode == KernelMode::kSimd) {
+    // Weight rows staged once, zero-padded to the dword-group width; one
+    // panel per chunk, rebuilt per sample (panels are pixel-blocked im2col,
+    // so this is the same O(kk * o_plane) pack as gemm's, int8-narrow).
+    const long kk4 = simd::RoundUp4(d.w_per_out);
+    const long panel_bytes = kk4 * simd::RoundUp8(d.o_plane);
+    auto& wpad = scratch.AcquireI8(slots::kWpad,
+                                   static_cast<std::size_t>(d.c_out * kk4));
+    std::int8_t* wpad_d = wpad.data();
+    for (long co = 0; co < d.c_out; ++co) {
+      std::memcpy(wpad_d + co * kk4, wd + co * d.w_per_out,
+                  static_cast<std::size_t>(d.w_per_out));
+      for (long k = d.w_per_out; k < kk4; ++k) wpad_d[co * kk4 + k] = 0;
+    }
+    auto& panel = scratch.AcquireI8(
+        slots::kPanel, static_cast<std::size_t>(chunks * panel_bytes));
+    std::int8_t* panel_d = panel.data();
+    const bool vnni = tier == SimdTier::kVnni;
     runtime::ParallelForChunks(
         0, d.n,
         [&](long chunk, long lo, long hi) {
-          std::int32_t* col = pd + chunk * d.w_per_out * d.o_plane;
+          std::int8_t* p = panel_d + chunk * panel_bytes;
+          for (long s = lo; s < hi; ++s) {
+            simd::PackConvPanelI8(qact + s * d.x_sample, p, d.c_in, d.h, d.w,
+                                  d.w_out, d.kernel, d.pad, d.o_plane, kk4);
+            simd::ConvPanelI8(wpad_d, scales, act_scale, bd, p,
+                              od + s * d.o_sample, d.c_out, kk4, d.o_plane,
+                              vnni);
+          }
+        },
+        grain);
+    return;
+  }
+
+  if (mode == KernelMode::kGemm) {
+    // int8 col (narrowed during packing) — the int32 im2col this replaced
+    // was the whole regression: 4x the packing write+reread traffic with
+    // the same inner loop (see kernels/dispatch.hpp).
+    auto& pack = scratch.AcquireI8(
+        slots::kColI8,
+        static_cast<std::size_t>(chunks * d.w_per_out * d.o_plane));
+    std::int8_t* pd = pack.data();
+    runtime::ParallelForChunks(
+        0, d.n,
+        [&](long chunk, long lo, long hi) {
+          std::int8_t* col = pd + chunk * d.w_per_out * d.o_plane;
           for (long s = lo; s < hi; ++s) {
             PackIm2col(qact + s * d.x_sample, col, d);
             GemmSampleI32(wd, scales, act_scale, bd, col, od + s * d.o_sample,
@@ -572,8 +682,8 @@ void Int8Conv2dForward(const QuantizedTensor& weight, const Tensor& bias,
         std::int32_t* c_vals = vals_d + chunk * d.x_sample;
         std::int32_t* ap = acc_d + chunk * d.o_plane;
         for (long s = lo; s < hi; ++s) {
-          GatherNonzeros(qact + s * d.x_sample, d, c_offs, c_rows, c_cols,
-                         c_vals);
+          GatherNonzerosWords(qact + s * d.x_sample, words_d + s * wps, d,
+                              c_offs, c_rows, c_cols, c_vals);
           float* os = od + s * d.o_sample;
           for (long co = 0; co < d.c_out; ++co) {
             for (long i = 0; i < d.o_plane; ++i) ap[i] = 0;

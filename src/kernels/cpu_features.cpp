@@ -1,0 +1,115 @@
+#include "kernels/cpu_features.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace axsnn::kernels {
+
+const char* SimdTierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return "scalar";
+    case SimdTier::kAvx2:
+      return "avx2";
+    case SimdTier::kVnni:
+      return "avx2-vnni";
+  }
+  return "?";
+}
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+
+/// XCR0 via the xgetbv instruction directly — the _xgetbv intrinsic needs
+/// -mxsave, and this TU deliberately builds without ISA flags. Only called
+/// after CPUID reports OSXSAVE, so the instruction is always available.
+unsigned long long ReadXcr0() {
+  unsigned int eax = 0, edx = 0;
+  __asm__ volatile("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0));
+  return (static_cast<unsigned long long>(edx) << 32) | eax;
+}
+
+CpuFeatures DetectOnce() {
+  CpuFeatures f;
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return f;
+  const bool osxsave = (ecx & (1u << 27)) != 0;
+  const bool avx = (ecx & (1u << 28)) != 0;
+  const bool fma = (ecx & (1u << 12)) != 0;
+  if (!osxsave || !avx) return f;  // no AVX state or no XGETBV: scalar only
+  // XCR0 bits 1|2: the OS saves/restores xmm+ymm state across context
+  // switches — without this, executing AVX faults or corrupts state.
+  const unsigned long long xcr0 = ReadXcr0();
+  if ((xcr0 & 0x6) != 0x6) return f;
+
+  unsigned max_leaf = __get_cpuid_max(0, nullptr);
+  if (max_leaf < 7) return f;
+  unsigned eax7 = 0, ebx7 = 0, ecx7 = 0, edx7 = 0;
+  __cpuid_count(7, 0, eax7, ebx7, ecx7, edx7);
+  f.avx2 = (ebx7 & (1u << 5)) != 0;
+  f.fma = fma;
+  f.avx512_vnni = (ecx7 & (1u << 11)) != 0;
+  if (eax7 >= 1) {
+    unsigned eax71 = 0, ebx71 = 0, ecx71 = 0, edx71 = 0;
+    __cpuid_count(7, 1, eax71, ebx71, ecx71, edx71);
+    f.avx_vnni = (eax71 & (1u << 4)) != 0;
+  }
+  return f;
+}
+
+#else
+
+CpuFeatures DetectOnce() { return CpuFeatures{}; }
+
+#endif
+
+SimdTier CapFromEnv() {
+  const char* env = std::getenv("AXSNN_SIMD");
+  if (env == nullptr) return SimdTier::kVnni;  // no cap
+  return ParseSimdCap(env);
+}
+
+std::atomic<SimdTier> g_cap{CapFromEnv()};
+
+}  // namespace
+
+const CpuFeatures& DetectCpuFeatures() {
+  static const CpuFeatures features = DetectOnce();
+  return features;
+}
+
+SimdTier ParseSimdCap(std::string_view value) {
+  if (value == "off" || value == "scalar" || value == "0")
+    return SimdTier::kScalar;
+  if (value == "avx2") return SimdTier::kAvx2;
+  // "vnni", "avx2-vnni", "on", "auto", "" and anything unrecognized: no cap
+  // — a typo must never silently pin the process below full detection.
+  return SimdTier::kVnni;
+}
+
+SimdTier SimdTierCap() { return g_cap.load(std::memory_order_relaxed); }
+
+void SetSimdTierCap(SimdTier cap) {
+  g_cap.store(cap, std::memory_order_relaxed);
+}
+
+SimdTier ActiveSimdTier() {
+  const SimdTier cap = SimdTierCap();
+  if (cap == SimdTier::kScalar || !SimdKernelsCompiled())
+    return SimdTier::kScalar;
+  const CpuFeatures& f = DetectCpuFeatures();
+  if (!f.avx2 || !f.fma) return SimdTier::kScalar;
+  // AVX-VNNI wants compiler support on top of the CPU bit; AVX-512 VNNI is
+  // detected but not targeted (256-bit kernels keep one panel layout — see
+  // DESIGN.md "SIMD kernel tier").
+  if (cap == SimdTier::kVnni && f.avx_vnni && SimdVnniCompiled())
+    return SimdTier::kVnni;
+  return SimdTier::kAvx2;
+}
+
+}  // namespace axsnn::kernels

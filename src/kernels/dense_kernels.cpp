@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "kernels/cpu_features.hpp"
+#include "kernels/simd_kernels.hpp"
+#include "kernels/spike_words.hpp"
 #include "runtime/parallel_for.hpp"
 #include "tensor/check.hpp"
 
@@ -70,22 +73,26 @@ void GemmBlockF32(const float* __restrict wd, const float* __restrict bd,
   }
 }
 
-/// Int32 sibling of GemmBlockF32 with requantized write-out.
+/// Integer sibling of GemmBlockF32 with requantized write-out. ColT is the
+/// packed code type — int8 since the packing-traffic fix
+/// (kernels/dispatch.hpp); the int32 instantiation remains valid.
+template <typename ColT>
 #if defined(__GNUC__) || defined(__clang__)
 __attribute__((noinline))
 #endif
 void GemmBlockI32(const std::int8_t* __restrict wd,
                   const float* __restrict scales, float act_scale,
-                  const float* __restrict bd, const std::int32_t* __restrict xt,
+                  const float* __restrict bd, const ColT* __restrict xt,
                   float* __restrict os, long nr, long f_in, long f_out) {
   for (long o0 = 0; o0 < f_out; o0 += kMr) {
     const long mr = std::min(kMr, f_out - o0);
     std::int32_t acc[kMr][kNr] = {};
     for (long k = 0; k < f_in; ++k) {
-      const std::int32_t* brow = xt + k * kNr;
+      const ColT* brow = xt + k * kNr;
       for (long i = 0; i < mr; ++i) {
         const std::int32_t av = wd[(o0 + i) * f_in + k];
-        for (long j = 0; j < kNr; ++j) acc[i][j] += av * brow[j];
+        for (long j = 0; j < kNr; ++j)
+          acc[i][j] += av * static_cast<std::int32_t>(brow[j]);
       }
     }
     for (long i = 0; i < mr; ++i) {
@@ -100,18 +107,19 @@ void GemmBlockI32(const std::int8_t* __restrict wd,
 
 // --- sparse gather -----------------------------------------------------------
 
-/// Gathers one sample row's nonzeros (ascending index — the naive
-/// accumulation order); returns the count.
-template <typename T>
-long GatherRow(const T* xs, long f_in, std::int32_t* idx, T* vals) {
+/// Gathers one sample row's nonzeros from its bit-packed spike words
+/// (ascending index — the ctz scan order equals the naive accumulation
+/// order); returns the count. VT widens int8 codes to the int32 vals the
+/// sparse kernels consume.
+template <typename T, typename VT>
+long GatherRowWords(const T* xs, const std::uint64_t* words, long f_in,
+                    std::int32_t* idx, VT* vals) {
   long m = 0;
-  for (long i = 0; i < f_in; ++i) {
-    if (xs[i] != T{0}) {
-      idx[m] = static_cast<std::int32_t>(i);
-      vals[m] = xs[i];
-      ++m;
-    }
-  }
+  ForEachSetBit(words, SpikeWordCount(f_in), [&](long i) {
+    idx[m] = static_cast<std::int32_t>(i);
+    vals[m] = static_cast<VT>(xs[i]);
+    ++m;
+  });
   return m;
 }
 
@@ -185,12 +193,24 @@ void DenseForward(const Tensor& weight, const Tensor& bias, const Tensor& x,
   float* od = out.data();
 
   mode = ResolveKernelMode(mode);
-  // Dense fallback gemm: the one family where the register-blocked tiles
-  // beat the reference loops outright (see kernels/dispatch.hpp).
-  mode = ChooseByDensity(mode, mode == KernelMode::kAuto
-                                   ? Density(xd, x.numel())
-                                   : 0.0f,
-                         kDenseSparseDensityMax, KernelMode::kGemm);
+  const long wps = SpikeWordCount(f_in);
+  const std::uint64_t* words_d = nullptr;
+  if (mode == KernelMode::kAuto || mode == KernelMode::kSparse) {
+    auto& words =
+        scratch.AcquireU64(slots::kWords, static_cast<std::size_t>(n * wps));
+    const long nonzero = ParallelPackSpikeWords(xd, n, f_in, words.data());
+    words_d = words.data();
+    // Dense fallback gemm: the one family where the register-blocked tiles
+    // beat the reference loops outright, and auto never picks the
+    // tolerance-gated fp32 simd path (see kernels/dispatch.hpp).
+    mode = ChooseByDensity(mode,
+                           static_cast<float>(nonzero) /
+                               static_cast<float>(x.numel()),
+                           kDenseSparseDensityMax, KernelMode::kGemm);
+  }
+  if (mode == KernelMode::kSimd &&
+      ActiveSimdTier() == SimdTier::kScalar)
+    mode = KernelMode::kNaive;  // forced simd without the tier: scalar ref
 
   if (mode == KernelMode::kNaive) {
     DenseNaive(xd, wd, bd, od, n, f_in, f_out);
@@ -199,6 +219,19 @@ void DenseForward(const Tensor& weight, const Tensor& bias, const Tensor& x,
 
   const long grain = runtime::DefaultGrain(n);
   const long chunks = runtime::NumChunks(n, grain);
+
+  if (mode == KernelMode::kSimd) {
+    // Contiguous rows in, contiguous rows out: the FMA microkernel needs
+    // no packing scratch at all.
+    runtime::ParallelForChunks(
+        0, n,
+        [&](long chunk, long lo, long hi) {
+          (void)chunk;
+          simd::DenseRowsF32(wd, bd, xd, od, lo, hi, f_in, f_out);
+        },
+        grain);
+    return;
+  }
 
   if (mode == KernelMode::kGemm) {
     Tensor& pack = scratch.Acquire(slots::kPack, chunks * f_in * kNr);
@@ -229,7 +262,8 @@ void DenseForward(const Tensor& weight, const Tensor& bias, const Tensor& x,
         std::int32_t* c_idx = idx_d + chunk * f_in;
         float* c_vals = vals_d + chunk * f_in;
         for (long s = lo; s < hi; ++s) {
-          const long m = GatherRow(xd + s * f_in, f_in, c_idx, c_vals);
+          const long m = GatherRowWords(xd + s * f_in, words_d + s * wps,
+                                        f_in, c_idx, c_vals);
           SparseRowF32(wd, bd, c_idx, c_vals, m, od + s * f_out, f_in, f_out);
         }
       },
@@ -252,12 +286,26 @@ void Int8DenseForward(const QuantizedTensor& weight, const Tensor& bias,
   float* od = out.data();
 
   mode = ResolveKernelMode(mode);
-  // Dense fallback naive: the widening int8 dot products already
-  // vectorize; transposed packing only adds traffic (kernels/dispatch.hpp).
-  mode = ChooseByDensity(mode, mode == KernelMode::kAuto
-                                   ? Density(qact, n * f_in)
-                                   : 0.0f,
-                         kDenseSparseDensityMax, KernelMode::kNaive);
+  const SimdTier tier = ActiveSimdTier();
+  const long wps = SpikeWordCount(f_in);
+  const std::uint64_t* words_d = nullptr;
+  if (mode == KernelMode::kAuto || mode == KernelMode::kSparse) {
+    auto& words =
+        scratch.AcquireU64(slots::kWords, static_cast<std::size_t>(n * wps));
+    const long nonzero = ParallelPackSpikeWords(qact, n, f_in, words.data());
+    words_d = words.data();
+    // ISA probe (dispatch rule 4): the 32-MAC SIMD dot products replace
+    // naive as the int8 dense fallback when the tier is active, and the
+    // sparse crossover drops accordingly. All candidates are bit-identical,
+    // so this never changes results.
+    const bool simd_ok = tier != SimdTier::kScalar;
+    mode = ChooseByDensity(
+        mode, static_cast<float>(nonzero) / static_cast<float>(n * f_in),
+        simd_ok ? kDenseSparseDensityMaxI8Simd : kDenseSparseDensityMax,
+        simd_ok ? KernelMode::kSimd : KernelMode::kNaive);
+  }
+  if (mode == KernelMode::kSimd && tier == SimdTier::kScalar)
+    mode = KernelMode::kNaive;  // forced simd without the tier: scalar ref
 
   if (mode == KernelMode::kNaive) {
     Int8DenseNaive(qact, wd, ws, act_scale, bd, od, n, f_in, f_out);
@@ -267,14 +315,31 @@ void Int8DenseForward(const QuantizedTensor& weight, const Tensor& bias,
   const long grain = runtime::DefaultGrain(n);
   const long chunks = runtime::NumChunks(n, grain);
 
-  if (mode == KernelMode::kGemm) {
-    auto& pack = scratch.AcquireI32(
-        slots::kQVals, static_cast<std::size_t>(chunks * f_in * kNr));
-    std::int32_t* pd = pack.data();
+  if (mode == KernelMode::kSimd) {
+    // Activation codes and weight rows are already contiguous int8: the
+    // microkernel runs straight over them, no packing scratch.
+    const bool vnni = tier == SimdTier::kVnni;
     runtime::ParallelForChunks(
         0, n,
         [&](long chunk, long lo, long hi) {
-          std::int32_t* xt = pd + chunk * f_in * kNr;
+          (void)chunk;
+          simd::DenseRowsI8(wd, ws, act_scale, bd, qact, od, lo, hi, f_in,
+                            f_out, vnni);
+        },
+        grain);
+    return;
+  }
+
+  if (mode == KernelMode::kGemm) {
+    // int8 transposed pack (was int32 — the packing-traffic regression,
+    // see kernels/dispatch.hpp).
+    auto& pack = scratch.AcquireI8(
+        slots::kColI8, static_cast<std::size_t>(chunks * f_in * kNr));
+    std::int8_t* pd = pack.data();
+    runtime::ParallelForChunks(
+        0, n,
+        [&](long chunk, long lo, long hi) {
+          std::int8_t* xt = pd + chunk * f_in * kNr;
           for (long s0 = lo; s0 < hi; s0 += kNr) {
             const long nr = std::min(kNr, hi - s0);
             PackTransposed(qact + s0 * f_in, nr, f_in, xt);
@@ -299,15 +364,8 @@ void Int8DenseForward(const QuantizedTensor& weight, const Tensor& bias,
         std::int32_t* c_idx = idx_d + chunk * f_in;
         std::int32_t* c_vals = vals_d + chunk * f_in;
         for (long s = lo; s < hi; ++s) {
-          const std::int8_t* xs = qact + s * f_in;
-          long m = 0;
-          for (long i = 0; i < f_in; ++i) {
-            if (xs[i] != 0) {
-              c_idx[m] = static_cast<std::int32_t>(i);
-              c_vals[m] = static_cast<std::int32_t>(xs[i]);
-              ++m;
-            }
-          }
+          const long m = GatherRowWords(qact + s * f_in, words_d + s * wps,
+                                        f_in, c_idx, c_vals);
           SparseRowI32(wd, ws, act_scale, bd, c_idx, c_vals, m,
                        od + s * f_out, f_in, f_out);
         }

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "kernels/spike_words.hpp"
 #include "runtime/parallel_for.hpp"
 
 namespace axsnn::kernels {
@@ -18,6 +19,8 @@ const char* KernelModeName(KernelMode mode) {
       return "gemm";
     case KernelMode::kSparse:
       return "sparse";
+    case KernelMode::kSimd:
+      return "simd";
   }
   return "?";
 }
@@ -27,6 +30,7 @@ std::optional<KernelMode> ParseKernelMode(std::string_view name) {
   if (name == "naive") return KernelMode::kNaive;
   if (name == "gemm") return KernelMode::kGemm;
   if (name == "sparse") return KernelMode::kSparse;
+  if (name == "simd") return KernelMode::kSimd;
   return std::nullopt;
 }
 
@@ -73,6 +77,49 @@ void SetGlobalKernelMode(KernelMode mode) {
 float Density(const float* x, long n) { return DensityOf(x, n); }
 float Density(const std::int32_t* x, long n) { return DensityOf(x, n); }
 float Density(const std::int8_t* x, long n) { return DensityOf(x, n); }
+
+namespace {
+
+/// Shared word packer: parallel over sample chunks (sample-padded word rows
+/// make the chunks disjoint), per-chunk counts reduced deterministically.
+template <typename T>
+long PackWordsOf(const T* x, long n_samples, long sample_len,
+                 std::uint64_t* words) {
+  if (n_samples <= 0 || sample_len <= 0) return 0;
+  const long wps = SpikeWordCount(sample_len);
+  const long grain = runtime::DefaultGrain(n_samples);
+  std::array<long, runtime::kMaxChunks> partials{};
+  const long chunks = runtime::NumChunks(n_samples, grain);
+  runtime::ParallelForChunks(
+      0, n_samples,
+      [&](long chunk, long lo, long hi) {
+        long count = 0;
+        for (long s = lo; s < hi; ++s)
+          count += PackSpikeWords(x + s * sample_len, sample_len,
+                                  words + s * wps);
+        partials[static_cast<std::size_t>(chunk)] = count;
+      },
+      grain);
+  long nonzero = 0;
+  for (long c = 0; c < chunks; ++c)
+    nonzero += partials[static_cast<std::size_t>(c)];
+  return nonzero;
+}
+
+}  // namespace
+
+long ParallelPackSpikeWords(const float* x, long n_samples, long sample_len,
+                            std::uint64_t* words) {
+  return PackWordsOf(x, n_samples, sample_len, words);
+}
+long ParallelPackSpikeWords(const std::int32_t* x, long n_samples,
+                            long sample_len, std::uint64_t* words) {
+  return PackWordsOf(x, n_samples, sample_len, words);
+}
+long ParallelPackSpikeWords(const std::int8_t* x, long n_samples,
+                            long sample_len, std::uint64_t* words) {
+  return PackWordsOf(x, n_samples, sample_len, words);
+}
 
 KernelMode ResolveKernelMode(KernelMode requested) {
   const KernelMode global = GlobalKernelMode();

@@ -4,32 +4,36 @@
 // activations flowing through Conv2d/Dense are overwhelmingly zero (binary
 // spike trains, rate-encoded inputs, binned event frames), and Eq.-(1)
 // pruning adds weight sparsity on top. The kernel subsystem therefore ships
-// three implementations per (layer, precision) pair:
+// four implementations per (layer, precision) pair:
 //
 //   naive  — the original reference loops, retained verbatim. Every other
 //            path is pinned against it by the differential equivalence
 //            suite (tests/test_kernels.cpp).
 //   gemm   — im2col + register-blocked GEMM over packed buffers, for
-//            dense (mostly-nonzero) inputs.
-//   sparse — scans each input plane's nonzeros once and scatters weight
-//            rows. Work is proportional to the *nonzero* count, so it wins
-//            whenever spike density is below the thresholds here.
+//            dense (mostly-nonzero) inputs. The int8 flavor packs int8
+//            codes (narrowed during im2col), not int32 — the int32 packing
+//            traffic was what made the original int8 gemm slower than
+//            naive.
+//   sparse — scans each input's bit-packed spike words (spike_words.hpp)
+//            and scatters weight rows per nonzero. Work is proportional to
+//            the *nonzero* count, so it wins whenever spike density is
+//            below the thresholds here.
+//   simd   — explicit AVX2/AVX-VNNI microkernels (simd_kernels.hpp) behind
+//            runtime CPUID detection (cpu_features.hpp). int8 simd is
+//            bit-identical to naive; fp32 simd is tolerance-gated and runs
+//            only when requested explicitly — see the numerics contract in
+//            simd_kernels.hpp.
 //
 // Above the sparse threshold the auto probe falls back to the *measured*
-// best dense path per kernel family, not unconditionally to gemm: on the
-// bench shapes (BENCH_runtime.json "kernel_dispatch") gemm beats naive
-// only for fp32 dense layers — the conv naive loops already vectorize
-// their contiguous row MACs and skip pruned weights, and the int8 variants
-// pay im2col's int32 packing traffic without a wider inner loop. Each
-// dispatcher therefore passes its own dense-regime fallback to
-// ChooseByDensity; re-calibrate with bench_micro_runtime when the kernels
-// or target hardware change.
-//
-// Every path produces bit-identical fp32 results (identical per-element
-// accumulation order — see DESIGN.md "Kernel dispatch") and identical int8
-// results (integer accumulation is exact), so the dispatch decision can
-// never change an experiment outcome; the golden determinism test pins
-// that end to end.
+// best dense path per kernel family, not unconditionally to one mode: on
+// the bench shapes (BENCH_runtime.json "kernel_dispatch") the int8
+// families pick simd when the ISA probe reports an active tier (naive
+// otherwise), fp32 dense picks gemm, and fp32 conv picks naive — auto
+// never selects fp32 simd because its FMA accumulation differs from the
+// naive order, and dispatch decisions must never change an experiment
+// outcome (the golden determinism test pins that end to end; every path
+// auto can select is bit-identical to naive). Re-calibrate with
+// bench_micro_runtime when the kernels or target hardware change.
 //
 // Mode precedence for one kernel call:
 //   1. a non-auto *global* mode (AXSNN_KERNEL_MODE env var, or
@@ -37,9 +41,14 @@
 //      the differential tests use this to pin each path;
 //   2. otherwise a non-auto *layer/config* mode
 //      (ApproxConfig::kernel_mode -> Conv2d/Dense::set_kernel_mode);
-//   3. otherwise (auto) a per-call density probe picks sparse at or below
-//      the density thresholds, the family's dense fallback above them
-//      (per-family, see the paragraph above — gemm only for fp32 dense).
+//   3. otherwise (auto) a per-call density probe (a popcount over the
+//      spike words) picks sparse at or below the density thresholds;
+//   4. above them the family's dense fallback applies, consulting
+//      ActiveSimdTier() for the int8 families (the ISA probe).
+// A forced simd mode (rule 1 or 2) on a machine or build without the SIMD
+// tier degrades to naive — always safe because int8 simd is bit-identical
+// and fp32 simd is opt-in; AXSNN_SIMD=off therefore exercises the scalar
+// fallback everywhere without touching results.
 #pragma once
 
 #include <cstdint>
@@ -49,9 +58,9 @@
 namespace axsnn::kernels {
 
 /// Kernel implementation selector; kAuto defers to the density probe.
-enum class KernelMode { kAuto, kNaive, kGemm, kSparse };
+enum class KernelMode { kAuto, kNaive, kGemm, kSparse, kSimd };
 
-/// "auto" / "naive" / "gemm" / "sparse".
+/// "auto" / "naive" / "gemm" / "sparse" / "simd".
 const char* KernelModeName(KernelMode mode);
 
 /// Inverse of KernelModeName; nullopt for unknown names.
@@ -84,12 +93,19 @@ class ScopedKernelMode {
 };
 
 /// Density thresholds for the auto probe: the sparse path runs scalar MACs
-/// on gathered nonzeros while gemm runs vectorized MACs on everything, so
-/// sparse wins once the nonzero fraction is below roughly 1/vector-width
-/// with headroom. Measured on the bench_micro_runtime shapes; see
-/// DESIGN.md "Kernel dispatch".
+/// on gathered nonzeros while the dense paths run vectorized MACs on
+/// everything, so sparse wins once the nonzero fraction is below roughly
+/// 1/vector-width with headroom. Measured on the bench_micro_runtime
+/// shapes; see DESIGN.md "Kernel dispatch". The int8 thresholds are lower
+/// than fp32's: the SIMD tier's 32-MAC int8 instructions raise the dense
+/// paths' work rate ~4x over fp32, moving the crossover down. Calibrated
+/// against the panel/dense microkernels on the bench shapes: conv sparse
+/// stops winning near 4% nonzeros, dense near 1.5% (the dense simd path
+/// has no packing cost, so its crossover sits much lower).
 inline constexpr float kConvSparseDensityMax = 0.15f;
 inline constexpr float kDenseSparseDensityMax = 0.15f;
+inline constexpr float kConvSparseDensityMaxI8Simd = 0.04f;
+inline constexpr float kDenseSparseDensityMaxI8Simd = 0.015f;
 
 /// Fraction of nonzero elements in [0, 1] (0 for n <= 0). Deterministic
 /// chunked parallel count (exact — counting is order-independent).
@@ -97,12 +113,26 @@ float Density(const float* x, long n);
 float Density(const std::int32_t* x, long n);
 float Density(const std::int8_t* x, long n);
 
+/// Packs per-sample spike-word rows (spike_words.hpp layout: sample i's
+/// words at words + i * SpikeWordCount(sample_len)) for all n_samples
+/// samples, parallel over sample chunks, and returns the total nonzero
+/// count — exactly the count the scalar Density probe would produce, so
+/// auto decisions are unchanged by the representation. The dispatchers
+/// build this once per input (slot slots::kWords) and share it between the
+/// density probe and the sparse gather.
+long ParallelPackSpikeWords(const float* x, long n_samples, long sample_len,
+                            std::uint64_t* words);
+long ParallelPackSpikeWords(const std::int32_t* x, long n_samples,
+                            long sample_len, std::uint64_t* words);
+long ParallelPackSpikeWords(const std::int8_t* x, long n_samples,
+                            long sample_len, std::uint64_t* words);
+
 /// Applies precedence rule 1: a non-auto global mode wins over `requested`.
 KernelMode ResolveKernelMode(KernelMode requested);
 
-/// Applies precedence rule 3: maps kAuto to kSparse below `sparse_max`, to
-/// `dense_fallback` (the family's measured-best dense path — see the file
-/// comment) at or above it. Non-auto modes pass through unchanged.
+/// Applies precedence rules 3-4: maps kAuto to kSparse below `sparse_max`,
+/// to `dense_fallback` (the family's measured-best dense path — see the
+/// file comment) at or above it. Non-auto modes pass through unchanged.
 KernelMode ChooseByDensity(KernelMode mode, float density, float sparse_max,
                            KernelMode dense_fallback);
 
@@ -122,6 +152,11 @@ inline constexpr std::size_t kAcc = 4;      ///< int8 accumulator planes
 inline constexpr std::size_t kQVals = 5;    ///< gathered / packed codes
 // int8 slots (Workspace::AcquireI8)
 inline constexpr std::size_t kQActI8 = 0;  ///< dense activation codes
+inline constexpr std::size_t kColI8 = 1;   ///< int8 im2col (gemm path)
+inline constexpr std::size_t kPanel = 2;   ///< SIMD conv int8 panels
+inline constexpr std::size_t kWpad = 3;    ///< kk4-padded int8 weight rows
+// uint64 slots (Workspace::AcquireU64)
+inline constexpr std::size_t kWords = 0;  ///< bit-packed spike words
 }  // namespace slots
 
 }  // namespace axsnn::kernels

@@ -1,0 +1,35 @@
+// Internal linkage between the two SIMD translation units. The public
+// ConvPanelI8/DenseRowsI8 entry points (simd_kernels.cpp, built -mavx2
+// -mfma) select between these per-ISA variants; the _vnni pair lives in
+// simd_kernels_vnni.cpp, the only TU built with -mavxvnni, so the
+// auto-vectorizer can never leak vpdpbusd into AVX2-only code. Both TUs
+// must see identical declarations — include this, don't redeclare.
+#pragma once
+
+#include <cstdint>
+
+namespace axsnn::kernels::simd::detail {
+
+void ConvPanelI8_avx2(const std::int8_t* wpad, const float* scales,
+                      float act_scale, const float* bd,
+                      const std::int8_t* panel, float* op, long c_out,
+                      long kk4, long o_plane);
+void ConvPanelI8_vnni(const std::int8_t* wpad, const float* scales,
+                      float act_scale, const float* bd,
+                      const std::int8_t* panel, float* op, long c_out,
+                      long kk4, long o_plane);
+
+void DenseRowsI8_avx2(const std::int8_t* wd, const float* scales,
+                      float act_scale, const float* bd,
+                      const std::int8_t* qact, float* od, long lo, long hi,
+                      long f_in, long f_out);
+void DenseRowsI8_vnni(const std::int8_t* wd, const float* scales,
+                      float act_scale, const float* bd,
+                      const std::int8_t* qact, float* od, long lo, long hi,
+                      long f_in, long f_out);
+
+/// True iff simd_kernels_vnni.cpp was built with AVX-VNNI support (the
+/// _vnni variants above are real kernels, not aborting stubs).
+bool VnniCompiled();
+
+}  // namespace axsnn::kernels::simd::detail

@@ -1,0 +1,201 @@
+// Shared int8 microkernel bodies, included exactly twice:
+//   simd_kernels.cpp       with AXSNN_SIMD_FN(f) = f##_avx2 and AXSNN_DP4
+//                          built from vpmaddubsw + vpmaddwd,
+//   simd_kernels_vnni.cpp  with AXSNN_SIMD_FN(f) = f##_vnni and AXSNN_DP4
+//                          = vpdpbusd (AVX-VNNI),
+// so both ISA variants stay line-for-line identical except for the one
+// 8x(4-way) dot-product step. Requires <immintrin.h> and at least -mavx2.
+//
+// Exactness: AXSNN_DP4(acc, ua, ws) adds sum_{t<4} ua[4i+t]*ws[4i+t] to
+// int32 lane i, with ua unsigned. Callers pass ua = |q|, ws = w * sign(q)
+// (vpabsb / vpsignb), so every partial product equals q*w exactly and the
+// maddubs pair sums are bounded by 2*127*127 < 2^15 (codes never hit -128:
+// the activation quantizer clamps to ±127 and QuantizedTensor's symmetric
+// scheme leaves -128 unused) — no saturation, no compensation term, and
+// the int32 accumulator is bit-equal to the naive reference's.
+//
+// Requantization rounds exactly like the naive kernels: separate multiply
+// then add (never fused — this TU builds with -ffp-contract=off), so the
+// float write-out is bit-identical too.
+
+namespace axsnn::kernels::simd::detail {
+
+namespace {
+
+/// Horizontal sum of the 8 int32 lanes.
+inline std::int32_t AXSNN_SIMD_FN(HsumI32)(__m256i v) {
+  __m128i s = _mm_add_epi32(_mm256_castsi256_si128(v),
+                            _mm256_extracti128_si256(v, 1));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(s);
+}
+
+}  // namespace
+
+void AXSNN_SIMD_FN(ConvPanelI8)(const std::int8_t* wpad, const float* scales,
+                                float act_scale, const float* bd,
+                                const std::int8_t* panel, float* op,
+                                long c_out, long kk4, long o_plane) {
+  const long rows = kk4 / 4;            // 32-byte panel rows per pixel block
+  const long full_blocks = o_plane / 8;
+  const long j_tail = o_plane - full_blocks * 8;
+  for (long co = 0; co < c_out; ++co) {
+    const std::int8_t* wrow = wpad + co * kk4;
+    const float requant = act_scale * scales[co];
+    const __m256 vreq = _mm256_set1_ps(requant);
+    const __m256 vbias = _mm256_set1_ps(bd[co]);
+    float* orow = op + co * o_plane;
+
+    long block = 0;
+    for (; block + 2 <= full_blocks; block += 2) {
+      // Two pixel blocks in flight: independent accumulator chains hide the
+      // dot-product latency, and the weight dword broadcast is shared.
+      const std::int8_t* p0 = panel + (block * rows) * 32;
+      const std::int8_t* p1 = p0 + rows * 32;
+      __m256i acc0 = _mm256_setzero_si256();
+      __m256i acc1 = _mm256_setzero_si256();
+      for (long k4 = 0; k4 < rows; ++k4) {
+        std::int32_t wdw;
+        std::memcpy(&wdw, wrow + 4 * k4, 4);
+        if (wdw == 0) continue;  // pruned / padded weight dword: no work
+        const __m256i wb = _mm256_set1_epi32(wdw);
+        const __m256i q0 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(p0 + k4 * 32));
+        const __m256i q1 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(p1 + k4 * 32));
+        acc0 = AXSNN_DP4(acc0, _mm256_abs_epi8(q0), _mm256_sign_epi8(wb, q0));
+        acc1 = AXSNN_DP4(acc1, _mm256_abs_epi8(q1), _mm256_sign_epi8(wb, q1));
+      }
+      _mm256_storeu_ps(orow + block * 8,
+                       _mm256_add_ps(_mm256_mul_ps(_mm256_cvtepi32_ps(acc0),
+                                                   vreq),
+                                     vbias));
+      _mm256_storeu_ps(orow + block * 8 + 8,
+                       _mm256_add_ps(_mm256_mul_ps(_mm256_cvtepi32_ps(acc1),
+                                                   vreq),
+                                     vbias));
+    }
+    for (; block < full_blocks; ++block) {
+      const std::int8_t* p0 = panel + (block * rows) * 32;
+      __m256i acc = _mm256_setzero_si256();
+      for (long k4 = 0; k4 < rows; ++k4) {
+        std::int32_t wdw;
+        std::memcpy(&wdw, wrow + 4 * k4, 4);
+        if (wdw == 0) continue;
+        const __m256i wb = _mm256_set1_epi32(wdw);
+        const __m256i q = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(p0 + k4 * 32));
+        acc = AXSNN_DP4(acc, _mm256_abs_epi8(q), _mm256_sign_epi8(wb, q));
+      }
+      _mm256_storeu_ps(orow + block * 8,
+                       _mm256_add_ps(_mm256_mul_ps(_mm256_cvtepi32_ps(acc),
+                                                   vreq),
+                                     vbias));
+    }
+    if (j_tail > 0) {
+      // Last partial block: the panel's pixel padding is zero, so the
+      // vector math is valid for all 8 lanes; only j_tail are stored.
+      const std::int8_t* p0 = panel + (full_blocks * rows) * 32;
+      __m256i acc = _mm256_setzero_si256();
+      for (long k4 = 0; k4 < rows; ++k4) {
+        std::int32_t wdw;
+        std::memcpy(&wdw, wrow + 4 * k4, 4);
+        if (wdw == 0) continue;
+        const __m256i wb = _mm256_set1_epi32(wdw);
+        const __m256i q = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(p0 + k4 * 32));
+        acc = AXSNN_DP4(acc, _mm256_abs_epi8(q), _mm256_sign_epi8(wb, q));
+      }
+      alignas(32) std::int32_t lanes[8];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+      const float b = bd[co];
+      for (long j = 0; j < j_tail; ++j)
+        orow[full_blocks * 8 + j] =
+            static_cast<float>(lanes[j]) * requant + b;
+    }
+  }
+}
+
+void AXSNN_SIMD_FN(DenseRowsI8)(const std::int8_t* wd, const float* scales,
+                                float act_scale, const float* bd,
+                                const std::int8_t* qact, float* od, long lo,
+                                long hi, long f_in, long f_out) {
+  const long vend = f_in & ~31L;
+  for (long s = lo; s < hi; ++s) {
+    const std::int8_t* xs = qact + s * f_in;
+    float* os = od + s * f_out;
+    long o = 0;
+    for (; o + 4 <= f_out; o += 4) {
+      // Four output features share every activation load (and its |q|).
+      const std::int8_t* w0 = wd + o * f_in;
+      const std::int8_t* w1 = w0 + f_in;
+      const std::int8_t* w2 = w1 + f_in;
+      const std::int8_t* w3 = w2 + f_in;
+      __m256i acc0 = _mm256_setzero_si256();
+      __m256i acc1 = _mm256_setzero_si256();
+      __m256i acc2 = _mm256_setzero_si256();
+      __m256i acc3 = _mm256_setzero_si256();
+      for (long i = 0; i < vend; i += 32) {
+        const __m256i q = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(xs + i));
+        const __m256i ua = _mm256_abs_epi8(q);
+        acc0 = AXSNN_DP4(
+            acc0, ua,
+            _mm256_sign_epi8(_mm256_loadu_si256(
+                                 reinterpret_cast<const __m256i*>(w0 + i)),
+                             q));
+        acc1 = AXSNN_DP4(
+            acc1, ua,
+            _mm256_sign_epi8(_mm256_loadu_si256(
+                                 reinterpret_cast<const __m256i*>(w1 + i)),
+                             q));
+        acc2 = AXSNN_DP4(
+            acc2, ua,
+            _mm256_sign_epi8(_mm256_loadu_si256(
+                                 reinterpret_cast<const __m256i*>(w2 + i)),
+                             q));
+        acc3 = AXSNN_DP4(
+            acc3, ua,
+            _mm256_sign_epi8(_mm256_loadu_si256(
+                                 reinterpret_cast<const __m256i*>(w3 + i)),
+                             q));
+      }
+      std::int32_t sum[4] = {AXSNN_SIMD_FN(HsumI32)(acc0),
+                             AXSNN_SIMD_FN(HsumI32)(acc1),
+                             AXSNN_SIMD_FN(HsumI32)(acc2),
+                             AXSNN_SIMD_FN(HsumI32)(acc3)};
+      for (long i = vend; i < f_in; ++i) {
+        const std::int32_t xv = xs[i];
+        sum[0] += static_cast<std::int32_t>(w0[i]) * xv;
+        sum[1] += static_cast<std::int32_t>(w1[i]) * xv;
+        sum[2] += static_cast<std::int32_t>(w2[i]) * xv;
+        sum[3] += static_cast<std::int32_t>(w3[i]) * xv;
+      }
+      for (int r = 0; r < 4; ++r)
+        os[o + r] = static_cast<float>(sum[r]) *
+                        (act_scale * scales[o + r]) +
+                    bd[o + r];
+    }
+    for (; o < f_out; ++o) {
+      const std::int8_t* wr = wd + o * f_in;
+      __m256i acc = _mm256_setzero_si256();
+      for (long i = 0; i < vend; i += 32) {
+        const __m256i q = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(xs + i));
+        acc = AXSNN_DP4(
+            acc, _mm256_abs_epi8(q),
+            _mm256_sign_epi8(_mm256_loadu_si256(
+                                 reinterpret_cast<const __m256i*>(wr + i)),
+                             q));
+      }
+      std::int32_t sum = AXSNN_SIMD_FN(HsumI32)(acc);
+      for (long i = vend; i < f_in; ++i)
+        sum += static_cast<std::int32_t>(wr[i]) *
+               static_cast<std::int32_t>(xs[i]);
+      os[o] = static_cast<float>(sum) * (act_scale * scales[o]) + bd[o];
+    }
+  }
+}
+
+}  // namespace axsnn::kernels::simd::detail

@@ -1,0 +1,343 @@
+// AVX2/FMA microkernels — with simd_kernels_vnni.cpp, the only translation
+// units built with vector ISA flags (see CMakeLists: -mavx2 -mfma
+// -ffp-contract=off on exactly these sources, gated on a compiler probe).
+// -ffp-contract=off matters: the int8 requantization must round multiply
+// and add separately to stay bit-identical to the naive kernels, and GCC
+// would otherwise be free to contract the mul+add intrinsic pair into an
+// FMA. Where fusion is wanted (fp32 tiles) it is spelled explicitly with
+// _mm256_fmadd_ps, which contract=off does not touch.
+//
+// Without AVX2+FMA compiler support every entry point compiles to an
+// aborting stub; that is safe because SimdKernelsCompiled() then returns
+// false, ActiveSimdTier() pins to kScalar, and dispatch degrades
+// KernelMode::kSimd to the naive kernels before ever reaching here.
+
+#include "kernels/simd_kernels.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "kernels/simd_detail.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#define AXSNN_SIMD_COMPILED 1
+#include <immintrin.h>
+#else
+#define AXSNN_SIMD_COMPILED 0
+#endif
+
+namespace axsnn::kernels {
+
+bool SimdKernelsCompiled() { return AXSNN_SIMD_COMPILED != 0; }
+bool SimdVnniCompiled() { return simd::detail::VnniCompiled(); }
+
+}  // namespace axsnn::kernels
+
+#if AXSNN_SIMD_COMPILED
+
+#define AXSNN_SIMD_FN(f) f##_avx2
+// Plain-AVX2 8x(4-way) int8 dot step: vpmaddubsw pairs u8*s8 into int16
+// (bounded by 2*127*127 < 2^15 — see simd_int8_body.inl), vpmaddwd widens
+// the pair sums to int32, vpaddd accumulates.
+#define AXSNN_DP4(acc, ua, ws)                                       \
+  _mm256_add_epi32((acc),                                            \
+                   _mm256_madd_epi16(_mm256_maddubs_epi16((ua), (ws)), \
+                                     _mm256_set1_epi16(1)))
+
+#include "kernels/simd_int8_body.inl"
+
+namespace axsnn::kernels::simd {
+
+namespace {
+
+/// Horizontal sum of the 8 float lanes (lane order fixed; the dense fp32
+/// path is tolerance-gated, so cross-lane order just needs determinism).
+inline float HsumF32(__m256 v) {
+  __m128 s =
+      _mm_add_ps(_mm256_castps256_ps128(v), _mm256_extractf128_ps(v, 1));
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x55));
+  return _mm_cvtss_f32(s);
+}
+
+}  // namespace
+
+void ConvGemmF32(const float* wd, const float* bd, const float* col,
+                 float* op, long c_out, long kk, long o_plane) {
+  const long vend32 = o_plane & ~31L;
+  for (long co = 0; co < c_out; ++co) {
+    const float* wrow = wd + co * kk;
+    const __m256 vbias = _mm256_set1_ps(bd[co]);
+    float* orow = op + co * o_plane;
+    long j = 0;
+    for (; j < vend32; j += 32) {
+      // Four 8-pixel tiles in flight: enough independent FMA chains to
+      // cover the 4-cycle latency while streaming one col row per k.
+      __m256 a0 = vbias, a1 = vbias, a2 = vbias, a3 = vbias;
+      for (long k = 0; k < kk; ++k) {
+        const float w = wrow[k];
+        if (w == 0.0f) continue;  // pruned weight: whole row of no-ops
+        const __m256 vw = _mm256_set1_ps(w);
+        const float* c = col + k * o_plane + j;
+        a0 = _mm256_fmadd_ps(vw, _mm256_loadu_ps(c), a0);
+        a1 = _mm256_fmadd_ps(vw, _mm256_loadu_ps(c + 8), a1);
+        a2 = _mm256_fmadd_ps(vw, _mm256_loadu_ps(c + 16), a2);
+        a3 = _mm256_fmadd_ps(vw, _mm256_loadu_ps(c + 24), a3);
+      }
+      _mm256_storeu_ps(orow + j, a0);
+      _mm256_storeu_ps(orow + j + 8, a1);
+      _mm256_storeu_ps(orow + j + 16, a2);
+      _mm256_storeu_ps(orow + j + 24, a3);
+    }
+    for (; j + 8 <= o_plane; j += 8) {
+      __m256 acc = vbias;
+      for (long k = 0; k < kk; ++k) {
+        const float w = wrow[k];
+        if (w == 0.0f) continue;
+        acc = _mm256_fmadd_ps(_mm256_set1_ps(w),
+                              _mm256_loadu_ps(col + k * o_plane + j), acc);
+      }
+      _mm256_storeu_ps(orow + j, acc);
+    }
+    for (; j < o_plane; ++j) {
+      float acc = bd[co];
+      for (long k = 0; k < kk; ++k)
+        acc += wrow[k] * col[k * o_plane + j];
+      orow[j] = acc;
+    }
+  }
+}
+
+void DenseRowsF32(const float* wd, const float* bd, const float* xd,
+                  float* od, long lo, long hi, long f_in, long f_out) {
+  const long vend = f_in & ~7L;
+  for (long s = lo; s < hi; ++s) {
+    const float* xs = xd + s * f_in;
+    float* os = od + s * f_out;
+    long o = 0;
+    for (; o + 4 <= f_out; o += 4) {
+      // Four output features share every 8-lane activation load.
+      const float* w0 = wd + o * f_in;
+      const float* w1 = w0 + f_in;
+      const float* w2 = w1 + f_in;
+      const float* w3 = w2 + f_in;
+      __m256 a0 = _mm256_setzero_ps();
+      __m256 a1 = _mm256_setzero_ps();
+      __m256 a2 = _mm256_setzero_ps();
+      __m256 a3 = _mm256_setzero_ps();
+      for (long i = 0; i < vend; i += 8) {
+        const __m256 xv = _mm256_loadu_ps(xs + i);
+        a0 = _mm256_fmadd_ps(_mm256_loadu_ps(w0 + i), xv, a0);
+        a1 = _mm256_fmadd_ps(_mm256_loadu_ps(w1 + i), xv, a1);
+        a2 = _mm256_fmadd_ps(_mm256_loadu_ps(w2 + i), xv, a2);
+        a3 = _mm256_fmadd_ps(_mm256_loadu_ps(w3 + i), xv, a3);
+      }
+      float sum[4] = {HsumF32(a0), HsumF32(a1), HsumF32(a2), HsumF32(a3)};
+      for (long i = vend; i < f_in; ++i) {
+        const float xv = xs[i];
+        sum[0] += w0[i] * xv;
+        sum[1] += w1[i] * xv;
+        sum[2] += w2[i] * xv;
+        sum[3] += w3[i] * xv;
+      }
+      for (int r = 0; r < 4; ++r) os[o + r] = bd[o + r] + sum[r];
+    }
+    for (; o < f_out; ++o) {
+      const float* wr = wd + o * f_in;
+      __m256 acc = _mm256_setzero_ps();
+      for (long i = 0; i < vend; i += 8)
+        acc = _mm256_fmadd_ps(_mm256_loadu_ps(wr + i),
+                              _mm256_loadu_ps(xs + i), acc);
+      float sum = HsumF32(acc);
+      for (long i = vend; i < f_in; ++i) sum += wr[i] * xs[i];
+      os[o] = bd[o] + sum;
+    }
+  }
+}
+
+void ConvPanelI8(const std::int8_t* wpad, const float* scales,
+                 float act_scale, const float* bd, const std::int8_t* panel,
+                 float* op, long c_out, long kk4, long o_plane, bool vnni) {
+  if (vnni)
+    detail::ConvPanelI8_vnni(wpad, scales, act_scale, bd, panel, op, c_out,
+                             kk4, o_plane);
+  else
+    detail::ConvPanelI8_avx2(wpad, scales, act_scale, bd, panel, op, c_out,
+                             kk4, o_plane);
+}
+
+void DenseRowsI8(const std::int8_t* wd, const float* scales, float act_scale,
+                 const float* bd, const std::int8_t* qact, float* od,
+                 long lo, long hi, long f_in, long f_out, bool vnni) {
+  if (vnni)
+    detail::DenseRowsI8_vnni(wd, scales, act_scale, bd, qact, od, lo, hi,
+                             f_in, f_out);
+  else
+    detail::DenseRowsI8_avx2(wd, scales, act_scale, bd, qact, od, lo, hi,
+                             f_in, f_out);
+}
+
+namespace {
+
+/// Scalar reference pack for blocks the vector path cannot take: pixels
+/// past o_plane or an output-row break inside the block. Byte-for-byte the
+/// layout contract from the header.
+void PackPanelBlockScalar(const std::int32_t* xs, std::int8_t* pb, long j0,
+                          long c_in, long h, long w, long w_out, long kernel,
+                          long pad, long o_plane, long kk4) {
+  long oy[8] = {};
+  long ox[8] = {};
+  int live = 0;
+  for (int pix = 0; pix < 8; ++pix) {
+    const long j = j0 + pix;
+    if (j >= o_plane) break;
+    oy[pix] = j / w_out;
+    ox[pix] = j - oy[pix] * w_out;
+    live = pix + 1;
+  }
+  const long x_plane = h * w;
+  long k = 0;
+  for (long ci = 0; ci < c_in; ++ci) {
+    const std::int32_t* xp = xs + ci * x_plane;
+    for (long ky = 0; ky < kernel; ++ky) {
+      for (long kx = 0; kx < kernel; ++kx, ++k) {
+        std::int8_t* dst = pb + (k / 4) * 32 + (k % 4);
+        for (int pix = 0; pix < live; ++pix) {
+          const long iy = oy[pix] + ky - pad;
+          const long ix = ox[pix] + kx - pad;
+          const bool in = iy >= 0 && iy < h && ix >= 0 && ix < w;
+          dst[pix * 4] = in ? static_cast<std::int8_t>(xp[iy * w + ix])
+                            : std::int8_t{0};
+        }
+        for (int pix = live; pix < 8; ++pix) dst[pix * 4] = 0;
+      }
+    }
+  }
+  for (; k < kk4; ++k) {
+    std::int8_t* dst = pb + (k / 4) * 32 + (k % 4);
+    for (int pix = 0; pix < 8; ++pix) dst[pix * 4] = 0;
+  }
+}
+
+}  // namespace
+
+void PackConvPanelI8(const std::int32_t* xs, std::int8_t* panel, long c_in,
+                     long h, long w, long w_out, long kernel, long pad,
+                     long o_plane, long kk4) {
+  const long rows = kk4 / 4;
+  const long x_plane = h * w;
+  const long kk = c_in * kernel * kernel;
+  const long blocks = (o_plane + 7) / 8;
+  const __m256i byte_mask = _mm256_set1_epi32(0xff);
+  for (long block = 0; block < blocks; ++block) {
+    std::int8_t* pb = panel + block * rows * 32;
+    const long j0 = block * 8;
+    const long oy0 = j0 / w_out;
+    const long ox0 = j0 - oy0 * w_out;
+    if (j0 + 8 > o_plane || ox0 + 8 > w_out) {
+      PackPanelBlockScalar(xs, pb, j0, c_in, h, w, w_out, kernel, pad,
+                           o_plane, kk4);
+      continue;
+    }
+    // Fast path: the block's 8 pixels sit on one output row, so for any k
+    // with its whole source column range in bounds the 8 codes are the
+    // contiguous int32s xrow[ix .. ix+7]. Four such k rows build one dword
+    // group: lane j of the group, viewed as int32, is
+    //   (v0 & 0xff) | (v1 & 0xff) << 8 | (v2 & 0xff) << 16 | (v3 & 0xff) << 24
+    // (the low byte of an int32 code IS its int8 value). k rows with
+    // columns off the edge skip the OR — their bytes stay zero — and the
+    // in-bounds pixels are patched scalar after the group store.
+    struct Patch {
+      int t;
+      const std::int32_t* xrow;
+      long ix;
+    };
+    Patch patches[4];
+    int n_patches = 0;
+    __m256i acc = _mm256_setzero_si256();
+    long k = 0;
+    for (long ci = 0; ci < c_in; ++ci) {
+      const std::int32_t* xp = xs + ci * x_plane;
+      for (long ky = 0; ky < kernel; ++ky) {
+        const long iy = oy0 + ky - pad;
+        const bool row_ok = iy >= 0 && iy < h;
+        const std::int32_t* xrow = row_ok ? xp + iy * w : nullptr;
+        for (long kx = 0; kx < kernel; ++kx, ++k) {
+          const int t = static_cast<int>(k & 3);
+          const long ix = ox0 + kx - pad;
+          if (row_ok && ix >= 0 && ix + 8 <= w) {
+            const __m256i v = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(xrow + ix));
+            acc = _mm256_or_si256(
+                acc,
+                _mm256_slli_epi32(_mm256_and_si256(v, byte_mask), 8 * t));
+          } else if (row_ok && ix < w && ix + 8 > 0) {
+            patches[n_patches++] = {t, xrow, ix};
+          }
+          if (t == 3) {
+            _mm256_storeu_si256(reinterpret_cast<__m256i*>(pb + (k / 4) * 32),
+                                acc);
+            for (int pi = 0; pi < n_patches; ++pi) {
+              std::int8_t* dst = pb + (k / 4) * 32 + patches[pi].t;
+              for (int pix = 0; pix < 8; ++pix) {
+                const long ixp = patches[pi].ix + pix;
+                if (ixp >= 0 && ixp < w)
+                  dst[pix * 4] =
+                      static_cast<std::int8_t>(patches[pi].xrow[ixp]);
+              }
+            }
+            n_patches = 0;
+            acc = _mm256_setzero_si256();
+          }
+        }
+      }
+    }
+    if ((k & 3) != 0) {  // kk % 4 tail group (high lanes stay zero)
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(pb + (k / 4) * 32), acc);
+      for (int pi = 0; pi < n_patches; ++pi) {
+        std::int8_t* dst = pb + (k / 4) * 32 + patches[pi].t;
+        for (int pix = 0; pix < 8; ++pix) {
+          const long ixp = patches[pi].ix + pix;
+          if (ixp >= 0 && ixp < w)
+            dst[pix * 4] = static_cast<std::int8_t>(patches[pi].xrow[ixp]);
+        }
+      }
+      n_patches = 0;
+      acc = _mm256_setzero_si256();
+    }
+    for (long g = (kk + 3) / 4; g < rows; ++g)
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(pb + g * 32),
+                          _mm256_setzero_si256());
+  }
+}
+
+}  // namespace axsnn::kernels::simd
+
+#else  // !AXSNN_SIMD_COMPILED — stubs, unreachable behind ActiveSimdTier()
+
+namespace axsnn::kernels::simd {
+
+void ConvGemmF32(const float*, const float*, const float*, float*, long,
+                 long, long) {
+  std::abort();
+}
+void DenseRowsF32(const float*, const float*, const float*, float*, long,
+                  long, long, long) {
+  std::abort();
+}
+void ConvPanelI8(const std::int8_t*, const float*, float, const float*,
+                 const std::int8_t*, float*, long, long, long, bool) {
+  std::abort();
+}
+void DenseRowsI8(const std::int8_t*, const float*, float, const float*,
+                 const std::int8_t*, float*, long, long, long, long, bool) {
+  std::abort();
+}
+void PackConvPanelI8(const std::int32_t*, std::int8_t*, long, long, long,
+                     long, long, long, long, long) {
+  std::abort();
+}
+
+}  // namespace axsnn::kernels::simd
+
+#endif

@@ -1,0 +1,82 @@
+// SIMD microkernels: AVX2/AVX-VNNI int8 dot products and 8-wide FMA fp32
+// tiles. This header is intrinsic-free — every vector instruction lives in
+// simd_kernels.cpp, the one translation unit built with -mavx2 -mfma
+// (CMakeLists guards the flags, cpu_features.hpp gates execution at
+// runtime), so including it never leaks ISA requirements into other TUs.
+//
+// Numerics contract (see DESIGN.md "SIMD kernel tier"):
+//  * int8 kernels are EXACT — bit-identical to the naive reference. The
+//    product a*w is computed as |a| * (w * sign(a)) so vpdpbusd/vpmaddubsw
+//    get their unsigned operand without any +128 shift or compensation
+//    term, and with |a| <= 127, |w| <= 127 the maddubs pair sums stay below
+//    int16 saturation. The int32 accumulator value is therefore identical
+//    to the naive loop's regardless of summation order, and the single
+//    requantization multiply matches the naive write-out bit for bit.
+//  * fp32 kernels are TOLERANCE-GATED — FMA fuses the multiply-add rounding
+//    and the dense row dots split the accumulation across 8 lanes, so
+//    results differ from the naive order by normal accumulation rounding.
+//    The auto-dispatch probe therefore never selects the fp32 SIMD path
+//    (it would break the byte-identical-across-modes rail); it runs only
+//    when KernelMode::kSimd is requested explicitly.
+//
+// int8 conv panel layout ("panel" arguments): output pixels are grouped in
+// blocks of 8 and the im2col k axis in groups of 4, matching one vpdpbusd:
+// byte (block, k4, pix, t) lives at ((block * kk4/4 + k4) * 8 + pix) * 4 + t
+// and holds im2col code (k = 4*k4 + t, j = 8*block + pix), zero-padded past
+// kk and o_plane. Weight rows are staged zero-padded to kk4 so the kernel
+// broadcasts whole dwords. kernels/conv2d_kernels.cpp packs both.
+#pragma once
+
+#include <cstdint>
+
+namespace axsnn::kernels::simd {
+
+/// Round up to the panel granularities.
+inline long RoundUp4(long v) { return (v + 3) & ~3L; }
+inline long RoundUp8(long v) { return (v + 7) & ~7L; }
+
+// --- fp32 (FMA tiles; tolerance-gated) ---------------------------------------
+
+/// One sample's conv GEMM over a row-major im2col matrix col[kk][o_plane]:
+/// op[co][j] = bd[co] + sum_k wd[co*kk+k] * col[k][j], FMA-tiled 8 pixels
+/// wide with 4 tiles in flight; trailing pixels (o_plane % 8) accumulate
+/// scalar in the naive k order.
+void ConvGemmF32(const float* wd, const float* bd, const float* col,
+                 float* op, long c_out, long kk, long o_plane);
+
+/// Dense rows [lo, hi): od[s][o] = bd[o] + dot(wd[o], xd[s]) with the dot
+/// split across 8 FMA lanes and reduced horizontally; f_in tail scalar.
+void DenseRowsF32(const float* wd, const float* bd, const float* xd,
+                  float* od, long lo, long hi, long f_in, long f_out);
+
+// --- int8 (exact) ------------------------------------------------------------
+
+/// One sample's int8 conv over a packed panel (layout above): for each
+/// (co, pixel), acc = sum_k w[k] * code[k][j] in int32, then
+/// op[co][j] = float(acc) * (act_scale * scales[co]) + bd[co].
+/// `wpad` is the [c_out][kk4] zero-padded weight matrix. `vnni` selects the
+/// vpdpbusd inner loop (caller passes ActiveSimdTier() == kVnni).
+void ConvPanelI8(const std::int8_t* wpad, const float* scales,
+                 float act_scale, const float* bd, const std::int8_t* panel,
+                 float* op, long c_out, long kk4, long o_plane, bool vnni);
+
+/// Packs one sample's int32 activation codes into the int8 conv panel
+/// (layout above) for a conv over [c_in, h, w] -> [h_out, w_out = o_plane /
+/// h_out]. Vectorized: for an 8-pixel block on one output row, the 8 source
+/// codes of an in-bounds k are contiguous, so four k rows assemble a
+/// 32-byte dword group via masked shifts OR-merged in int32 lanes; k rows
+/// with out-of-range columns are patched scalar, and blocks touching the
+/// o_plane tail or a w_out row break fall back to the scalar reference
+/// loop. Lives in the AVX2 TU but needs no VNNI — both tiers share it.
+void PackConvPanelI8(const std::int32_t* xs, std::int8_t* panel, long c_in,
+                     long h, long w, long w_out, long kernel, long pad,
+                     long o_plane, long kk4);
+
+/// Dense rows [lo, hi) on raw int8 codes: 32 MACs per instruction over the
+/// contiguous activation/weight rows, 4 output features in flight sharing
+/// each activation load; f_in tail scalar. Exact (int32 accumulation).
+void DenseRowsI8(const std::int8_t* wd, const float* scales, float act_scale,
+                 const float* bd, const std::int8_t* qact, float* od,
+                 long lo, long hi, long f_in, long f_out, bool vnni);
+
+}  // namespace axsnn::kernels::simd

@@ -1,0 +1,53 @@
+// AVX-VNNI variants of the int8 microkernels — the ONLY translation unit
+// built with -mavxvnni (CMake probes the compiler; without support this
+// file compiles aborting stubs and VnniCompiled() reports false, capping
+// ActiveSimdTier() at kAvx2). Keeping vpdpbusd in its own TU means no other
+// object file can pick it up via auto-vectorization and fault on
+// AVX2-only CPUs.
+
+#include "kernels/simd_detail.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__AVX2__) && defined(__AVXVNNI__)
+#define AXSNN_VNNI_COMPILED 1
+#include <immintrin.h>
+#else
+#define AXSNN_VNNI_COMPILED 0
+#endif
+
+namespace axsnn::kernels::simd::detail {
+bool VnniCompiled() { return AXSNN_VNNI_COMPILED != 0; }
+}  // namespace axsnn::kernels::simd::detail
+
+#if AXSNN_VNNI_COMPILED
+
+#define AXSNN_SIMD_FN(f) f##_vnni
+// GCC names the 256-bit AVX-VNNI intrinsic _mm256_dpbusd_avx_epi32 (the
+// plain name is the AVX-512VL form); clang accepts the plain name.
+#if defined(__clang__)
+#define AXSNN_DP4(acc, ua, ws) _mm256_dpbusd_epi32((acc), (ua), (ws))
+#else
+#define AXSNN_DP4(acc, ua, ws) _mm256_dpbusd_avx_epi32((acc), (ua), (ws))
+#endif
+
+#include "kernels/simd_int8_body.inl"
+
+#else  // stubs — unreachable: ActiveSimdTier() never reports kVnni here
+
+namespace axsnn::kernels::simd::detail {
+
+void ConvPanelI8_vnni(const std::int8_t*, const float*, float, const float*,
+                      const std::int8_t*, float*, long, long, long) {
+  std::abort();
+}
+
+void DenseRowsI8_vnni(const std::int8_t*, const float*, float, const float*,
+                      const std::int8_t*, float*, long, long, long, long) {
+  std::abort();
+}
+
+}  // namespace axsnn::kernels::simd::detail
+
+#endif

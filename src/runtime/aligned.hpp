@@ -1,0 +1,50 @@
+// Cache-line-aligned storage for the kernel hot paths.
+//
+// Every buffer the SIMD kernel tier (src/kernels/simd_kernels.*) loads from
+// — activation codes, im2col panels, packed weight rows, spike words — is
+// allocated through this allocator so 32-byte vector loads never split a
+// cache line and the panel layouts can assume 64-byte starts. Tensor
+// storage and the Workspace arenas (runtime/workspace.hpp) both use it, so
+// alignment holds for slot 0 of every arena and for every Tensor::data().
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace axsnn::runtime {
+
+/// Alignment of every arena / tensor allocation: one cache line, which also
+/// covers the widest vector width the SIMD tier uses (32-byte AVX2).
+inline constexpr std::size_t kArenaAlignment = 64;
+
+/// Minimal std::allocator replacement handing out kArenaAlignment-aligned
+/// blocks via the C++17 aligned operator new.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(
+        n * sizeof(T), std::align_val_t{kArenaAlignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kArenaAlignment});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept { return true; }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U>&) const noexcept { return false; }
+};
+
+/// Vector whose storage always starts on a cache-line boundary.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace axsnn::runtime

@@ -74,18 +74,21 @@ void ThreadPool::ProcessBatch(Batch& batch, std::mutex& state_mutex,
 }
 
 void ThreadPool::WorkerLoop() {
-  std::shared_ptr<Batch> last;
+  std::uint64_t last_generation = 0;
   std::unique_lock<std::mutex> lock(state_mutex_);
   while (true) {
     work_cv_.wait(lock, [&] {
-      return stopping_ || (current_ != nullptr && current_ != last);
+      return stopping_ ||
+             (current_ != nullptr && generation_ != last_generation);
     });
     if (stopping_) return;
-    std::shared_ptr<Batch> batch = current_;
-    last = batch;
+    last_generation = generation_;
+    Batch* batch = current_;
+    ++active_workers_;  // Run cannot retire the batch until this drops to 0
     lock.unlock();
     ProcessBatch(*batch, state_mutex_, done_cv_);
     lock.lock();
+    if (--active_workers_ == 0) done_cv_.notify_all();
   }
 }
 
@@ -94,21 +97,32 @@ void ThreadPool::Run(long num_tasks, FunctionRef<void(long)> task) {
   if (!workers_.empty() && !tls_in_parallel_region && num_tasks > 1) {
     std::unique_lock<std::mutex> serial(run_mutex_, std::try_to_lock);
     if (serial.owns_lock()) {
-      auto batch = std::make_shared<Batch>(num_tasks, task);
+      // The batch lives on this stack frame — dispatch performs no heap
+      // allocation. Retirement below guarantees no worker still references
+      // it when the frame unwinds.
+      Batch batch(num_tasks, task);
       {
         std::lock_guard<std::mutex> lock(state_mutex_);
-        current_ = batch;
+        current_ = &batch;
+        ++generation_;
       }
       work_cv_.notify_all();
-      ProcessBatch(*batch, state_mutex_, done_cv_);  // caller works too
+      ProcessBatch(batch, state_mutex_, done_cv_);  // caller works too
       {
+        // Wait until the batch is drained AND every worker that entered it
+        // has left ProcessBatch; only then is it safe to unpublish and let
+        // the stack storage die. Workers can only enter while current_ is
+        // published and they bump active_workers_ under this same mutex, so
+        // no worker can slip in between the predicate holding and the
+        // unpublish below.
         std::unique_lock<std::mutex> lock(state_mutex_);
         done_cv_.wait(lock, [&] {
-          return batch->remaining.load(std::memory_order_acquire) == 0;
+          return active_workers_ == 0 &&
+                 batch.remaining.load(std::memory_order_acquire) == 0;
         });
         current_ = nullptr;
       }
-      if (batch->first_error) std::rethrow_exception(batch->first_error);
+      if (batch.first_error) std::rethrow_exception(batch.first_error);
       return;
     }
     // Another thread owns the pool right now; stay deadlock-free by

@@ -21,6 +21,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <exception>
 #include <memory>
 #include <mutex>
@@ -85,10 +86,13 @@ class ThreadPool {
   static bool InParallelRegion();
 
  private:
-  /// Per-batch control block. Workers hold it by shared_ptr, so a worker
-  /// that wakes up late only ever spins an *exhausted* old batch (its index
-  /// counter is monotone past total) and can never touch a newer batch's
-  /// indices without re-synchronizing through state_mutex_.
+  /// Per-batch control block. Lives on the submitting thread's stack —
+  /// Run is allocation-free. Lifetime is safe because workers only obtain
+  /// the pointer under state_mutex_ while it is published (current_ !=
+  /// nullptr), each entry bumps active_workers_, and Run does not retire
+  /// the batch (or return) until active_workers_ == 0 with the batch
+  /// drained. Batches are identified by a generation counter, not by
+  /// address, so stack reuse across Run calls cannot confuse a worker.
   struct Batch;
 
   void WorkerLoop();
@@ -107,7 +111,9 @@ class ThreadPool {
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
   bool stopping_ = false;
-  std::shared_ptr<Batch> current_;
+  Batch* current_ = nullptr;       // guarded by state_mutex_
+  std::uint64_t generation_ = 0;   // bumped per published batch
+  int active_workers_ = 0;         // workers inside the current batch
 };
 
 /// Returns the pool size the global pool is created with: the AXSNN_THREADS

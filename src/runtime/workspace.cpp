@@ -23,18 +23,26 @@ Tensor& Workspace::Acquire(std::size_t index, long size) {
   return t;
 }
 
-std::vector<std::int32_t>& Workspace::AcquireI32(std::size_t index,
-                                                std::size_t size) {
+AlignedVector<std::int32_t>& Workspace::AcquireI32(std::size_t index,
+                                                   std::size_t size) {
   while (i32_slots_.size() <= index) i32_slots_.emplace_back();
-  std::vector<std::int32_t>& v = i32_slots_[index];
+  AlignedVector<std::int32_t>& v = i32_slots_[index];
   v.resize(size);  // never shrinks capacity: allocation-free once warm
   return v;
 }
 
-std::vector<std::int8_t>& Workspace::AcquireI8(std::size_t index,
-                                               std::size_t size) {
+AlignedVector<std::int8_t>& Workspace::AcquireI8(std::size_t index,
+                                                 std::size_t size) {
   while (i8_slots_.size() <= index) i8_slots_.emplace_back();
-  std::vector<std::int8_t>& v = i8_slots_[index];
+  AlignedVector<std::int8_t>& v = i8_slots_[index];
+  v.resize(size);
+  return v;
+}
+
+AlignedVector<std::uint64_t>& Workspace::AcquireU64(std::size_t index,
+                                                    std::size_t size) {
+  while (u64_slots_.size() <= index) u64_slots_.emplace_back();
+  AlignedVector<std::uint64_t>& v = u64_slots_[index];
   v.resize(size);
   return v;
 }

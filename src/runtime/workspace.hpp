@@ -22,8 +22,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <vector>
 
+#include "runtime/aligned.hpp"
 #include "tensor/tensor.hpp"
 
 namespace axsnn::runtime {
@@ -56,9 +56,16 @@ class Workspace {
   /// `size` elements without shrinking capacity, contents unspecified. The
   /// kernel subsystem stages activation codes, accumulator planes and
   /// nonzero gather lists here; slot indices are independent of the float
-  /// slots (see kernels::slots for the shared map).
-  std::vector<std::int32_t>& AcquireI32(std::size_t index, std::size_t size);
-  std::vector<std::int8_t>& AcquireI8(std::size_t index, std::size_t size);
+  /// slots (see kernels::slots for the shared map). Storage is 64-byte
+  /// aligned (runtime/aligned.hpp) so SIMD loads never split cache lines.
+  AlignedVector<std::int32_t>& AcquireI32(std::size_t index, std::size_t size);
+  AlignedVector<std::int8_t>& AcquireI8(std::size_t index, std::size_t size);
+
+  /// Bit-packed spike-word arena (64 events per word — see
+  /// kernels/spike_words.hpp). Same contract and alignment as the other
+  /// typed arenas.
+  AlignedVector<std::uint64_t>& AcquireU64(std::size_t index,
+                                           std::size_t size);
 
   /// Number of materialized float slots.
   std::size_t slot_count() const { return slots_.size(); }
@@ -68,12 +75,14 @@ class Workspace {
     slots_.clear();
     i32_slots_.clear();
     i8_slots_.clear();
+    u64_slots_.clear();
   }
 
  private:
   std::deque<Tensor> slots_;  // deque: references stay valid as slots grow
-  std::deque<std::vector<std::int32_t>> i32_slots_;
-  std::deque<std::vector<std::int8_t>> i8_slots_;
+  std::deque<AlignedVector<std::int32_t>> i32_slots_;
+  std::deque<AlignedVector<std::int8_t>> i8_slots_;
+  std::deque<AlignedVector<std::uint64_t>> u64_slots_;
 };
 
 /// Workspace holder for layers that own per-layer kernel scratch but must

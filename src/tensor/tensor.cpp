@@ -39,7 +39,9 @@ Tensor::Tensor(Shape shape, float value)
       data_(static_cast<std::size_t>(NumElements(shape_)), value) {}
 
 Tensor::Tensor(Shape shape, std::vector<float> data)
-    : shape_(std::move(shape)), data_(std::move(data)) {
+    : shape_(std::move(shape)), data_(data.begin(), data.end()) {
+  // One copy into aligned storage: this convenience constructor only runs
+  // on cold paths (dataset construction, tests), never in a forward pass.
   AXSNN_CHECK(static_cast<long>(data_.size()) == NumElements(shape_),
               "data size " << data_.size() << " does not match shape "
                            << ShapeToString(shape_));

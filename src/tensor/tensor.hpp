@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/aligned.hpp"
 #include "tensor/random.hpp"
 
 namespace axsnn {
@@ -156,7 +157,10 @@ class Tensor {
   Tensor& ApplyBinary(const Tensor& other, const char* op_name, Op op);
 
   Shape shape_;
-  std::vector<float> data_;
+  // 64-byte-aligned storage (runtime/aligned.hpp): the SIMD kernel tier
+  // loads activations and workspace packs with full-width vector loads that
+  // must never split a cache line.
+  runtime::AlignedVector<float> data_;
 };
 
 // --- free functions making new tensors --------------------------------------

@@ -1,9 +1,12 @@
 // Differential kernel-equivalence suite for the sparsity-aware dispatch
-// engine (src/kernels/): every kernel flavour (naive / gemm / sparse) must
-// produce the *same* result for the same inputs — bit-identical for fp32
-// (identical per-element accumulation order, see kernels/*.hpp), and within
-// one accumulation ULP for int8 (integer accumulation is exact; only the
-// final requantize multiply is float).
+// engine (src/kernels/): every kernel flavour (naive / gemm / sparse /
+// simd) must produce the *same* result for the same inputs — bit-identical
+// for fp32 naive/gemm/sparse (identical per-element accumulation order, see
+// kernels/*.hpp), bit-identical for every int8 flavour including simd
+// (integer accumulation is exact and the requantize rounds identically —
+// kernels/simd_kernels.hpp), and within a documented accumulation-order
+// tolerance for fp32 simd (FMA fuses the rounding; that is why auto never
+// selects it).
 //
 // The suite sweeps shapes (1x1 kernels, pad 0 and kernel-1, H=W=1, single
 // channels, odd sizes), spike densities 0 / 1% / 50% / 100%, and pool sizes
@@ -28,6 +31,7 @@
 #include "data/synthetic_mnist.hpp"
 #include "eval/report.hpp"
 #include "kernels/conv2d_kernels.hpp"
+#include "kernels/cpu_features.hpp"
 #include "kernels/dense_kernels.hpp"
 #include "kernels/dispatch.hpp"
 #include "runtime/thread_pool.hpp"
@@ -100,6 +104,24 @@ void ExpectWithinOneUlp(const Tensor& got, const Tensor& want,
         << " vs " << want[i];
 }
 
+/// The fp32 SIMD contract (kernels/simd_kernels.hpp): same math, different
+/// accumulation rounding (FMA fusion, 8-lane splits). Bounded by normal
+/// accumulation error at these fan-ins, nowhere near bit-identical — which
+/// is exactly why auto never picks the path.
+void ExpectWithinAccumTolerance(const Tensor& got, const Tensor& want,
+                                const char* what) {
+  ASSERT_EQ(got.shape(), want.shape()) << what;
+  for (long i = 0; i < got.numel(); ++i)
+    ASSERT_NEAR(got[i], want[i], 1e-4f + 1e-4f * std::fabs(want[i]))
+        << what << " diverges at flat index " << i;
+}
+
+/// True when the machine + build can run the AVX2 tier at all; the simd
+/// sweeps additionally pin the scalar degrade with ScopedSimdTier.
+bool SimdTierAvailable() {
+  return kernels::ActiveSimdTier() != kernels::SimdTier::kScalar;
+}
+
 // --- conv2d differential sweep ----------------------------------------------
 
 struct ConvCase {
@@ -150,6 +172,15 @@ TEST(KernelEquivalence, Conv2dFp32BitIdenticalAcrossModes) {
                            "conv2d sparse");
         ExpectBitIdentical(RunConv(c, w, b, x, KernelMode::kAuto), naive,
                            "conv2d auto");
+        if (SimdTierAvailable())
+          ExpectWithinAccumTolerance(RunConv(c, w, b, x, KernelMode::kSimd),
+                                     naive, "conv2d simd");
+        {
+          // Forced-ISA-off: simd must degrade to the scalar reference.
+          kernels::ScopedSimdTier scalar(kernels::SimdTier::kScalar);
+          ExpectBitIdentical(RunConv(c, w, b, x, KernelMode::kSimd), naive,
+                             "conv2d simd (scalar degrade)");
+        }
       }
     }
   }
@@ -192,6 +223,16 @@ TEST(KernelEquivalence, Conv2dInt8WithinOneUlpAcrossModes) {
                            naive, "int8 conv2d sparse");
         ExpectWithinOneUlp(RunConvInt8(c, qw, b, x, KernelMode::kAuto),
                            naive, "int8 conv2d auto");
+        // int8 simd is bit-exact at every tier (the stronger contract in
+        // kernels/simd_kernels.hpp), including the vnni->avx2 mask and the
+        // forced-ISA-off scalar degrade.
+        for (kernels::SimdTier cap :
+             {kernels::SimdTier::kVnni, kernels::SimdTier::kAvx2,
+              kernels::SimdTier::kScalar}) {
+          kernels::ScopedSimdTier scoped(cap);
+          ExpectBitIdentical(RunConvInt8(c, qw, b, x, KernelMode::kSimd),
+                             naive, "int8 conv2d simd");
+        }
       }
     }
   }
@@ -240,6 +281,14 @@ TEST(KernelEquivalence, DenseFp32BitIdenticalAcrossModes) {
                            "dense sparse");
         ExpectBitIdentical(RunDense(c, w, b, x, KernelMode::kAuto), naive,
                            "dense auto");
+        if (SimdTierAvailable())
+          ExpectWithinAccumTolerance(RunDense(c, w, b, x, KernelMode::kSimd),
+                                     naive, "dense simd");
+        {
+          kernels::ScopedSimdTier scalar(kernels::SimdTier::kScalar);
+          ExpectBitIdentical(RunDense(c, w, b, x, KernelMode::kSimd), naive,
+                             "dense simd (scalar degrade)");
+        }
       }
     }
   }
@@ -276,6 +325,15 @@ TEST(KernelEquivalence, DenseInt8WithinOneUlpAcrossModes) {
                            naive, "int8 dense gemm");
         ExpectWithinOneUlp(RunDenseInt8(c, qw, b, x, KernelMode::kSparse),
                            naive, "int8 dense sparse");
+        ExpectWithinOneUlp(RunDenseInt8(c, qw, b, x, KernelMode::kAuto),
+                           naive, "int8 dense auto");
+        for (kernels::SimdTier cap :
+             {kernels::SimdTier::kVnni, kernels::SimdTier::kAvx2,
+              kernels::SimdTier::kScalar}) {
+          kernels::ScopedSimdTier scoped(cap);
+          ExpectBitIdentical(RunDenseInt8(c, qw, b, x, KernelMode::kSimd),
+                             naive, "int8 dense simd");
+        }
       }
     }
   }
@@ -285,7 +343,8 @@ TEST(KernelEquivalence, DenseInt8WithinOneUlpAcrossModes) {
 
 TEST(KernelDispatch, ModeNamesRoundTrip) {
   for (KernelMode m : {KernelMode::kAuto, KernelMode::kNaive,
-                       KernelMode::kGemm, KernelMode::kSparse})
+                       KernelMode::kGemm, KernelMode::kSparse,
+                       KernelMode::kSimd})
     EXPECT_EQ(kernels::ParseKernelMode(kernels::KernelModeName(m)), m);
   EXPECT_FALSE(kernels::ParseKernelMode("fast").has_value());
   EXPECT_FALSE(kernels::ParseKernelMode("").has_value());
