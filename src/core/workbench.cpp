@@ -2,11 +2,46 @@
 
 #include <algorithm>
 
+#include "kernels/spike_stream.hpp"
 #include "runtime/parallel_for.hpp"
+#include "snn/event_runner.hpp"
 #include "snn/inference.hpp"
 #include "tensor/check.hpp"
 
 namespace axsnn::core {
+
+namespace {
+
+/// Event-path evaluation over an event dataset: bins one eval chunk at a
+/// time straight into a packed spike stream (data::BinRangePacked — the
+/// [N, T, 2, H, W] dense tensor never exists) and steps the runner over it.
+/// Chunk boundaries match the dense AccuracyTemporal loop and the runner's
+/// logits are bit-identical to the dense readout, so the predictions — and
+/// therefore every rendered report — are identical across paths. Returns
+/// accuracy in [0, 1].
+float AccuracyEventStreams(snn::Network& net, const data::EventDataset& ds,
+                           long time_bins, long batch) {
+  const long n = ds.size();
+  kernels::SpikeStream stream;
+  snn::EventRunner runner(net);
+  long correct = 0;
+  for (long start = 0; start < n; start += batch) {
+    const long count = std::min(batch, n - start);
+    data::BinRangePacked(ds, start, start + count, time_bins, stream);
+    const Tensor& logits = runner.Run(stream);
+    const long k = logits.dim(1);
+    for (long i = 0; i < count; ++i) {
+      const float* row = logits.data() + i * k;
+      const int pred =
+          static_cast<int>(std::max_element(row, row + k) - row);
+      if (pred == ds.labels[static_cast<std::size_t>(start + i)]) ++correct;
+    }
+  }
+  return n == 0 ? 0.0f
+               : static_cast<float>(correct) / static_cast<float>(n);
+}
+
+}  // namespace
 
 std::string AttackName(AttackKind kind) {
   // Index-to-key table only; the canonical display name comes from the
@@ -243,6 +278,7 @@ snn::Network DvsWorkbench::MakeAx(const TrainedModel& model,
   cfg.threshold_gain = options_.threshold_gain;
   cfg.int8_kernels = options_.int8_kernels;
   cfg.kernel_mode = spec.kernel_mode.value_or(options_.kernel_mode);
+  cfg.event_path = options_.event_path;
   auto [ax, report] = approx::MakeApproximate(model.net, cfg,
                                               model.calibration);
   (void)report;
@@ -257,6 +293,12 @@ float DvsWorkbench::AccuracyPct(snn::Network& victim,
   if (aqf.has_value()) {
     filtered = AqfFilterDataset(streams, *aqf);
     eval_set = &filtered;
+  }
+  if (snn::ResolveEventPathMode(victim.event_path()) ==
+      snn::EventPathMode::kEvent) {
+    return 100.0f * AccuracyEventStreams(victim, *eval_set,
+                                         options_.time_bins,
+                                         options_.eval_batch);
   }
   Tensor frames = data::BinDataset(*eval_set, options_.time_bins);
   return 100.0f * snn::AccuracyTemporal(victim, frames, eval_set->labels,
@@ -275,7 +317,13 @@ std::vector<float> DvsWorkbench::EvaluateVariants(
     filtered = AqfFilterDataset(streams, *aqf);
     eval_set = &filtered;
   }
-  Tensor frames = data::BinDataset(*eval_set, options_.time_bins);
+  // Every cell shares the options-level event_path (MakeAx applies it), so
+  // the routing decision is uniform: on the event path, skip the dense
+  // binning entirely — each cell bins per-chunk packed streams instead.
+  const bool event_path = snn::ResolveEventPathMode(options_.event_path) ==
+                          snn::EventPathMode::kEvent;
+  Tensor frames;
+  if (!event_path) frames = data::BinDataset(*eval_set, options_.time_bins);
   std::vector<float> robustness(specs.size(), 0.0f);
   runtime::ParallelFor(
       0, static_cast<long>(specs.size()),
@@ -283,8 +331,13 @@ std::vector<float> DvsWorkbench::EvaluateVariants(
         const VariantSpec& spec = specs[static_cast<std::size_t>(i)];
         snn::Network ax = MakeAx(model, spec);
         robustness[static_cast<std::size_t>(i)] =
-            100.0f * snn::AccuracyTemporal(ax, frames, eval_set->labels,
-                                           options_.eval_batch);
+            event_path
+                ? 100.0f * AccuracyEventStreams(ax, *eval_set,
+                                                options_.time_bins,
+                                                options_.eval_batch)
+                : 100.0f * snn::AccuracyTemporal(ax, frames,
+                                                 eval_set->labels,
+                                                 options_.eval_batch);
       },
       /*grain=*/1);
   return robustness;

@@ -1,27 +1,66 @@
 #include "data/event.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "runtime/parallel_for.hpp"
 #include "tensor/check.hpp"
 
 namespace axsnn::data {
 
-Tensor BinEvents(const EventStream& stream, long time_bins) {
+namespace {
+
+/// Maps an event to its (time bin, offset within the [2, H, W] sample
+/// plane). Returns false for events the binning ignores — off-sensor or
+/// outside [0, duration_ms) — so dense and packed binning share one rule
+/// and stay tolerant of attacked streams that push events out of range.
+inline bool BinIndex(const Event& e, long width, long height,
+                     float duration_ms, float bin_ms, long time_bins,
+                     long& bin, long& offset) {
+  if (e.x < 0 || e.x >= width || e.y < 0 || e.y >= height) return false;
+  if (e.t < 0.0f || e.t >= duration_ms) return false;
+  bin = std::min<long>(static_cast<long>(e.t / bin_ms), time_bins - 1);
+  const long channel = e.polarity > 0 ? 1 : 0;
+  offset = (channel * height + e.y) * width + e.x;
+  return true;
+}
+
+void CheckBinArgs(const EventStream& stream, long time_bins) {
   AXSNN_CHECK(time_bins > 0, "time_bins must be positive");
   AXSNN_CHECK(stream.width > 0 && stream.height > 0,
               "stream has no sensor geometry");
   AXSNN_CHECK(stream.duration_ms > 0.0f, "stream duration must be positive");
-  Tensor frames({time_bins, 2, stream.height, stream.width});
+}
+
+/// Sets sample `s` of `out` to the packed bits of `stream`'s binning.
+/// `out` must already be configured (zero-filled) with {2, H, W} planes.
+void BinStreamIntoSample(const EventStream& stream, long time_bins,
+                         kernels::SpikeStream& out, long s) {
   const float bin_ms = stream.duration_ms / static_cast<float>(time_bins);
   for (const Event& e : stream.events) {
-    if (e.x < 0 || e.x >= stream.width || e.y < 0 || e.y >= stream.height)
+    long bin = 0, offset = 0;
+    if (!BinIndex(e, stream.width, stream.height, stream.duration_ms, bin_ms,
+                  time_bins, bin, offset))
       continue;
-    if (e.t < 0.0f || e.t >= stream.duration_ms) continue;
-    const long bin = std::min<long>(static_cast<long>(e.t / bin_ms),
-                                    time_bins - 1);
-    const long channel = e.polarity > 0 ? 1 : 0;
-    frames(bin, channel, e.y, e.x) = 1.0f;
+    out.SampleWords(bin, s)[offset >> 6] |=
+        std::uint64_t{1} << (offset & 63);
+  }
+}
+
+}  // namespace
+
+Tensor BinEvents(const EventStream& stream, long time_bins) {
+  CheckBinArgs(stream, time_bins);
+  Tensor frames({time_bins, 2, stream.height, stream.width});
+  const long plane = 2 * stream.height * stream.width;
+  const float bin_ms = stream.duration_ms / static_cast<float>(time_bins);
+  float* fd = frames.data();
+  for (const Event& e : stream.events) {
+    long bin = 0, offset = 0;
+    if (!BinIndex(e, stream.width, stream.height, stream.duration_ms, bin_ms,
+                  time_bins, bin, offset))
+      continue;
+    fd[bin * plane + offset] = 1.0f;
   }
   return frames;
 }
@@ -38,6 +77,35 @@ Tensor BinDataset(const EventDataset& dataset, long time_bins) {
               out.data() + i * per_sample);
   });
   return out;
+}
+
+void BinEventsPacked(const EventStream& stream, long time_bins,
+                     kernels::SpikeStream& out) {
+  CheckBinArgs(stream, time_bins);
+  out.Configure(time_bins, 1, {2, stream.height, stream.width});
+  BinStreamIntoSample(stream, time_bins, out, 0);
+  out.FinalizeCounts();
+}
+
+void BinRangePacked(const EventDataset& dataset, long lo, long hi,
+                    long time_bins, kernels::SpikeStream& out) {
+  AXSNN_CHECK(time_bins > 0, "time_bins must be positive");
+  AXSNN_CHECK(lo >= 0 && lo < hi && hi <= dataset.size(),
+              "BinRangePacked: bad stream range [" << lo << ", " << hi
+                                                   << ") of "
+                                                   << dataset.size());
+  AXSNN_CHECK(dataset.width > 0 && dataset.height > 0,
+              "dataset has no sensor geometry");
+  // Validate serially first: AXSNN_CHECK throws, and throwing from inside
+  // a worker lambda must not happen.
+  for (long s = lo; s < hi; ++s)
+    CheckBinArgs(dataset.streams[static_cast<std::size_t>(s)], time_bins);
+  out.Configure(time_bins, hi - lo, {2, dataset.height, dataset.width});
+  runtime::ParallelFor(0, hi - lo, [&](long s) {
+    BinStreamIntoSample(dataset.streams[static_cast<std::size_t>(lo + s)],
+                        time_bins, out, s);
+  });
+  out.FinalizeCounts();
 }
 
 }  // namespace axsnn::data

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "kernels/spike_stream.hpp"
 #include "tensor/tensor.hpp"
 
 namespace axsnn::data {
@@ -54,5 +55,21 @@ Tensor BinEvents(const EventStream& stream, long time_bins);
 
 /// Bins a whole dataset into [N, T, 2, H, W] frames.
 Tensor BinDataset(const EventDataset& dataset, long time_bins);
+
+/// Streaming ingestion for the event path: bins one stream straight into a
+/// compressed spike stream (batch 1, sample shape {2, H, W}), setting
+/// exactly the bits BinEvents would set to 1.0f — same bin rule, same
+/// tolerance for out-of-range events. Never builds the dense [T, 2, H, W]
+/// tensor.
+void BinEventsPacked(const EventStream& stream, long time_bins,
+                     kernels::SpikeStream& out);
+
+/// Bins dataset streams [lo, hi) into a compressed spike stream whose
+/// sample s corresponds to dataset stream lo + s. Chunk-at-a-time: callers
+/// walk a large dataset one evaluation batch per call, so no [N, T, ...]
+/// dense buffer ever exists. Bit-for-bit the packed form of the matching
+/// BinDataset rows.
+void BinRangePacked(const EventDataset& dataset, long lo, long hi,
+                    long time_bins, kernels::SpikeStream& out);
 
 }  // namespace axsnn::data

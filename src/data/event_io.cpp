@@ -1,9 +1,11 @@
 #include "data/event_io.hpp"
 
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 namespace axsnn::data {
@@ -13,18 +15,110 @@ namespace {
 constexpr std::uint32_t kStreamMagic = 0x41584556;   // "AXEV"
 constexpr std::uint32_t kDatasetMagic = 0x41584544;  // "AXED"
 constexpr std::uint32_t kVersion = 1;
+// Coordinates are int16 on disk, so a sane sensor never exceeds this.
+constexpr long kMaxSensorDim = 32768;
 
 template <typename T>
 void WritePod(std::ostream& os, const T& v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof v);
 }
 
-template <typename T>
-T ReadPod(std::istream& is) {
-  T v{};
-  is.read(reinterpret_cast<char*>(&v), sizeof v);
-  if (!is) throw std::runtime_error("axsnn: truncated event stream data");
-  return v;
+/// Byte-offset-tracking reader: every failure names the field being read
+/// and the absolute file offset where the record starts going wrong, so a
+/// corrupted multi-gigabyte capture is debuggable without a hex dump.
+class Reader {
+ public:
+  explicit Reader(std::istream& is) : is_(is) {
+    const auto pos = is.tellg();
+    base_ = pos == std::istream::pos_type(-1)
+                ? -1
+                : static_cast<std::int64_t>(pos);
+  }
+
+  /// Offset of the next unread byte: absolute when the stream is seekable,
+  /// else relative to where this reader started.
+  std::int64_t offset() const { return base_ < 0 ? read_ : base_ + read_; }
+
+  template <typename T>
+  T Read(const char* what) {
+    T v{};
+    is_.read(reinterpret_cast<char*>(&v), sizeof v);
+    if (!is_) {
+      std::ostringstream msg;
+      msg << "axsnn: truncated event stream data: " << what
+          << " at byte offset " << offset();
+      throw std::runtime_error(msg.str());
+    }
+    read_ += static_cast<std::int64_t>(sizeof v);
+    return v;
+  }
+
+  [[noreturn]] void Fail(std::int64_t record_offset,
+                         const std::string& detail) const {
+    std::ostringstream msg;
+    msg << "axsnn: malformed event stream data at byte offset "
+        << record_offset << ": " << detail;
+    throw std::runtime_error(msg.str());
+  }
+
+ private:
+  std::istream& is_;
+  std::int64_t base_ = -1;
+  std::int64_t read_ = 0;
+};
+
+EventStream ReadEventStreamTracked(Reader& r) {
+  const std::int64_t header_off = r.offset();
+  if (r.Read<std::uint32_t>("stream magic") != kStreamMagic)
+    throw std::runtime_error("axsnn: bad event-stream magic");
+  if (r.Read<std::uint32_t>("stream version") != kVersion)
+    throw std::runtime_error("axsnn: unsupported event-stream version");
+  EventStream s;
+  s.width = static_cast<long>(r.Read<std::int64_t>("sensor width"));
+  s.height = static_cast<long>(r.Read<std::int64_t>("sensor height"));
+  s.duration_ms = r.Read<float>("stream duration");
+  if (s.width <= 0 || s.width > kMaxSensorDim || s.height <= 0 ||
+      s.height > kMaxSensorDim) {
+    std::ostringstream d;
+    d << "sensor geometry " << s.width << "x" << s.height
+      << " outside (0, " << kMaxSensorDim << "]";
+    r.Fail(header_off, d.str());
+  }
+  if (!(s.duration_ms > 0.0f) || !std::isfinite(s.duration_ms)) {
+    std::ostringstream d;
+    d << "stream duration " << s.duration_ms << " not positive and finite";
+    r.Fail(header_off, d.str());
+  }
+  const std::int64_t count = r.Read<std::int64_t>("event count");
+  if (count < 0 || count > (1LL << 32))
+    throw std::runtime_error("axsnn: implausible event count");
+  s.events.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    const std::int64_t record_off = r.offset();
+    Event e;
+    e.x = r.Read<std::int16_t>("event x");
+    e.y = r.Read<std::int16_t>("event y");
+    e.polarity = r.Read<std::int8_t>("event polarity");
+    e.t = r.Read<float>("event timestamp");
+    std::ostringstream d;
+    if (e.x < 0 || e.x >= s.width || e.y < 0 || e.y >= s.height) {
+      d << "event " << i << " coordinates (" << e.x << ", " << e.y
+        << ") outside sensor " << s.width << "x" << s.height;
+      r.Fail(record_off, d.str());
+    }
+    if (e.polarity != 1 && e.polarity != -1) {
+      d << "event " << i << " polarity " << static_cast<int>(e.polarity)
+        << " not +1/-1";
+      r.Fail(record_off, d.str());
+    }
+    if (!(e.t >= 0.0f && e.t <= s.duration_ms)) {  // also rejects NaN
+      d << "event " << i << " timestamp " << e.t << " outside [0, "
+        << s.duration_ms << "]";
+      r.Fail(record_off, d.str());
+    }
+    s.events.push_back(e);
+  }
+  return s;
 }
 
 }  // namespace
@@ -45,27 +139,8 @@ void WriteEventStream(std::ostream& os, const EventStream& stream) {
 }
 
 EventStream ReadEventStream(std::istream& is) {
-  if (ReadPod<std::uint32_t>(is) != kStreamMagic)
-    throw std::runtime_error("axsnn: bad event-stream magic");
-  if (ReadPod<std::uint32_t>(is) != kVersion)
-    throw std::runtime_error("axsnn: unsupported event-stream version");
-  EventStream s;
-  s.width = static_cast<long>(ReadPod<std::int64_t>(is));
-  s.height = static_cast<long>(ReadPod<std::int64_t>(is));
-  s.duration_ms = ReadPod<float>(is);
-  const std::int64_t count = ReadPod<std::int64_t>(is);
-  if (count < 0 || count > (1LL << 32))
-    throw std::runtime_error("axsnn: implausible event count");
-  s.events.reserve(static_cast<std::size_t>(count));
-  for (std::int64_t i = 0; i < count; ++i) {
-    Event e;
-    e.x = ReadPod<std::int16_t>(is);
-    e.y = ReadPod<std::int16_t>(is);
-    e.polarity = ReadPod<std::int8_t>(is);
-    e.t = ReadPod<float>(is);
-    s.events.push_back(e);
-  }
-  return s;
+  Reader r(is);
+  return ReadEventStreamTracked(r);
 }
 
 void WriteEventDataset(std::ostream& os, const EventDataset& dataset) {
@@ -83,21 +158,32 @@ void WriteEventDataset(std::ostream& os, const EventDataset& dataset) {
 }
 
 EventDataset ReadEventDataset(std::istream& is) {
-  if (ReadPod<std::uint32_t>(is) != kDatasetMagic)
+  Reader r(is);
+  if (r.Read<std::uint32_t>("dataset magic") != kDatasetMagic)
     throw std::runtime_error("axsnn: bad event-dataset magic");
-  if (ReadPod<std::uint32_t>(is) != kVersion)
+  if (r.Read<std::uint32_t>("dataset version") != kVersion)
     throw std::runtime_error("axsnn: unsupported event-dataset version");
   EventDataset ds;
-  ds.width = static_cast<long>(ReadPod<std::int64_t>(is));
-  ds.height = static_cast<long>(ReadPod<std::int64_t>(is));
-  ds.duration_ms = ReadPod<float>(is);
-  ds.num_classes = ReadPod<std::int32_t>(is);
-  const std::int64_t count = ReadPod<std::int64_t>(is);
+  ds.width = static_cast<long>(r.Read<std::int64_t>("dataset width"));
+  ds.height = static_cast<long>(r.Read<std::int64_t>("dataset height"));
+  ds.duration_ms = r.Read<float>("dataset duration");
+  ds.num_classes = r.Read<std::int32_t>("class count");
+  if (ds.num_classes <= 0)
+    r.Fail(0, "dataset class count must be positive");
+  const std::int64_t count = r.Read<std::int64_t>("stream count");
   if (count < 0 || count > (1LL << 24))
     throw std::runtime_error("axsnn: implausible stream count");
   for (std::int64_t i = 0; i < count; ++i) {
-    ds.labels.push_back(ReadPod<std::int32_t>(is));
-    ds.streams.push_back(ReadEventStream(is));
+    const std::int64_t label_off = r.offset();
+    const std::int32_t label = r.Read<std::int32_t>("stream label");
+    if (label < 0 || label >= ds.num_classes) {
+      std::ostringstream d;
+      d << "stream " << i << " label " << label << " outside [0, "
+        << ds.num_classes << ")";
+      r.Fail(label_off, d.str());
+    }
+    ds.labels.push_back(static_cast<int>(label));
+    ds.streams.push_back(ReadEventStreamTracked(r));
   }
   return ds;
 }

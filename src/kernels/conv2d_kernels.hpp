@@ -34,10 +34,13 @@ struct Conv2dGeom {
 /// `weight` is [C_out, C_in, K, K], `bias` [C_out]; `out` must already be
 /// sized. `mode` selects the implementation after the global-override and
 /// density-probe rules of kernels/dispatch.hpp; `scratch` owns the packing
-/// buffers and gather lists (allocation-free in steady state).
+/// buffers and gather lists (allocation-free in steady state). `packed`
+/// optionally supplies pre-built spike words (one row per sample, row
+/// length C_in * H * W) — see kernels::PackedWords.
 void Conv2dForward(const Tensor& weight, const Tensor& bias, const Tensor& x,
                    Tensor& out, const Conv2dGeom& geom, KernelMode mode,
-                   runtime::Workspace& scratch);
+                   runtime::Workspace& scratch,
+                   const PackedWords* packed = nullptr);
 
 /// int8 convolution forward. `qact` holds the activation codes (int8 values
 /// staged in int32 lanes, length n * C_in * h * w) already quantized by the
@@ -47,6 +50,7 @@ void Conv2dForward(const Tensor& weight, const Tensor& bias, const Tensor& x,
 void Int8Conv2dForward(const QuantizedTensor& weight, const Tensor& bias,
                        const std::int32_t* qact, float act_scale, long n,
                        long h, long w, Tensor& out, const Conv2dGeom& geom,
-                       KernelMode mode, runtime::Workspace& scratch);
+                       KernelMode mode, runtime::Workspace& scratch,
+                       const PackedWords* packed = nullptr);
 
 }  // namespace axsnn::kernels

@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "kernels/spike_stream.hpp"
 #include "tensor/random.hpp"
 #include "tensor/tensor.hpp"
 
@@ -56,7 +57,16 @@ Tensor CollapseTimeGradient(const Tensor& grad_tbx);
 /// store them) into the time-major layout [T, B, C, H, W] the network wants.
 Tensor TimeMajor(const Tensor& frames_btx);
 
-/// Allocation-free variant of TimeMajor. `out` must not alias `frames_btx`.
+/// Allocation-free variant of TimeMajor. `out` must not alias `frames_btx`
+/// (checked — aliasing storage throws, as do degenerate [B, T] dims).
 void TimeMajorInto(const Tensor& frames_btx, Tensor& out);
+
+/// Packs per-sample frame stacks [B, T, <sample...>] straight into a
+/// time-major compressed spike stream — the event-path twin of
+/// TimeMajorInto, transposing and bit-packing in one pass without ever
+/// materializing the [T, B, ...] dense tensor. Returns false (stream left
+/// configured but contents unspecified) when any element is neither 0.0f
+/// nor 1.0f; callers fall back to the dense path then.
+bool TimeMajorPackInto(const Tensor& frames_btx, kernels::SpikeStream& stream);
 
 }  // namespace axsnn::snn

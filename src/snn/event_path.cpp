@@ -1,0 +1,51 @@
+#include "snn/event_path.hpp"
+
+#include <cstdlib>
+
+namespace axsnn::snn {
+namespace {
+
+EventPathMode InitialGlobalMode() {
+  const char* env = std::getenv("AXSNN_EVENT_PATH");
+  if (env == nullptr) return EventPathMode::kAuto;
+  return ParseEventPathMode(env).value_or(EventPathMode::kAuto);
+}
+
+EventPathMode& GlobalModeRef() {
+  static EventPathMode mode = InitialGlobalMode();
+  return mode;
+}
+
+}  // namespace
+
+const char* EventPathName(EventPathMode mode) {
+  switch (mode) {
+    case EventPathMode::kAuto:
+      return "auto";
+    case EventPathMode::kDense:
+      return "dense";
+    case EventPathMode::kEvent:
+      return "event";
+  }
+  return "auto";
+}
+
+std::optional<EventPathMode> ParseEventPathMode(std::string_view name) {
+  if (name == "auto") return EventPathMode::kAuto;
+  if (name == "dense" || name == "off") return EventPathMode::kDense;
+  if (name == "event" || name == "on") return EventPathMode::kEvent;
+  return std::nullopt;
+}
+
+EventPathMode GlobalEventPathMode() { return GlobalModeRef(); }
+
+void SetGlobalEventPathMode(EventPathMode mode) { GlobalModeRef() = mode; }
+
+EventPathMode ResolveEventPathMode(EventPathMode requested) {
+  const EventPathMode global = GlobalEventPathMode();
+  if (global != EventPathMode::kAuto) return global;
+  if (requested != EventPathMode::kAuto) return requested;
+  return EventPathMode::kDense;
+}
+
+}  // namespace axsnn::snn

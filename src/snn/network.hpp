@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "runtime/workspace.hpp"
+#include "snn/event_path.hpp"
 #include "snn/layer.hpp"
 #include "snn/lif.hpp"
 #include "tensor/tensor.hpp"
@@ -97,6 +98,13 @@ class Network {
   /// "structural parameter" knob (threshold voltage sweep).
   void SetLifParams(const LifParams& params);
 
+  /// Temporal execution path preference for this network: kDense runs the
+  /// [T, B, ...] frame-tensor pipeline, kEvent the compressed spike-stream
+  /// one. Resolved against the AXSNN_EVENT_PATH env override / global mode
+  /// at dispatch time (snn::ResolveEventPathMode); kAuto means dense.
+  EventPathMode event_path() const { return event_path_; }
+  void set_event_path(EventPathMode mode) { event_path_ = mode; }
+
   /// Deep copy: same weights, fresh caches.
   Network Clone() const;
 
@@ -110,6 +118,7 @@ class Network {
  private:
   std::vector<std::unique_ptr<Layer>> layers_;
   runtime::Workspace workspace_;  // activation ping-pong for ForwardShared
+  EventPathMode event_path_ = EventPathMode::kAuto;
 };
 
 /// Scoped inference-pass gradient caching: the gradient-based attacks

@@ -1,13 +1,19 @@
 // Tests for the synthetic datasets: digit generator, DVS gesture simulator,
-// event binning.
+// event binning (dense and packed), event stream IO hardening.
 #include <algorithm>
+#include <limits>
 #include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
 
 #include <gtest/gtest.h>
 
 #include "data/dvs_gesture.hpp"
 #include "data/event.hpp"
+#include "data/event_io.hpp"
 #include "data/synthetic_mnist.hpp"
+#include "kernels/spike_stream.hpp"
 
 namespace axsnn::data {
 namespace {
@@ -214,6 +220,232 @@ TEST(BinEvents, RejectsBadInputs) {
   EXPECT_THROW(BinEvents(s, 0), std::invalid_argument);
   s.duration_ms = 0.0f;
   EXPECT_THROW(BinEvents(s, 4), std::invalid_argument);
+}
+
+// --- Packed (event-path) binning mirrors the dense binning ------------------
+
+TEST(BinEventsPacked, MatchesDenseBinning) {
+  DvsGestureOptions opts;
+  Rng rng(5);
+  EventStream s = SimulateGesture(3, opts, rng);
+  const long kBins = 6;
+  Tensor dense = BinEvents(s, kBins);
+  kernels::SpikeStream stream;
+  BinEventsPacked(s, kBins, stream);
+  ASSERT_EQ(stream.time_steps(), kBins);
+  ASSERT_EQ(stream.batch(), 1);
+  const long plane = 2 * opts.height * opts.width;
+  ASSERT_EQ(stream.plane(), plane);
+  std::vector<float> step(static_cast<std::size_t>(plane));
+  long total = 0;
+  for (long t = 0; t < kBins; ++t) {
+    stream.DensifyStepInto(t, step.data());
+    for (long j = 0; j < plane; ++j)
+      ASSERT_EQ(step[static_cast<std::size_t>(j)], dense[t * plane + j])
+          << "step " << t << " element " << j;
+    total += stream.StepTotal(t);
+  }
+  EXPECT_FLOAT_EQ(static_cast<float>(total), dense.Sum());
+  EXPECT_GT(total, 0);
+}
+
+TEST(BinEventsPacked, ToleratesOutOfRangeEvents) {
+  // Attacked streams push events off-sensor / out of the time window; the
+  // packed binner must drop exactly what the dense binner drops.
+  EventStream s;
+  s.width = 2;
+  s.height = 2;
+  s.duration_ms = 10.0f;
+  s.events = {{5, 0, 1, 1.0f},   // off sensor
+              {0, 0, 1, 20.0f},  // after end
+              {0, 0, 1, -1.0f},  // before start
+              {1, 1, 1, 5.0f}};  // valid
+  kernels::SpikeStream stream;
+  BinEventsPacked(s, 2, stream);
+  EXPECT_EQ(stream.TotalSpikes(), 1);
+  EXPECT_EQ(stream.StepTotal(1), 1);
+}
+
+TEST(BinEventsPacked, RejectsBadInputs) {
+  EventStream s;
+  s.width = 0;
+  s.height = 2;
+  s.duration_ms = 10.0f;
+  kernels::SpikeStream stream;
+  EXPECT_THROW(BinEventsPacked(s, 4, stream), std::invalid_argument);
+  s.width = 2;
+  EXPECT_THROW(BinEventsPacked(s, 0, stream), std::invalid_argument);
+  s.duration_ms = 0.0f;
+  EXPECT_THROW(BinEventsPacked(s, 4, stream), std::invalid_argument);
+}
+
+TEST(BinRangePacked, MatchesBinDatasetRows) {
+  DvsGestureOptions opts;
+  opts.count = 6;
+  EventDataset ds = MakeSyntheticDvsGesture(opts);
+  const long kBins = 5;
+  Tensor frames = BinDataset(ds, kBins);  // [6, T, 2, 32, 32]
+  const long plane = 2 * ds.height * ds.width;
+  // A mid-dataset chunk, as the streaming evaluation loop would take it.
+  const long lo = 2, hi = 5;
+  kernels::SpikeStream stream;
+  BinRangePacked(ds, lo, hi, kBins, stream);
+  ASSERT_EQ(stream.time_steps(), kBins);
+  ASSERT_EQ(stream.batch(), hi - lo);
+  ASSERT_EQ(stream.plane(), plane);
+  std::vector<float> step(static_cast<std::size_t>((hi - lo) * plane));
+  for (long t = 0; t < kBins; ++t) {
+    stream.DensifyStepInto(t, step.data());
+    for (long i = 0; i < hi - lo; ++i) {
+      const float* want = frames.data() + ((lo + i) * kBins + t) * plane;
+      const float* got = step.data() + i * plane;
+      for (long j = 0; j < plane; ++j)
+        ASSERT_EQ(got[j], want[j]) << "sample " << i << " step " << t;
+    }
+  }
+  EXPECT_GT(stream.TotalSpikes(), 0);
+}
+
+TEST(BinRangePacked, RejectsBadRange) {
+  DvsGestureOptions opts;
+  opts.count = 4;
+  EventDataset ds = MakeSyntheticDvsGesture(opts);
+  kernels::SpikeStream stream;
+  EXPECT_THROW(BinRangePacked(ds, -1, 2, 4, stream), std::invalid_argument);
+  EXPECT_THROW(BinRangePacked(ds, 2, 2, 4, stream), std::invalid_argument);
+  EXPECT_THROW(BinRangePacked(ds, 0, 5, 4, stream), std::invalid_argument);
+  EXPECT_THROW(BinRangePacked(ds, 0, 4, 0, stream), std::invalid_argument);
+}
+
+// --- Event IO hardening: malformed streams fail with offset context ---------
+
+std::string SerializeStream(const EventStream& s) {
+  std::ostringstream os;
+  WriteEventStream(os, s);
+  return os.str();
+}
+
+/// Reads the bytes back and returns the error message ("" when the read
+/// unexpectedly succeeds).
+std::string ReadStreamError(const std::string& bytes) {
+  std::istringstream is(bytes);
+  try {
+    ReadEventStream(is);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+EventStream SmallValidStream() {
+  EventStream s;
+  s.width = 4;
+  s.height = 4;
+  s.duration_ms = 10.0f;
+  s.events = {{0, 0, 1, 1.0f}, {3, 2, -1, 9.5f}};
+  return s;
+}
+
+TEST(EventIo, RoundTripsValidStream) {
+  EventStream s = SmallValidStream();
+  std::istringstream is(SerializeStream(s));
+  EventStream r = ReadEventStream(is);
+  EXPECT_EQ(r.width, s.width);
+  EXPECT_EQ(r.height, s.height);
+  EXPECT_FLOAT_EQ(r.duration_ms, s.duration_ms);
+  EXPECT_EQ(r.events, s.events);
+}
+
+TEST(EventIo, RejectsOffSensorCoordinates) {
+  EventStream s = SmallValidStream();
+  s.events[1].x = 9;  // width is 4
+  const std::string err = ReadStreamError(SerializeStream(s));
+  EXPECT_NE(err.find("malformed"), std::string::npos) << err;
+  EXPECT_NE(err.find("byte offset"), std::string::npos) << err;
+}
+
+TEST(EventIo, RejectsBadPolarity) {
+  EventStream s = SmallValidStream();
+  s.events[0].polarity = 0;
+  const std::string err = ReadStreamError(SerializeStream(s));
+  EXPECT_NE(err.find("malformed"), std::string::npos) << err;
+  EXPECT_NE(err.find("byte offset"), std::string::npos) << err;
+}
+
+TEST(EventIo, RejectsOutOfRangeTimestamps) {
+  for (float bad_t : {-1.0f, 11.0f, std::numeric_limits<float>::quiet_NaN()}) {
+    EventStream s = SmallValidStream();
+    s.events[0].t = bad_t;
+    const std::string err = ReadStreamError(SerializeStream(s));
+    EXPECT_NE(err.find("malformed"), std::string::npos)
+        << "t=" << bad_t << ": " << err;
+    EXPECT_NE(err.find("byte offset"), std::string::npos) << err;
+  }
+}
+
+TEST(EventIo, RejectsBadGeometry) {
+  EventStream s = SmallValidStream();
+  s.width = 0;
+  const std::string err = ReadStreamError(SerializeStream(s));
+  EXPECT_NE(err.find("malformed"), std::string::npos) << err;
+  EXPECT_NE(err.find("byte offset"), std::string::npos) << err;
+}
+
+TEST(EventIo, RejectsTruncatedRecords) {
+  const std::string bytes = SerializeStream(SmallValidStream());
+  // Chop mid-event and mid-header: both must say what was being read and
+  // where, not return a partial stream.
+  for (std::size_t keep : {bytes.size() - 3, std::size_t{10}}) {
+    const std::string err = ReadStreamError(bytes.substr(0, keep));
+    EXPECT_NE(err.find("truncated"), std::string::npos)
+        << "keep=" << keep << ": " << err;
+    EXPECT_NE(err.find("byte offset"), std::string::npos) << err;
+  }
+}
+
+TEST(EventIo, DatasetRejectsBadLabel) {
+  EventDataset ds;
+  ds.width = 4;
+  ds.height = 4;
+  ds.duration_ms = 10.0f;
+  ds.num_classes = 2;
+  ds.streams = {SmallValidStream(), SmallValidStream()};
+  ds.labels = {0, 5};  // 5 >= num_classes
+  std::ostringstream os;
+  WriteEventDataset(os, ds);
+  std::istringstream is(os.str());
+  try {
+    ReadEventDataset(is);
+    FAIL() << "expected malformed-label throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("malformed"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("byte offset"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(EventIo, DatasetRejectsTruncation) {
+  EventDataset ds;
+  ds.width = 4;
+  ds.height = 4;
+  ds.duration_ms = 10.0f;
+  ds.num_classes = 2;
+  ds.streams = {SmallValidStream(), SmallValidStream()};
+  ds.labels = {0, 1};
+  std::ostringstream os;
+  WriteEventDataset(os, ds);
+  const std::string bytes = os.str();
+  std::istringstream is(bytes.substr(0, bytes.size() - 2));
+  try {
+    ReadEventDataset(is);
+    FAIL() << "expected truncation throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("byte offset"), std::string::npos)
+        << e.what();
+  }
 }
 
 // --- Parameterized sweep: every gesture class simulates sanely -------------
