@@ -252,7 +252,7 @@ void PrintBanner(const std::string& artifact, const std::string& paper_claim) {
 
 void RunEpsSweepFigure(const EpsSweepFigure& figure) {
   PrintBanner(figure.artifact, figure.paper_claim);
-  std::cout << "runtime pool: " << runtime::GlobalPool().thread_count()
+  std::cout << "runtime pool: " << runtime::GlobalPool()->thread_count()
             << " thread(s)\n";
 
   core::StaticWorkbench workbench(MakeStaticTrain(2048), MakeStaticTest(512),
@@ -291,7 +291,7 @@ void RunEpsSweepFigure(const EpsSweepFigure& figure) {
                          series);
   eval::PrintRunFooter(std::cout, outcome.stats.sweep_seconds,
                        static_cast<long>(grid.CellCount()),
-                       runtime::GlobalPool().thread_count());
+                       runtime::GlobalPool()->thread_count());
 }
 
 void RunPrecisionHeatmap(approx::Precision precision,

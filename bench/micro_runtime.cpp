@@ -465,7 +465,18 @@ std::vector<EventPipelinePoint> RunEventPipeline(int repeats_arg) {
 }  // namespace axsnn
 
 int main(int argc, char** argv) {
-  const int repeats = argc > 1 ? std::atoi(argv[1]) : 50;
+  int repeats = 50;
+  if (argc > 1) {
+    // Full-string validation: "50x" or "" must not silently become 0 repeats.
+    const auto parsed = axsnn::runtime::ParseLongStrict(argv[1]);
+    if (!parsed || *parsed <= 0 || *parsed > 1000000) {
+      std::fprintf(stderr,
+                   "usage: %s [repeats]  (positive integer, got \"%s\")\n",
+                   argv[0], argv[1]);
+      return 2;
+    }
+    repeats = static_cast<int>(*parsed);
+  }
 
   std::printf("== runtime micro-benchmark ==\n");
   std::printf("hardware threads: %d\n", axsnn::runtime::DefaultThreadCount());

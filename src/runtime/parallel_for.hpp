@@ -49,8 +49,13 @@ void ParallelForChunks(long begin, long end, Body&& body, long grain = 0,
     const long lo = begin + c * g;
     body(c, lo, std::min(end, lo + g));
   };
-  (pool != nullptr ? *pool : GlobalPool())
-      .Run(chunks, FunctionRef<void(long)>(task));
+  if (pool != nullptr) {
+    pool->Run(chunks, FunctionRef<void(long)>(task));
+  } else {
+    // Hold the shared_ptr for the whole Run: a concurrent SetGlobalThreads
+    // then retires the pool instead of destroying it under our feet.
+    GlobalPool()->Run(chunks, FunctionRef<void(long)>(task));
+  }
 }
 
 /// Runs body(i) for every i in [begin, end), parallelized over fixed chunks.

@@ -1,6 +1,8 @@
 #include "runtime/thread_pool.hpp"
 
+#include <cerrno>
 #include <cstdlib>
+#include <utility>
 
 #include "tensor/check.hpp"
 
@@ -31,6 +33,10 @@ struct ThreadPool::Batch {
   std::atomic<long> remaining;
   std::mutex error_mutex;
   std::exception_ptr first_error;
+  // Queue linkage and retirement bookkeeping — all guarded by state_mutex_.
+  Batch* next_queued = nullptr;
+  bool linked = false;
+  int active = 0;  // workers currently inside ProcessBatch for this batch
 };
 
 bool ThreadPool::InParallelRegion() { return tls_in_parallel_region; }
@@ -73,69 +79,99 @@ void ThreadPool::ProcessBatch(Batch& batch, std::mutex& state_mutex,
   }
 }
 
+void ThreadPool::UnlinkLocked(Batch* b) {
+  if (!b->linked) return;
+  Batch* prev = nullptr;
+  Batch* cur = head_;
+  while (cur != b) {
+    prev = cur;
+    cur = cur->next_queued;
+  }
+  (prev != nullptr ? prev->next_queued : head_) = b->next_queued;
+  if (tail_ == b) tail_ = prev;
+  b->next_queued = nullptr;
+  b->linked = false;
+}
+
 void ThreadPool::WorkerLoop() {
-  std::uint64_t last_generation = 0;
   std::unique_lock<std::mutex> lock(state_mutex_);
   while (true) {
-    work_cv_.wait(lock, [&] {
-      return stopping_ ||
-             (current_ != nullptr && generation_ != last_generation);
-    });
+    work_cv_.wait(lock, [&] { return stopping_ || head_ != nullptr; });
     if (stopping_) return;
-    last_generation = generation_;
-    Batch* batch = current_;
-    ++active_workers_;  // Run cannot retire the batch until this drops to 0
+    Batch* batch = head_;
+    if (batch->next.load(std::memory_order_relaxed) >= batch->total) {
+      // Every task already claimed: retire from the queue so the next
+      // pending batch (another producer's) becomes visible.
+      UnlinkLocked(batch);
+      continue;
+    }
+    ++batch->active;  // Run cannot retire the batch until this drops to 0
     lock.unlock();
     ProcessBatch(*batch, state_mutex_, done_cv_);
     lock.lock();
-    if (--active_workers_ == 0) done_cv_.notify_all();
+    --batch->active;
+    if (batch->next.load(std::memory_order_relaxed) >= batch->total)
+      UnlinkLocked(batch);
+    if (batch->active == 0) done_cv_.notify_all();
   }
 }
 
 void ThreadPool::Run(long num_tasks, FunctionRef<void(long)> task) {
   if (num_tasks <= 0) return;
-  if (!workers_.empty() && !tls_in_parallel_region && num_tasks > 1) {
-    std::unique_lock<std::mutex> serial(run_mutex_, std::try_to_lock);
-    if (serial.owns_lock()) {
-      // The batch lives on this stack frame — dispatch performs no heap
-      // allocation. Retirement below guarantees no worker still references
-      // it when the frame unwinds.
-      Batch batch(num_tasks, task);
-      {
-        std::lock_guard<std::mutex> lock(state_mutex_);
-        current_ = &batch;
-        ++generation_;
-      }
-      work_cv_.notify_all();
-      ProcessBatch(batch, state_mutex_, done_cv_);  // caller works too
-      {
-        // Wait until the batch is drained AND every worker that entered it
-        // has left ProcessBatch; only then is it safe to unpublish and let
-        // the stack storage die. Workers can only enter while current_ is
-        // published and they bump active_workers_ under this same mutex, so
-        // no worker can slip in between the predicate holding and the
-        // unpublish below.
-        std::unique_lock<std::mutex> lock(state_mutex_);
-        done_cv_.wait(lock, [&] {
-          return active_workers_ == 0 &&
-                 batch.remaining.load(std::memory_order_acquire) == 0;
-        });
-        current_ = nullptr;
-      }
-      if (batch.first_error) std::rethrow_exception(batch.first_error);
-      return;
-    }
-    // Another thread owns the pool right now; stay deadlock-free by
-    // degrading to inline execution.
+  if (workers_.empty() || tls_in_parallel_region || num_tasks == 1) {
+    // Pool of one, nested submission, or nothing to fan out: run inline.
+    RegionGuard region;
+    for (long i = 0; i < num_tasks; ++i) task(i);
+    return;
   }
-  RegionGuard region;
-  for (long i = 0; i < num_tasks; ++i) task(i);
+  // The batch lives on this stack frame — dispatch performs no heap
+  // allocation. Concurrent producers each append their own batch; workers
+  // drain the queue FIFO while every producer works on its own batch, so a
+  // second submitter never degrades to inline single-threaded execution.
+  Batch batch(num_tasks, task);
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    batch.linked = true;
+    if (tail_ != nullptr)
+      tail_->next_queued = &batch;
+    else
+      head_ = &batch;
+    tail_ = &batch;
+  }
+  work_cv_.notify_all();
+  ProcessBatch(batch, state_mutex_, done_cv_);  // caller works too
+  {
+    // Wait until the batch is drained AND every worker that entered it has
+    // left ProcessBatch, then unlink it; only then is it safe to let the
+    // stack storage die. Workers can only enter while the batch is linked
+    // and they bump batch.active under this same mutex, so no worker can
+    // slip in between the predicate holding and the unlink below.
+    std::unique_lock<std::mutex> lock(state_mutex_);
+    done_cv_.wait(lock, [&] {
+      return batch.active == 0 &&
+             batch.remaining.load(std::memory_order_acquire) == 0;
+    });
+    UnlinkLocked(&batch);
+  }
+  if (batch.first_error) std::rethrow_exception(batch.first_error);
+}
+
+std::optional<long> ParseLongStrict(const char* s) {
+  if (s == nullptr || *s == '\0') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) return std::nullopt;
+  return value;
 }
 
 int DefaultThreadCount() {
   if (const char* env = std::getenv("AXSNN_THREADS")) {
-    const int n = std::atoi(env);
-    if (n > 0) return n;
+    const std::optional<long> n = ParseLongStrict(env);
+    AXSNN_CHECK(n.has_value() && *n > 0 && *n <= 65536,
+                "AXSNN_THREADS must be a positive integer, got \"" << env
+                    << "\"");
+    return static_cast<int>(*n);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
@@ -143,33 +179,40 @@ int DefaultThreadCount() {
 
 namespace {
 
-// Lazy global-pool state: the atomic raw pointer serves the hot path
-// lock-free; the mutex serializes creation/replacement so concurrent first
-// calls from different threads cannot construct two pools.
-std::atomic<ThreadPool*> g_global_pool{nullptr};
+// Global-pool state: a mutex-guarded shared_ptr so acquisition is safe
+// against a concurrent SetGlobalThreads — a replaced pool is epoch-retired
+// by refcount and destroyed (joining its workers) only when the last holder
+// releases it, never under a live Run. A plain mutex rather than
+// std::atomic<std::shared_ptr> because libstdc++'s lock-free-ish _Sp_atomic
+// spin-bit protocol is opaque to ThreadSanitizer (false data-race reports on
+// the guarded pointer swap); acquisition is once per Run, so the mutex is
+// not on any hot path. The same mutex serializes lazy creation so
+// concurrent first calls cannot construct two pools.
+std::shared_ptr<ThreadPool> g_global_pool;
 std::mutex g_global_pool_mutex;
-std::unique_ptr<ThreadPool> g_global_pool_owner;
 
 }  // namespace
 
-ThreadPool& GlobalPool() {
-  if (ThreadPool* pool = g_global_pool.load(std::memory_order_acquire))
-    return *pool;
+std::shared_ptr<ThreadPool> GlobalPool() {
   std::lock_guard<std::mutex> lock(g_global_pool_mutex);
-  if (!g_global_pool_owner) {
-    g_global_pool_owner = std::make_unique<ThreadPool>(DefaultThreadCount());
-    g_global_pool.store(g_global_pool_owner.get(), std::memory_order_release);
-  }
-  return *g_global_pool_owner;
+  if (!g_global_pool)
+    g_global_pool = std::make_shared<ThreadPool>(DefaultThreadCount());
+  return g_global_pool;
 }
 
 void SetGlobalThreads(int threads) {
   AXSNN_CHECK(!ThreadPool::InParallelRegion(),
               "cannot resize the global pool from inside parallel work");
-  std::unique_ptr<ThreadPool> fresh = std::make_unique<ThreadPool>(threads);
-  std::lock_guard<std::mutex> lock(g_global_pool_mutex);
-  g_global_pool.store(fresh.get(), std::memory_order_release);
-  g_global_pool_owner = std::move(fresh);  // destroys the previous pool
+  std::shared_ptr<ThreadPool> fresh = std::make_shared<ThreadPool>(threads);
+  std::shared_ptr<ThreadPool> retired;
+  {
+    std::lock_guard<std::mutex> lock(g_global_pool_mutex);
+    retired = std::exchange(g_global_pool, std::move(fresh));
+  }
+  // The previous pool is now unreachable for new acquisitions; threads that
+  // already hold it finish their Run and release it, and the last release
+  // destroys it (joining its workers) — possibly right here if no Run is in
+  // flight, outside the lock. No quiesce barrier is needed.
 }
 
 }  // namespace axsnn::runtime

@@ -2,13 +2,18 @@
 // loop in the library.
 //
 // Design notes:
-//  * One process-global pool (GlobalPool) executes all kernel- and
-//    scenario-level parallelism. Parallelism is guaranteed by the build —
+//  * One process-global pool (GlobalPool) executes all kernel-, scenario-
+//    and serving-level parallelism. Parallelism is guaranteed by the build —
 //    there is no dependence on an OpenMP flag — and the pool size is a
 //    runtime knob (AXSNN_THREADS / SetGlobalThreads), not a compile option.
 //  * The calling thread participates in every Run, so a pool of size N uses
 //    N-1 background workers and a pool of size 1 owns no threads at all and
 //    executes inline — handy for debugging and for determinism tests.
+//  * Run is multi-producer: concurrent submissions from distinct threads
+//    (e.g. several serving workers each fanning a batched forward out) are
+//    queued FIFO and drained by the shared workers, each submitter helping
+//    with its own batch. No submitter ever degrades to single-threaded
+//    execution just because another batch is in flight.
 //  * Nested submissions are throttled: a task that itself calls Run (e.g. a
 //    sweep cell whose conv kernels use ParallelFor) executes the nested work
 //    inline on its own thread. This keeps scenario-level fan-out from
@@ -25,6 +30,7 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -66,6 +72,10 @@ class ThreadPool {
   /// Creates a pool of `threads` (0 = DefaultThreadCount()). The calling
   /// thread counts as one, so `threads - 1` workers are spawned.
   explicit ThreadPool(int threads = 0);
+
+  /// Joins the workers. Must not race with a Run still in flight on another
+  /// thread — the global pool guarantees this by refcounting (GlobalPool
+  /// hands out shared_ptr owners; destruction waits for the last holder).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -78,7 +88,9 @@ class ThreadPool {
   /// Runs task(i) for every i in [0, num_tasks), blocking until all have
   /// completed. The calling thread participates. The first exception thrown
   /// by a task is rethrown here after the batch drains. Re-entrant calls
-  /// (from inside a task) execute inline on the current thread.
+  /// (from inside a task) execute inline on the current thread. Concurrent
+  /// calls from distinct threads are queued FIFO and share the workers —
+  /// every submitter observes pool parallelism.
   void Run(long num_tasks, FunctionRef<void(long)> task);
 
   /// True while the current thread is executing a pool task (used to
@@ -88,44 +100,57 @@ class ThreadPool {
  private:
   /// Per-batch control block. Lives on the submitting thread's stack —
   /// Run is allocation-free. Lifetime is safe because workers only obtain
-  /// the pointer under state_mutex_ while it is published (current_ !=
-  /// nullptr), each entry bumps active_workers_, and Run does not retire
-  /// the batch (or return) until active_workers_ == 0 with the batch
-  /// drained. Batches are identified by a generation counter, not by
-  /// address, so stack reuse across Run calls cannot confuse a worker.
+  /// the pointer under state_mutex_ while the batch is linked into the
+  /// queue, each entry bumps the batch's active count, and Run unlinks the
+  /// batch (under the same mutex) only after every task has finished and
+  /// every worker that entered it has left — so no worker can reference
+  /// the stack frame after Run returns.
   struct Batch;
 
   void WorkerLoop();
   static void ProcessBatch(Batch& batch,
                            std::mutex& state_mutex,
                            std::condition_variable& done_cv);
+  /// Removes `b` from the FIFO queue if still linked. Requires state_mutex_.
+  void UnlinkLocked(Batch* b);
 
   int thread_count_ = 1;
   std::vector<std::thread> workers_;
-
-  // Serializes whole batches: concurrent Run calls from distinct threads
-  // fall back to inline execution instead of queueing.
-  std::mutex run_mutex_;
 
   std::mutex state_mutex_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
   bool stopping_ = false;
-  Batch* current_ = nullptr;       // guarded by state_mutex_
-  std::uint64_t generation_ = 0;   // bumped per published batch
-  int active_workers_ = 0;         // workers inside the current batch
+  // FIFO queue of published batches (stack nodes, intrusively linked).
+  // Workers always claim from the head; a submitter works on its own batch.
+  Batch* head_ = nullptr;  // guarded by state_mutex_
+  Batch* tail_ = nullptr;  // guarded by state_mutex_
 };
 
+/// Full-string strtol: the complete string must be one base-10 integer
+/// (optionally signed, leading whitespace allowed as per strtol). Returns
+/// nullopt on empty input, trailing garbage ("4abc") or overflow — the
+/// validation the AXSNN_THREADS / bench repeat-count knobs parse with.
+std::optional<long> ParseLongStrict(const char* s);
+
 /// Returns the pool size the global pool is created with: the AXSNN_THREADS
-/// environment variable when set and positive, else hardware concurrency.
+/// environment variable when set, else hardware concurrency. A set but
+/// malformed or non-positive AXSNN_THREADS throws std::invalid_argument —
+/// garbage ("4abc") is rejected, never silently truncated.
 int DefaultThreadCount();
 
-/// The process-wide shared pool. Created on first use.
-ThreadPool& GlobalPool();
+/// The process-wide shared pool, created on first use. Returned as a
+/// shared_ptr so a caller mid-Run keeps its pool alive across a concurrent
+/// SetGlobalThreads — the old pool is epoch-retired by refcount, destroyed
+/// only when the last in-flight user releases it. Hold the returned pointer
+/// for the duration of use; do not cache the raw reference.
+std::shared_ptr<ThreadPool> GlobalPool();
 
 /// Replaces the global pool with one of `threads` threads (0 = default).
-/// Not thread-safe against concurrent GlobalPool users; call it from the
-/// top of main / a test fixture, not from inside parallel work.
+/// Safe against concurrent GlobalPool()/Run users: they finish on the pool
+/// they acquired (which stays alive until they release it) and pick up the
+/// new pool on their next acquisition. Must not be called from inside pool
+/// work (checked).
 void SetGlobalThreads(int threads);
 
 }  // namespace axsnn::runtime

@@ -1,0 +1,59 @@
+#include "serve/request.hpp"
+
+namespace axsnn::serve {
+
+void InferRequest::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return state_ != State::kPending; });
+}
+
+bool InferRequest::done() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_ == State::kDone || state_ == State::kFailed;
+}
+
+bool InferRequest::ok() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_ == State::kDone;
+}
+
+void InferRequest::RethrowIfFailed() const {
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (state_ != State::kFailed) return;
+    error = error_;
+  }
+  std::rethrow_exception(error);
+}
+
+void InferRequest::MarkPending() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  state_ = State::kPending;
+  error_ = nullptr;
+  model_epoch_ = 0;
+}
+
+// Complete/Fail notify while STILL HOLDING the latch mutex. The usual
+// "unlock before notify" optimization is a lifetime bug here: the waiter
+// owns the request and may destroy it the instant Wait() returns, and an
+// unlocked notify_all could then touch a destroyed condition variable.
+// Notifying under the lock sequences the cv access strictly before the
+// waiter can re-acquire the mutex, observe the state, and return.
+
+void InferRequest::Complete(std::uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  state_ = State::kDone;
+  model_epoch_ = epoch;
+  cv_.notify_all();
+}
+
+void InferRequest::Fail(std::exception_ptr error, std::uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  state_ = State::kFailed;
+  error_ = std::move(error);
+  model_epoch_ = epoch;
+  cv_.notify_all();
+}
+
+}  // namespace axsnn::serve

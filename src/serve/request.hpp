@@ -1,0 +1,81 @@
+// Reusable single-sample inference request for the serving front end.
+//
+// An InferRequest is the unit the batched server coalesces: one time-major
+// frame stack in, one logits row out, with a tiny completion latch the
+// submitting thread can block on. The object is designed for reuse — the
+// input and output tensors never shrink their storage, and Wait/Submit
+// perform no heap allocation — so a client that keeps a small pool of
+// requests serves unlimited traffic at the library's steady-state
+// zero-allocation property (DESIGN.md "Serving front end").
+//
+// Lifecycle: fill `frames`, Submit to an InferenceServer (which owns the
+// request by pointer until completion), Wait, read `logits` or the error,
+// then reuse. A request must stay alive and unmoved while pending.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+
+#include "tensor/tensor.hpp"
+
+namespace axsnn::serve {
+
+class InferenceServer;
+
+/// One in-flight single-sample inference.
+class InferRequest {
+ public:
+  InferRequest() = default;
+
+  // Neither copyable nor movable: the server holds a raw pointer to a
+  // pending request, so its address must be stable.
+  InferRequest(const InferRequest&) = delete;
+  InferRequest& operator=(const InferRequest&) = delete;
+
+  /// Input: one time-major frame stack [T, <sample dims...>] — for the
+  /// static net [T, C, H, W]. Values may be spikes (0/1) or analog currents
+  /// (direct encoding); the server feeds them to the model verbatim.
+  Tensor frames;
+
+  /// Output: the served logits [K]. Valid after Wait() when ok(). Storage
+  /// is reused across submissions (never shrinks).
+  Tensor logits;
+
+  /// Epoch of the model snapshot that served this request (1 = the model
+  /// the server was constructed with; each SwapModel increments it).
+  std::uint64_t model_epoch() const { return model_epoch_; }
+
+  /// Blocks until the request completes or fails. No-op when not pending.
+  void Wait();
+
+  /// True once the server has finished with the request (success or
+  /// failure); a freshly constructed or re-submitted request is not done.
+  bool done() const;
+
+  /// True when the request completed successfully (implies done()).
+  bool ok() const;
+
+  /// Rethrows the server-side failure, if any. No-op when ok().
+  void RethrowIfFailed() const;
+
+ private:
+  friend class InferenceServer;
+
+  enum class State : std::uint8_t { kIdle, kPending, kDone, kFailed };
+
+  /// Server-side transitions (request mutex only; never called while the
+  /// server queue mutex order could invert — see server.cpp).
+  void MarkPending();
+  void Complete(std::uint64_t epoch);
+  void Fail(std::exception_ptr error, std::uint64_t epoch);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  State state_ = State::kIdle;
+  std::uint64_t model_epoch_ = 0;
+  std::exception_ptr error_;
+};
+
+}  // namespace axsnn::serve

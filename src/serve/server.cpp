@@ -1,0 +1,277 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "tensor/check.hpp"
+#include "tensor/random.hpp"
+
+namespace axsnn::serve {
+
+// Lock order: server mutex_ -> request mutex (Submit marks the request
+// pending while holding mutex_). Workers complete requests with NO server
+// lock held, so the reverse order never occurs.
+
+InferenceServer::InferenceServer(const snn::Network& model,
+                                 ServerOptions options)
+    : options_(options) {
+  AXSNN_CHECK(options_.workers >= 1,
+              "InferenceServer needs >= 1 worker, got " << options_.workers);
+  AXSNN_CHECK(options_.max_batch >= 1,
+              "max_batch must be >= 1, got " << options_.max_batch);
+  AXSNN_CHECK(options_.queue_capacity >= 1, "queue_capacity must be >= 1");
+  snapshot_ = std::make_shared<const Snapshot>(Snapshot{model.Clone(), 1});
+  ring_.assign(options_.queue_capacity, nullptr);
+  worker_states_.reserve(static_cast<std::size_t>(options_.workers));
+  threads_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    auto state = std::make_unique<WorkerState>();
+    state->pending.reserve(static_cast<std::size_t>(options_.max_batch));
+    worker_states_.push_back(std::move(state));
+  }
+  // Start the threads only after every WorkerState exists: worker_states_
+  // must not reallocate under a running thread's feet.
+  for (auto& state : worker_states_)
+    threads_.emplace_back([this, s = state.get()] { WorkerLoop(*s); });
+}
+
+InferenceServer::~InferenceServer() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  // Workers keep popping until the queue is empty (CollectBatch returns 0
+  // only once stopping AND drained), so every admitted request completes.
+  for (auto& thread : threads_) thread.join();
+}
+
+void InferenceServer::Submit(InferRequest& req) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_full_.wait(lock, [&] { return size_ < ring_.size() || stopping_; });
+  AXSNN_CHECK(!stopping_, "Submit on a stopping InferenceServer");
+  req.MarkPending();
+  ring_[(head_ + size_) % ring_.size()] = &req;
+  ++size_;
+  ++stats_.submitted;
+  lock.unlock();
+  not_empty_.notify_one();
+}
+
+bool InferenceServer::TrySubmit(InferRequest& req) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopping_ || size_ >= ring_.size()) {
+    ++stats_.rejected;
+    return false;
+  }
+  req.MarkPending();
+  ring_[(head_ + size_) % ring_.size()] = &req;
+  ++size_;
+  ++stats_.submitted;
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+void InferenceServer::SwapModel(const snn::Network& model) {
+  // Clone BEFORE bumping visibility: the new snapshot must be fully built
+  // when workers can first observe its epoch.
+  const std::uint64_t epoch =
+      epoch_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::shared_ptr<const Snapshot> fresh =
+      std::make_shared<const Snapshot>(Snapshot{model.Clone(), epoch});
+  std::shared_ptr<const Snapshot> retired;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    retired = std::exchange(snapshot_, std::move(fresh));
+  }
+  // `retired` dies here, outside the lock; workers mid-batch keep their own
+  // reference so the old weights outlive any forward that started on them.
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.model_swaps;
+}
+
+std::uint64_t InferenceServer::model_epoch() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_->epoch;
+}
+
+void InferenceServer::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [&] { return size_ == 0 && in_flight_ == 0; });
+}
+
+ServerStats InferenceServer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+long InferenceServer::CollectBatch(WorkerState& state) {
+  state.pending.clear();
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait(lock, [&] { return size_ > 0 || stopping_; });
+  if (size_ == 0) return 0;  // stopping and fully drained
+  const auto pop = [&] {
+    state.pending.push_back(ring_[head_]);
+    head_ = (head_ + 1) % ring_.size();
+    --size_;
+  };
+  pop();
+  // Adaptive coalescing: drain any backlog immediately; once the queue runs
+  // empty, wait (up to max_delay past the first pop) for more arrivals. A
+  // loaded server therefore batches at full depth with zero added latency,
+  // an idle one serves after at most max_delay.
+  const auto deadline = std::chrono::steady_clock::now() + options_.max_delay;
+  while (static_cast<long>(state.pending.size()) < options_.max_batch) {
+    if (size_ > 0) {
+      pop();
+      continue;
+    }
+    if (stopping_ || options_.max_delay.count() <= 0) break;
+    if (not_empty_.wait_until(lock, deadline) == std::cv_status::timeout)
+      break;
+  }
+  const long count = static_cast<long>(state.pending.size());
+  in_flight_ += count;
+  lock.unlock();
+  not_full_.notify_all();
+  return count;
+}
+
+void InferenceServer::WorkerLoop(WorkerState& state) {
+  for (;;) {
+    const long n = CollectBatch(state);
+    if (n == 0) return;
+
+    // Hot-swap pickup at the batch boundary: re-clone when the published
+    // snapshot's epoch moved. The shared_ptr keeps the snapshot alive for
+    // the Clone even if another SwapModel lands concurrently.
+    std::shared_ptr<const Snapshot> snap;
+    {
+      std::lock_guard<std::mutex> snap_lock(snapshot_mutex_);
+      snap = snapshot_;
+    }
+    if (state.epoch != snap->epoch) {
+      state.net = snap->net.Clone();
+      state.epoch = snap->epoch;
+    }
+
+    // Serve maximal runs of same-shaped requests together; a shape change
+    // splits the micro-batch but preserves submission order.
+    long groups = 0;
+    long completed = 0;
+    long start = 0;
+    while (start < n) {
+      const Shape& shape = state.pending[static_cast<std::size_t>(start)]
+                               ->frames.shape();
+      long end = start + 1;
+      while (end < n &&
+             state.pending[static_cast<std::size_t>(end)]->frames.shape() ==
+                 shape)
+        ++end;
+      completed += ServeGroup(state, state.pending.data() + start, end - start,
+                              &groups);
+      start = end;
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    in_flight_ -= n;
+    stats_.batches += static_cast<std::uint64_t>(groups);
+    stats_.batched_samples += static_cast<std::uint64_t>(n);
+    stats_.completed += static_cast<std::uint64_t>(completed);
+    stats_.failed += static_cast<std::uint64_t>(n - completed);
+    if (size_ == 0 && in_flight_ == 0) idle_.notify_all();
+  }
+}
+
+long InferenceServer::ServeGroup(WorkerState& state,
+                                 InferRequest* const* requests, long count,
+                                 long* groups) {
+  try {
+    const Tensor& first = requests[0]->frames;
+    AXSNN_CHECK(first.rank() >= 2 && first.numel() > 0,
+                "InferRequest.frames must be a non-empty time-major "
+                "[T, <sample dims...>] stack, got shape "
+                    << ShapeToString(first.shape()));
+    const long t_steps = first.dim(0);
+    const long rest = first.numel() / t_steps;
+
+    // Pack [T, count, <sample dims>]: sample i's frame t lands at batch row
+    // i of time slice t. The shape vector is reused (no allocation once
+    // capacity exists), as is the workspace slot.
+    Shape& in_shape = state.input_shape;
+    in_shape.resize(first.rank() + 1);
+    in_shape[0] = t_steps;
+    in_shape[1] = count;
+    for (std::size_t d = 1; d < first.rank(); ++d)
+      in_shape[d + 1] = first.dim(d);
+    Tensor& input = state.ws.Acquire(0, in_shape);
+    float* dst = input.data();
+    for (long i = 0; i < count; ++i) {
+      const float* src = requests[i]->frames.data();
+      for (long t = 0; t < t_steps; ++t)
+        std::copy(src + t * rest, src + (t + 1) * rest,
+                  dst + (t * count + i) * rest);
+    }
+
+    const Tensor& seq = state.net.ForwardShared(input, /*train=*/false);
+
+    // Per-sample readout replicating ReadoutMean's accumulation order
+    // (zero, += per time step, scale once) so the batched result is
+    // bit-identical to serving each request alone.
+    const long k = seq.dim(2);
+    const float inv = 1.0f / static_cast<float>(t_steps);
+    for (long i = 0; i < count; ++i) {
+      Tensor& logits = requests[i]->logits;
+      if (logits.rank() != 1 || logits.dim(0) != k) logits.ResizeTo({k});
+      float* out = logits.data();
+      for (long j = 0; j < k; ++j) out[j] = 0.0f;
+      for (long t = 0; t < t_steps; ++t) {
+        const float* row = seq.data() + (t * count + i) * k;
+        for (long j = 0; j < k; ++j) out[j] += row[j];
+      }
+      for (long j = 0; j < k; ++j) out[j] *= inv;
+    }
+
+    ++*groups;
+    for (long i = 0; i < count; ++i) requests[i]->Complete(state.epoch);
+    return count;
+  } catch (...) {
+    // A malformed request (or a model/input mismatch) fails its whole
+    // same-shape group but never the server: every request still gets a
+    // completion, carrying the error.
+    const std::exception_ptr error = std::current_exception();
+    for (long i = 0; i < count; ++i) requests[i]->Fail(error, state.epoch);
+    return 0;
+  }
+}
+
+void EncodeStaticRequest(InferRequest& req, const Tensor& image,
+                         long time_steps, snn::Encoding mode,
+                         std::uint64_t seed) {
+  AXSNN_CHECK(image.rank() == 3,
+              "EncodeStaticRequest expects one image [C, H, W], got "
+                  << ShapeToString(image.shape()));
+  const long c = image.dim(0);
+  const long h = image.dim(1);
+  const long w = image.dim(2);
+  // Stage the image as a batch of one; the encoder APIs are batch-shaped.
+  // thread_local so repeated encodes on one thread reuse the staging block.
+  thread_local Tensor staging;
+  thread_local Shape staging_shape;
+  staging_shape.resize(4);
+  staging_shape[0] = 1;
+  staging_shape[1] = c;
+  staging_shape[2] = h;
+  staging_shape[3] = w;
+  staging.ResizeTo(staging_shape);
+  std::copy(image.data(), image.data() + image.numel(), staging.data());
+  // Per-request Rng: the spike draw depends only on (image, seed), never on
+  // how the server later batches the request.
+  Rng rng(seed);
+  snn::EncodeInto(staging, time_steps, mode, rng, req.frames);
+  req.frames.Reshape({time_steps, c, h, w});  // drop the size-1 batch axis
+}
+
+}  // namespace axsnn::serve

@@ -78,12 +78,14 @@ std::vector<int> PredictStatic(Network& net, const Tensor& images,
   // batch, the whole evaluation loop performs no tensor allocation.
   Tensor batch;
   Tensor input;
+  Tensor logits;
   for (long start = 0; start < n; start += batch_size) {
     const long count = std::min(batch_size, n - start);
     SliceRowsInto(images, start, count, batch);
     EncodeInto(batch, time_steps, mode, rng, input);
     const Tensor& seq = net.ForwardShared(input, /*train=*/false);
-    ArgmaxRowsAppend(ReadoutMean(seq), preds);
+    ReadoutMeanInto(seq, logits);
+    ArgmaxRowsAppend(logits, preds);
   }
   return preds;
 }
@@ -105,6 +107,7 @@ std::vector<int> PredictTemporal(Network& net, const Tensor& frames,
   kernels::SpikeStream stream;
   std::optional<EventRunner> runner;
   if (use_event) runner.emplace(net);
+  Tensor logits;
   for (long start = 0; start < n; start += batch_size) {
     const long count = std::min(batch_size, n - start);
     SliceRowsInto(frames, start, count, batch);
@@ -114,7 +117,8 @@ std::vector<int> PredictTemporal(Network& net, const Tensor& frames,
     }
     TimeMajorInto(batch, input);
     const Tensor& seq = net.ForwardShared(input, /*train=*/false);
-    ArgmaxRowsAppend(ReadoutMean(seq), preds);
+    ReadoutMeanInto(seq, logits);
+    ArgmaxRowsAppend(logits, preds);
   }
   return preds;
 }

@@ -8,20 +8,30 @@
 namespace axsnn::snn {
 
 Tensor ReadoutMean(const Tensor& seq_tbk) {
+  Tensor logits;
+  ReadoutMeanInto(seq_tbk, logits);
+  return logits;
+}
+
+void ReadoutMeanInto(const Tensor& seq_tbk, Tensor& out) {
   AXSNN_CHECK(seq_tbk.rank() == 3, "ReadoutMean expects [T, B, K]");
+  AXSNN_CHECK(&seq_tbk != &out, "ReadoutMeanInto output aliases its input");
   const long t_steps = seq_tbk.dim(0);
   const long b = seq_tbk.dim(1);
   const long k = seq_tbk.dim(2);
-  Tensor logits({b, k});
+  // Skip ResizeTo when the shape already matches: the temporary Shape it
+  // takes would itself allocate, defeating the steady-state zero-alloc use.
+  if (out.rank() != 2 || out.dim(0) != b || out.dim(1) != k)
+    out.ResizeTo({b, k});
   const float* src = seq_tbk.data();
-  float* dst = logits.data();
+  float* dst = out.data();
   const float inv = 1.0f / static_cast<float>(t_steps);
+  for (long i = 0; i < b * k; ++i) dst[i] = 0.0f;
   for (long t = 0; t < t_steps; ++t) {
     const float* frame = src + t * b * k;
     for (long i = 0; i < b * k; ++i) dst[i] += frame[i];
   }
   for (long i = 0; i < b * k; ++i) dst[i] *= inv;
-  return logits;
 }
 
 Tensor ReadoutMeanBackward(const Tensor& grad_logits, long time_steps) {

@@ -14,6 +14,13 @@ namespace axsnn::snn {
 /// Mean over the time axis: [T, B, K] -> [B, K].
 Tensor ReadoutMean(const Tensor& seq_tbk);
 
+/// Allocation-free variant of ReadoutMean: writes the [B, K] logits into
+/// `out` (resized in place, storage reused across calls — the serving
+/// front end and the batched prediction loops stage their readouts here).
+/// Bit-identical to ReadoutMean: same accumulation order, same final scale.
+/// `out` must not alias `seq_tbk`.
+void ReadoutMeanInto(const Tensor& seq_tbk, Tensor& out);
+
 /// Adjoint of ReadoutMean: spreads dL/d(logits) [B, K] uniformly over
 /// `time_steps` -> [T, B, K].
 Tensor ReadoutMeanBackward(const Tensor& grad_logits, long time_steps);

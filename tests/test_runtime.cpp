@@ -10,7 +10,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <set>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "data/dvs_gesture.hpp"
@@ -67,6 +74,136 @@ TEST(ThreadPool, NestedRunExecutesInline) {
   });
   EXPECT_EQ(inner_total.load(), 40);
   EXPECT_FALSE(runtime::ThreadPool::InParallelRegion());
+}
+
+// --- ThreadPool multi-producer Run ------------------------------------------
+
+// Regression for the silent single-threaded degrade: a second thread calling
+// Run while another batch was in flight used to execute its whole batch
+// inline. With the FIFO batch queue, both submitters' batches must be
+// executed by more than one thread.
+TEST(ThreadPool, ConcurrentSubmittersBothSeePoolParallelism) {
+  runtime::ThreadPool pool(4);
+  constexpr int kSubmitters = 2;
+  constexpr long kTasks = 32;
+
+  std::mutex mutex;
+  std::set<std::thread::id> executors[kSubmitters];
+  std::atomic<long> counts[kSubmitters] = {};
+
+  // Hand-rolled barrier so both Runs are in flight simultaneously.
+  std::atomic<int> ready{0};
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      ready.fetch_add(1);
+      while (ready.load() < kSubmitters) std::this_thread::yield();
+      pool.Run(kTasks, [&, s](long) {
+        // Long enough for the workers to wake up and claim shares of both
+        // queued batches before any single thread finishes one alone.
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        counts[s].fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(mutex);
+        executors[s].insert(std::this_thread::get_id());
+      });
+    });
+  }
+  for (auto& t : submitters) t.join();
+
+  for (int s = 0; s < kSubmitters; ++s) {
+    EXPECT_EQ(counts[s].load(), kTasks) << "submitter " << s;
+    EXPECT_GE(executors[s].size(), 2u)
+        << "submitter " << s << "'s batch ran single-threaded";
+  }
+}
+
+TEST(ThreadPool, ConcurrentSubmittersStress) {
+  // Many small racing batches from several threads: exactly-once execution
+  // must hold for every batch (and TSan must stay quiet on the queue).
+  runtime::ThreadPool pool(4);
+  constexpr int kSubmitters = 4;
+  constexpr int kRounds = 50;
+
+  std::atomic<long> grand_total{0};
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      long expected = 0;
+      std::atomic<long> mine{0};
+      for (int r = 0; r < kRounds; ++r) {
+        const long n = 1 + (s * 31 + r * 17) % 23;  // varied batch sizes
+        expected += n;
+        pool.Run(n, [&](long) { mine.fetch_add(1, std::memory_order_relaxed); });
+      }
+      EXPECT_EQ(mine.load(), expected) << "submitter " << s;
+      grand_total.fetch_add(mine.load());
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_GT(grand_total.load(), 0);
+}
+
+// Regression for the SetGlobalThreads use-after-free: resizing the global
+// pool used to destroy it while other threads were mid-Run on it. With
+// refcounted epoch retirement, in-flight users keep their pool alive.
+TEST(ThreadPool, SetGlobalThreadsWhileRunning) {
+  std::atomic<bool> stop{false};
+  std::atomic<long> executed{0};
+  constexpr int kRunners = 2;
+
+  std::vector<std::thread> runners;
+  for (int r = 0; r < kRunners; ++r) {
+    runners.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto pool = runtime::GlobalPool();  // hold across the whole Run
+        pool->Run(16, [&](long) {
+          executed.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (int i = 0; i < 20; ++i) {
+    runtime::SetGlobalThreads(2 + (i & 1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  stop.store(true);
+  for (auto& t : runners) t.join();
+  runtime::SetGlobalThreads(0);  // restore default for later tests
+
+  EXPECT_GT(executed.load(), 0);
+  EXPECT_EQ(executed.load() % 16, 0) << "a Run lost or duplicated tasks";
+}
+
+// --- AXSNN_THREADS / strict integer parsing ---------------------------------
+
+TEST(ThreadPool, ParseLongStrictValidatesWholeString) {
+  EXPECT_EQ(runtime::ParseLongStrict("42").value_or(-1), 42);
+  EXPECT_EQ(runtime::ParseLongStrict("-3").value_or(+1), -3);
+  EXPECT_EQ(runtime::ParseLongStrict(" 7").value_or(-1), 7);  // strtol skip
+  EXPECT_FALSE(runtime::ParseLongStrict("").has_value());
+  EXPECT_FALSE(runtime::ParseLongStrict("4abc").has_value());
+  EXPECT_FALSE(runtime::ParseLongStrict("abc").has_value());
+  EXPECT_FALSE(runtime::ParseLongStrict("4 ").has_value());
+  EXPECT_FALSE(runtime::ParseLongStrict("99999999999999999999").has_value());
+}
+
+TEST(ThreadPool, DefaultThreadCountRejectsGarbageEnv) {
+  const char* saved = std::getenv("AXSNN_THREADS");
+  const std::string saved_value = saved ? saved : "";
+
+  ::setenv("AXSNN_THREADS", "4abc", 1);
+  EXPECT_THROW(runtime::DefaultThreadCount(), std::invalid_argument);
+  ::setenv("AXSNN_THREADS", "0", 1);
+  EXPECT_THROW(runtime::DefaultThreadCount(), std::invalid_argument);
+  ::setenv("AXSNN_THREADS", "-2", 1);
+  EXPECT_THROW(runtime::DefaultThreadCount(), std::invalid_argument);
+  ::setenv("AXSNN_THREADS", "4", 1);
+  EXPECT_EQ(runtime::DefaultThreadCount(), 4);
+
+  if (saved)
+    ::setenv("AXSNN_THREADS", saved_value.c_str(), 1);
+  else
+    ::unsetenv("AXSNN_THREADS");
 }
 
 // --- ParallelFor determinism ------------------------------------------------
