@@ -1,14 +1,15 @@
 #include "bench_common.hpp"
 
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
-#include <sstream>
+#include <memory>
 
 #include "eval/report.hpp"
 #include "runtime/thread_pool.hpp"
-#include "snn/lif_layer.hpp"
+#include "scenario/store.hpp"
 #include "tensor/check.hpp"
-#include "tensor/serialize.hpp"
 
 namespace axsnn::bench {
 
@@ -122,123 +123,6 @@ std::string CacheDir() {
   return dir;
 }
 
-namespace {
-
-std::string CellPath(float vth, long t) {
-  std::ostringstream os;
-  os << CacheDir() << "/cell_v" << static_cast<int>(vth * 100) << "_t" << t
-     << ".bin";
-  return os.str();
-}
-
-}  // namespace
-
-bool LoadHeatmapCell(const core::StaticWorkbench& bench, float vth, long t,
-                     HeatmapCell& cell) {
-  const std::string path = CellPath(vth, t);
-  if (!std::filesystem::exists(path)) return false;
-  try {
-    auto state = LoadTensorMap(path);
-    // Rebuild the architecture at this Vth, then restore the weights.
-    snn::StaticNetOptions net_opts = bench.options().net;
-    net_opts.lif.v_threshold = vth;
-    cell.model.net = snn::BuildStaticNet(net_opts);
-    cell.model.net.LoadStateDict(state);
-    cell.model.v_threshold = vth;
-    cell.model.time_steps = t;
-    cell.model.train_accuracy_pct = state.at("meta.train_acc")[0];
-    cell.model.calibration.lif.clear();
-    const auto lif_layers = cell.model.net.LifLayers();
-    for (std::size_t i = 0; i < lif_layers.size(); ++i) {
-      std::ostringstream key;
-      key << "calib." << i;
-      const Tensor& c = state.at(key.str());
-      approx::LayerCalibration lc;
-      lc.lif_name = lif_layers[i]->Name();
-      lc.mean_rate = c[0];
-      lc.mean_membrane = c[1];
-      lc.mean_drive = c[2];
-      lc.v_threshold = c[3];
-      cell.model.calibration.lif.push_back(lc);
-    }
-    cell.pgd_images = state.at("adv.pgd");
-    cell.bim_images = state.at("adv.bim");
-    return true;
-  } catch (const std::exception&) {
-    return false;  // corrupt/old cache: recompute
-  }
-}
-
-void SaveHeatmapCell(const HeatmapCell& cell) {
-  auto state = cell.model.net.StateDict();
-  state.emplace("meta.train_acc",
-                Tensor({1}, {cell.model.train_accuracy_pct}));
-  for (std::size_t i = 0; i < cell.model.calibration.lif.size(); ++i) {
-    const approx::LayerCalibration& lc = cell.model.calibration.lif[i];
-    std::ostringstream key;
-    key << "calib." << i;
-    state.emplace(key.str(),
-                  Tensor({4}, {lc.mean_rate, lc.mean_membrane, lc.mean_drive,
-                               lc.v_threshold}));
-  }
-  state.emplace("adv.pgd", cell.pgd_images);
-  state.emplace("adv.bim", cell.bim_images);
-  SaveTensorMap(CellPath(cell.model.v_threshold, cell.model.time_steps),
-                state);
-}
-
-HeatmapCell MakeHeatmapCell(const core::StaticWorkbench& bench, float vth,
-                            long t) {
-  HeatmapCell cell;
-  if (LoadHeatmapCell(bench, vth, t, cell)) return cell;
-  cell.model = bench.Train(vth, t);
-  const float eps = static_cast<float>(1.0 * kEpsilonScale);  // paper eps 1.0
-  cell.pgd_images = bench.Craft(cell.model, core::AttackKind::kPgd, eps);
-  cell.bim_images = bench.Craft(cell.model, core::AttackKind::kBim, eps);
-  SaveHeatmapCell(cell);
-  return cell;
-}
-
-void HeatmapCellStore::Attach(scenario::StaticScenarioEngine& engine) {
-  engine.set_train_fn([this](float vth, long t) { return Train(vth, t); });
-  engine.set_craft_fn(
-      [this](const core::StaticWorkbench::TrainedModel& model,
-             const scenario::AttackSpec& attack, float epsilon) {
-        return Images(model, attack, epsilon);
-      });
-}
-
-core::StaticWorkbench::TrainedModel HeatmapCellStore::Train(float vth,
-                                                            long t) {
-  HeatmapCell cell = MakeHeatmapCell(bench_, vth, t);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    images_.emplace(std::make_pair(static_cast<int>(vth * 100), t),
-                    std::make_pair(std::move(cell.pgd_images),
-                                   std::move(cell.bim_images)));
-  }
-  return std::move(cell.model);
-}
-
-Tensor HeatmapCellStore::Images(
-    const core::StaticWorkbench::TrainedModel& model,
-    const scenario::AttackSpec& attack, float epsilon) const {
-  if (attack.name == "none") return bench_.test_set().images;
-  AXSNN_CHECK(attack.name == "PGD" || attack.name == "BIM",
-              "heatmap cell cache holds PGD/BIM sets only, not '"
-                  << attack.name << "'");
-  const float cached_eps = static_cast<float>(1.0 * kEpsilonScale);
-  AXSNN_CHECK(epsilon == cached_eps,
-              "heatmap cells are crafted at paper eps 1.0");
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = images_.find(
-      {static_cast<int>(model.v_threshold * 100), model.time_steps});
-  AXSNN_CHECK(it != images_.end(),
-              "heatmap cell images missing — craft hook called before the "
-              "train hook for this structural cell");
-  return attack.name == "PGD" ? it->second.first : it->second.second;
-}
-
 void PrintBanner(const std::string& artifact, const std::string& paper_claim) {
   std::cout << "#############################################################\n"
             << "# Reproduction: Security-Aware Approximate Spiking Neural\n"
@@ -250,7 +134,41 @@ void PrintBanner(const std::string& artifact, const std::string& paper_claim) {
             << "#############################################################\n";
 }
 
-void RunEpsSweepFigure(const EpsSweepFigure& figure) {
+scenario::ShardRunnerOptions ParseCliOrExit(int argc, char** argv,
+                                            bool allow_shard,
+                                            bool allow_resume) {
+  try {
+    return scenario::ParseShardRunnerArgs(argc, argv, allow_shard,
+                                          allow_resume);
+  } catch (const std::exception& e) {
+    std::cerr << argv[0] << ": " << e.what() << "\nusage: " << argv[0] << " "
+              << (allow_shard ? scenario::ShardRunnerUsage()
+                              : "[--cache-dir DIR] [--stats-out FILE]")
+              << "\n";
+    std::exit(2);
+  }
+}
+
+void WriteScenarioStats(const std::string& path,
+                        const scenario::ScenarioStats& stats) {
+  if (path.empty()) return;
+  std::ofstream os(path);
+  AXSNN_CHECK(os.good(), "cannot open stats output file " << path);
+  os << "{\n"
+     << "  \"trained_models_run\": " << stats.trained_models << ",\n"
+     << "  \"crafted_sets_run\": " << stats.crafted_sets << ",\n"
+     << "  \"store_model_hits\": " << stats.store_model_hits << ",\n"
+     << "  \"store_craft_hits\": " << stats.store_craft_hits << ",\n"
+     << "  \"replayed_units\": " << stats.replayed_units << ",\n"
+     << "  \"gated_units\": " << stats.gated_units << ",\n"
+     << "  \"total_trained_models\": " << stats.total_trained_models << ",\n"
+     << "  \"total_crafted_sets\": " << stats.total_crafted_sets << "\n"
+     << "}\n";
+  AXSNN_CHECK(os.good(), "failed writing stats output file " << path);
+}
+
+void RunEpsSweepFigure(const EpsSweepFigure& figure,
+                       const scenario::ShardRunnerOptions& cli) {
   PrintBanner(figure.artifact, figure.paper_claim);
   std::cout << "runtime pool: " << runtime::GlobalPool()->thread_count()
             << " thread(s)\n";
@@ -258,6 +176,12 @@ void RunEpsSweepFigure(const EpsSweepFigure& figure) {
   core::StaticWorkbench workbench(MakeStaticTrain(2048), MakeStaticTest(512),
                                   FigureOptions());
   scenario::StaticScenarioEngine engine(workbench);
+  std::unique_ptr<scenario::StaticScenarioStore> store;
+  if (!cli.cache_dir.empty()) {
+    store = std::make_unique<scenario::StaticScenarioStore>(cli.cache_dir,
+                                                            workbench);
+    engine.set_store(store.get());
+  }
 
   const std::vector<double> eps_grid = PaperEpsGrid();
   scenario::ScenarioGrid grid;
@@ -273,7 +197,8 @@ void RunEpsSweepFigure(const EpsSweepFigure& figure) {
   }
   grid.levels = figure.levels;
 
-  const scenario::ScenarioOutcome outcome = engine.Run(grid);
+  const scenario::ScenarioOutcome outcome =
+      engine.Run(grid, cli.run_options());
 
   std::cout << "trained AccSNN: train accuracy "
             << outcome.train_accuracy_pct.front() << "%\n";
@@ -292,17 +217,22 @@ void RunEpsSweepFigure(const EpsSweepFigure& figure) {
   eval::PrintRunFooter(std::cout, outcome.stats.sweep_seconds,
                        static_cast<long>(grid.CellCount()),
                        runtime::GlobalPool()->thread_count());
+  WriteScenarioStats(cli.stats_out, outcome.stats);
 }
 
 void RunPrecisionHeatmap(approx::Precision precision,
                          const std::string& figure_name,
-                         const std::string& paper_claim) {
+                         const std::string& paper_claim,
+                         const scenario::ShardRunnerOptions& cli) {
   PrintBanner(figure_name, paper_claim);
   core::StaticWorkbench workbench(MakeStaticTrain(384), MakeStaticTest(192),
                                   HeatmapOptions());
   scenario::StaticScenarioEngine engine(workbench);
-  HeatmapCellStore store(workbench);
-  store.Attach(engine);
+  // Figs. 4-6 always persist their cells: the three precision sweeps share
+  // all 63 models and both adversarial sets through the store.
+  scenario::StaticScenarioStore store(
+      cli.cache_dir.empty() ? CacheDir() : cli.cache_dir, workbench);
+  engine.set_store(&store);
 
   scenario::ScenarioGrid grid;
   grid.v_thresholds = VthGrid();
@@ -313,7 +243,8 @@ void RunPrecisionHeatmap(approx::Precision precision,
   grid.precisions = {precision};
   grid.levels = {0.01};
 
-  const scenario::ScenarioOutcome outcome = engine.Run(grid);
+  const scenario::ScenarioOutcome outcome =
+      engine.Run(grid, cli.run_options());
 
   const auto vths = VthGrid();
   const auto times = TimeGrid();
@@ -333,6 +264,7 @@ void RunPrecisionHeatmap(approx::Precision precision,
                      "timesteps", time_labels, "Vth", vth_labels, pgd);
   eval::PrintHeatmap(std::cout, figure_name + " (b): BIM accuracy [%]",
                      "timesteps", time_labels, "Vth", vth_labels, bim);
+  WriteScenarioStats(cli.stats_out, outcome.stats);
 }
 
 }  // namespace axsnn::bench

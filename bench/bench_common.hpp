@@ -11,10 +11,7 @@
 // measured at eps * kEpsilonScale. EXPERIMENTS.md documents this deviation.
 #pragma once
 
-#include <map>
-#include <mutex>
 #include <string>
-#include <utility>
 #include <vector>
 
 #include "core/search.hpp"
@@ -64,63 +61,34 @@ core::DvsWorkbench::Options DvsOptions();
 /// it exercises the full train -> craft -> variant-evaluation pipeline.
 core::StaticWorkbench MiniFig2Workbench();
 
-// ---------------------------------------------------------------------------
-// Heatmap cell cache
-// ---------------------------------------------------------------------------
-// Figs. 4, 5, 6 and 7a share the same 63 accurate models and adversarial
-// test sets — only the precision scale of the derived AxSNN differs. The
-// first heatmap bench to run trains and attacks each (Vth, T) cell and
-// caches {weights, Eq.(1) calibration, PGD/BIM adversarial images} on disk;
-// later benches reload in seconds. Remove the directory to force a rerun.
-
-struct HeatmapCell {
-  core::StaticWorkbench::TrainedModel model;
-  Tensor pgd_images;  ///< adversarial test set, PGD at eps = paper 1.0
-  Tensor bim_images;  ///< adversarial test set, BIM at eps = paper 1.0
-};
-
-/// Directory used for cell caching (created on demand).
+/// Default artifact-store directory of the heatmap benches (created on
+/// demand). Figs. 4, 5, 6 and 7a share the same 63 accurate models and
+/// adversarial test sets — only the precision scale of the derived AxSNN
+/// differs — so those drivers attach a scenario::StaticScenarioStore here
+/// by default (override with --cache-dir): the first bench to run trains
+/// and attacks each (Vth, T) cell, later benches reload in seconds. The
+/// store is content-keyed by the workbench fingerprint, so it never serves
+/// artifacts across option changes; remove the directory to force a rerun.
 std::string CacheDir();
-
-/// Loads a cached cell; returns false when absent/corrupt.
-bool LoadHeatmapCell(const core::StaticWorkbench& bench, float vth, long t,
-                     HeatmapCell& cell);
-
-/// Persists a cell.
-void SaveHeatmapCell(const HeatmapCell& cell);
-
-/// Trains + attacks one cell, using the cache when possible.
-HeatmapCell MakeHeatmapCell(const core::StaticWorkbench& bench, float vth,
-                            long t);
-
-/// Splices the persistent heatmap disk cache into a scenario engine: the
-/// train hook runs MakeHeatmapCell (load-or-train+attack, saved to disk)
-/// and parks the cell's pre-crafted adversarial sets here; the craft hook
-/// serves them back by attack name ("PGD" / "BIM"; "none" returns the
-/// clean test images — any other attack, or a non-paper epsilon, is a
-/// programming error and throws). The store must outlive the engine runs
-/// it feeds.
-class HeatmapCellStore {
- public:
-  explicit HeatmapCellStore(const core::StaticWorkbench& bench)
-      : bench_(bench) {}
-
-  /// Installs the train/craft hooks on `engine`.
-  void Attach(scenario::StaticScenarioEngine& engine);
-
- private:
-  core::StaticWorkbench::TrainedModel Train(float vth, long t);
-  Tensor Images(const core::StaticWorkbench::TrainedModel& model,
-                const scenario::AttackSpec& attack, float epsilon) const;
-
-  const core::StaticWorkbench& bench_;
-  mutable std::mutex mu_;
-  /// (vth bits as int, T) -> (pgd images, bim images)
-  std::map<std::pair<int, long>, std::pair<Tensor, Tensor>> images_;
-};
 
 /// Prints the standard bench banner with reproduction context.
 void PrintBanner(const std::string& artifact, const std::string& paper_claim);
+
+/// Parses the distributed-execution flags (--cache-dir / --shard / --resume
+/// / --stats-out; see scenario/shard.hpp) for a bench main(). On a bad
+/// argument: prints the error plus a usage line to stderr and exits 2.
+/// Drivers whose report layout cannot be partial (the table benches) pass
+/// allow_shard/allow_resume = false and accept --cache-dir only.
+scenario::ShardRunnerOptions ParseCliOrExit(int argc, char** argv,
+                                            bool allow_shard = true,
+                                            bool allow_resume = true);
+
+/// Writes the distributed-execution counters of one Run as a small JSON
+/// object (trained_models_run, crafted_sets_run, store hits, replayed
+/// units, cumulative totals) — the machine-readable side channel the CI
+/// cache-reuse and shard gates assert on. No-op when `path` is empty.
+void WriteScenarioStats(const std::string& path,
+                        const scenario::ScenarioStats& stats);
 
 /// A Figs. 1-3 style experiment, declaratively: one accurate model
 /// (Vth 0.25, T 32, FigureOptions training budget), one gradient attack
@@ -137,15 +105,20 @@ struct EpsSweepFigure {
 
 /// Runs the figure on the scenario engine and prints the standard report
 /// (banner, pool size, train accuracy, per-eps progress, series table,
-/// sweep footer).
-void RunEpsSweepFigure(const EpsSweepFigure& figure);
+/// sweep footer). `cli` (--cache-dir/--shard/--resume/--stats-out) attaches
+/// a persistent store when a cache dir is given; sharded runs print partial
+/// tables — the merge pass (--resume, no --shard) prints the full report.
+void RunEpsSweepFigure(const EpsSweepFigure& figure,
+                       const scenario::ShardRunnerOptions& cli = {});
 
 /// Shared driver for Figs. 4-6: accuracy heatmaps of the AxSNN at
 /// approximation level 0.01 and the given precision scale, under PGD and
 /// BIM at paper eps 1.0, over the (Vth x T) grid — one declarative
-/// ScenarioGrid over the disk-cached cells. Prints two heatmaps.
+/// ScenarioGrid over the store-cached cells (CacheDir() unless `cli`
+/// overrides). Prints two heatmaps.
 void RunPrecisionHeatmap(approx::Precision precision,
                          const std::string& figure_name,
-                         const std::string& paper_claim);
+                         const std::string& paper_claim,
+                         const scenario::ShardRunnerOptions& cli = {});
 
 }  // namespace axsnn::bench

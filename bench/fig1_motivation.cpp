@@ -13,7 +13,8 @@
 
 using namespace axsnn;
 
-int main() {
+int main(int argc, char** argv) {
+  const scenario::ShardRunnerOptions cli = bench::ParseCliOrExit(argc, argv);
   bench::EpsSweepFigure figure;
   figure.artifact = "Fig. 1 (motivation: AccSNN vs AxSNN level 0.1 under PGD)";
   figure.paper_claim =
@@ -24,6 +25,6 @@ int main() {
       "Fig. 1: accuracy [%] vs perturbation budget (paper eps axis)";
   figure.levels = {0.0, 0.1};
   figure.series_names = {"AccSNN", "AxSNN(0.1)"};
-  bench::RunEpsSweepFigure(figure);
+  bench::RunEpsSweepFigure(figure, cli);
   return 0;
 }

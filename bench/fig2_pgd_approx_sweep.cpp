@@ -15,7 +15,8 @@
 
 using namespace axsnn;
 
-int main() {
+int main(int argc, char** argv) {
+  const scenario::ShardRunnerOptions cli = bench::ParseCliOrExit(argc, argv);
   bench::EpsSweepFigure figure;
   figure.artifact = "Fig. 2 (PGD vs approximation level)";
   figure.paper_claim =
@@ -26,6 +27,6 @@ int main() {
   figure.levels = {0.0, 0.001, 0.01, 0.1, 1.0};
   for (double level : figure.levels)
     figure.series_names.push_back("lvl=" + eval::FormatValue(level, 3));
-  bench::RunEpsSweepFigure(figure);
+  bench::RunEpsSweepFigure(figure, cli);
   return 0;
 }

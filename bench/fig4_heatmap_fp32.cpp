@@ -6,9 +6,10 @@
 // barely fire.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   axsnn::bench::RunPrecisionHeatmap(
       axsnn::approx::Precision::kFp32, "Fig. 4 (FP32 heatmap)",
-      "robust band at moderate Vth; collapse at Vth >= 1.75 and high T");
+      "robust band at moderate Vth; collapse at Vth >= 1.75 and high T",
+      axsnn::bench::ParseCliOrExit(argc, argv));
   return 0;
 }

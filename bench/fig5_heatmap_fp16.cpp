@@ -4,9 +4,10 @@
 // PGD accuracy loss 12% -> 7% at Vth 0.75, T 32).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   axsnn::bench::RunPrecisionHeatmap(
       axsnn::approx::Precision::kFp16, "Fig. 5 (FP16 heatmap)",
-      "FP16 slightly improves the robust band over FP32");
+      "FP16 slightly improves the robust band over FP32",
+      axsnn::bench::ParseCliOrExit(argc, argv));
   return 0;
 }

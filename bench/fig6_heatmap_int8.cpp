@@ -4,9 +4,10 @@
 // band (PGD accuracy loss 4% at Vth 0.75, T 32 vs 12% for FP32).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   axsnn::bench::RunPrecisionHeatmap(
       axsnn::approx::Precision::kInt8, "Fig. 6 (INT8 heatmap)",
-      "INT8 is the most robust precision scale in the robust band");
+      "INT8 is the most robust precision scale in the robust band",
+      axsnn::bench::ParseCliOrExit(argc, argv));
   return 0;
 }

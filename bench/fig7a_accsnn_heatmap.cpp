@@ -6,23 +6,27 @@
 // high-Vth corner where spiking activity dies out.
 //
 // Declarative form: the Figs. 4-6 grid with attack "none" and level 0 (the
-// identity variant), over the same disk-cached structural cells.
+// identity variant), over the same store-cached structural cells.
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "eval/report.hpp"
+#include "scenario/store.hpp"
 
 using namespace axsnn;
 
-int main() {
+int main(int argc, char** argv) {
+  const scenario::ShardRunnerOptions cli = bench::ParseCliOrExit(argc, argv);
   bench::PrintBanner("Fig. 7a (AccSNN clean-accuracy heatmap)",
                      "high plateau, collapse at very high Vth");
   core::StaticWorkbench workbench(bench::MakeStaticTrain(384),
                                   bench::MakeStaticTest(192),
                                   bench::HeatmapOptions());
   scenario::StaticScenarioEngine engine(workbench);
-  bench::HeatmapCellStore store(workbench);
-  store.Attach(engine);
+  // Shares the 63 trained models with Figs. 4-6 through the artifact store.
+  scenario::StaticScenarioStore store(
+      cli.cache_dir.empty() ? bench::CacheDir() : cli.cache_dir, workbench);
+  engine.set_store(&store);
 
   scenario::ScenarioGrid grid;
   grid.v_thresholds = bench::VthGrid();
@@ -30,7 +34,8 @@ int main() {
   grid.attacks = {scenario::AttackSpec{"none", {}}};
   grid.levels = {0.0};  // FP32 level 0 == the accurate model
 
-  const scenario::ScenarioOutcome outcome = engine.Run(grid);
+  const scenario::ScenarioOutcome outcome =
+      engine.Run(grid, cli.run_options());
 
   const auto vths = bench::VthGrid();
   const auto times = bench::TimeGrid();
@@ -44,5 +49,6 @@ int main() {
   std::vector<double> vth_labels(vths.begin(), vths.end());
   eval::PrintHeatmap(std::cout, "Fig. 7a: AccSNN clean accuracy [%]",
                      "timesteps", time_labels, "Vth", vth_labels, clean);
+  bench::WriteScenarioStats(cli.stats_out, outcome.stats);
   return 0;
 }

@@ -9,13 +9,16 @@
 // Frame} x level axis {0, 0.1} (level 0 is the accurate model) — with the
 // engine training once and crafting each attack once.
 #include <iostream>
+#include <memory>
 
 #include "bench_common.hpp"
 #include "eval/report.hpp"
+#include "scenario/store.hpp"
 
 using namespace axsnn;
 
-int main() {
+int main(int argc, char** argv) {
+  const scenario::ShardRunnerOptions cli = bench::ParseCliOrExit(argc, argv);
   bench::PrintBanner(
       "Fig. 7b (DVS gesture: attacks without defense)",
       "clean 92%; sparse/frame attacks collapse both AccSNN and AxSNN");
@@ -23,6 +26,12 @@ int main() {
   core::DvsWorkbench workbench(bench::MakeDvsTrain(550),
                                bench::MakeDvsTest(110), bench::DvsOptions());
   scenario::DvsScenarioEngine engine(workbench);
+  std::unique_ptr<scenario::DvsScenarioStore> store;
+  if (!cli.cache_dir.empty()) {
+    store =
+        std::make_unique<scenario::DvsScenarioStore>(cli.cache_dir, workbench);
+    engine.set_store(store.get());
+  }
 
   scenario::ScenarioGrid grid;
   grid.v_thresholds = {1.0f};
@@ -31,7 +40,8 @@ int main() {
                   scenario::AttackSpec{"Frame", {}}};
   grid.levels = {0.0, 0.1};  // AccSNN, AxSNN(0.1)
 
-  const scenario::ScenarioOutcome outcome = engine.Run(grid);
+  const scenario::ScenarioOutcome outcome =
+      engine.Run(grid, cli.run_options());
   std::cout << "trained AccSNN (Vth=1.0, " << workbench.options().time_bins
             << " time bins): train accuracy "
             << outcome.train_accuracy_pct.front() << "%\n";
@@ -50,5 +60,6 @@ int main() {
   eval::PrintTable(std::cout,
                    "Fig. 7b: DVS128-Gesture-class accuracy [%] (no defense)",
                    {"model", "no attack", "sparse", "frame"}, rows);
+  bench::WriteScenarioStats(cli.stats_out, outcome.stats);
   return 0;
 }

@@ -19,6 +19,12 @@
 //  5. scenario grids — wall-clock of a miniature fig2-style ScenarioGrid
 //     with and without the engine's trained-model cache (the cache is what
 //     makes grids sharing structural cells cheap);
+//  5b. distributed scenario execution — the same miniature grid cold
+//      (empty artifact store), warm (fresh process image, artifacts on
+//      disk) and resumed (journal replay). Asserts the distributed-
+//      execution contract that warm and resumed runs recompute nothing
+//      (0 trainings, 0 crafts); a violation fails the process. The
+//      resume-vs-cold ratio is the checkpoint/resume value proposition;
 //  6. event pipeline — DVS end-to-end (events -> binning -> predictions)
 //     wall-clock of the dense [N, T, C, H, W] reference path vs the
 //     compressed spike-stream event path, swept over the silent-timestep
@@ -33,6 +39,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <new>
 #include <string>
 #include <vector>
@@ -46,6 +53,7 @@
 #include "runtime/parallel_for.hpp"
 #include "runtime/thread_pool.hpp"
 #include "scenario/engine.hpp"
+#include "scenario/store.hpp"
 #include "snn/conv2d.hpp"
 #include "snn/dense.hpp"
 #include "snn/event_path.hpp"
@@ -365,6 +373,87 @@ ScenarioGridTimings RunScenarioComparison() {
   return t;
 }
 
+struct ScenarioDistTimings {
+  long cells = 0;
+  long units = 0;
+  double cold_s = 0.0;    // empty store: train + craft + evaluate + journal
+  double warm_s = 0.0;    // fresh engine, artifacts on disk: deserialize + eval
+  double resume_s = 0.0;  // fresh engine, --resume: pure journal replay
+  long cold_trained = 0;
+  long cold_crafted = 0;
+  long warm_trained = 0;
+  long warm_crafted = 0;
+  long warm_model_hits = 0;
+  long warm_craft_hits = 0;
+  long resume_trained = 0;
+  long resume_crafted = 0;
+  long resume_replayed = 0;
+  /// The distributed-execution contract: warm and resumed runs never
+  /// retrain or re-craft.
+  bool zero_work_ok() const {
+    return warm_trained == 0 && warm_crafted == 0 && resume_trained == 0 &&
+           resume_crafted == 0;
+  }
+};
+
+/// Times the RunScenarioComparison grid against a persistent artifact
+/// store: cold (empty directory), then warm and resumed — each with a
+/// fresh engine and a fresh store object, so nothing survives in memory
+/// and the run models a restarted process. Warm reloads models/crafts and
+/// re-evaluates; resume replays the unit journal outright and is the
+/// headline restart speedup.
+ScenarioDistTimings RunScenarioDist() {
+  const std::string dir = "axsnn_dist_store.tmp";
+  std::filesystem::remove_all(dir);
+  core::StaticWorkbench workbench = bench::MiniFig2Workbench();
+
+  scenario::ScenarioGrid grid;
+  grid.v_thresholds = {0.25f};
+  grid.time_steps = {8};
+  grid.attacks = {scenario::AttackSpec{"PGD", {}}};
+  grid.epsilons = {0.025, 0.05};
+  grid.levels = {0.0, 0.01};
+
+  ScenarioDistTimings t;
+  t.cells = static_cast<long>(grid.CellCount());
+  t.units = static_cast<long>(grid.epsilons.size());
+
+  {
+    scenario::StaticScenarioStore store(dir, workbench);
+    scenario::StaticScenarioEngine engine(workbench);
+    engine.set_store(&store);
+    const auto out = engine.Run(grid);
+    t.cold_s = out.stats.wall_seconds;
+    t.cold_trained = out.stats.trained_models;
+    t.cold_crafted = out.stats.crafted_sets;
+  }
+  {
+    scenario::StaticScenarioStore store(dir, workbench);
+    scenario::StaticScenarioEngine engine(workbench);
+    engine.set_store(&store);
+    const auto out = engine.Run(grid);
+    t.warm_s = out.stats.wall_seconds;
+    t.warm_trained = out.stats.trained_models;
+    t.warm_crafted = out.stats.crafted_sets;
+    t.warm_model_hits = out.stats.store_model_hits;
+    t.warm_craft_hits = out.stats.store_craft_hits;
+  }
+  {
+    scenario::StaticScenarioStore store(dir, workbench);
+    scenario::StaticScenarioEngine engine(workbench);
+    engine.set_store(&store);
+    scenario::RunOptions options;
+    options.resume = true;
+    const auto out = engine.Run(grid, options);
+    t.resume_s = out.stats.wall_seconds;
+    t.resume_trained = out.stats.trained_models;
+    t.resume_crafted = out.stats.crafted_sets;
+    t.resume_replayed = out.stats.replayed_units;
+  }
+  std::filesystem::remove_all(dir);
+  return t;
+}
+
 /// One silent-fraction sweep point of the DVS end-to-end comparison.
 struct EventPipelinePoint {
   double silent_fraction_target = 0.0;  // requested fraction of silent steps
@@ -563,6 +652,25 @@ int main(int argc, char** argv) {
   std::printf("  cache speedup     %7.2fx\n",
               scenario_grid.without_cache_s / scenario_grid.with_cache_s);
 
+  const auto dist = axsnn::RunScenarioDist();
+  std::printf("\nscenario dist (%ld cells, %ld units; persistent store, "
+              "fresh engine per run):\n",
+              dist.cells, dist.units);
+  std::printf("  cold   (empty store)  %7.3f s   (%ld trainings, %ld crafts)\n",
+              dist.cold_s, dist.cold_trained, dist.cold_crafted);
+  std::printf("  warm   (store reuse)  %7.3f s   (%ld trainings, %ld crafts; "
+              "%ld model + %ld craft store hits)\n",
+              dist.warm_s, dist.warm_trained, dist.warm_crafted,
+              dist.warm_model_hits, dist.warm_craft_hits);
+  std::printf("  resume (journal)      %7.3f s   (%ld trainings, %ld crafts; "
+              "%ld units replayed)\n",
+              dist.resume_s, dist.resume_trained, dist.resume_crafted,
+              dist.resume_replayed);
+  std::printf("  warm speedup   %7.2fx\n", dist.cold_s / dist.warm_s);
+  std::printf("  resume speedup %7.2fx\n", dist.cold_s / dist.resume_s);
+  std::printf("  assert warm+resume recompute nothing : %s\n",
+              dist.zero_work_ok() ? "PASS" : "FAIL");
+
   const auto event_pipeline = axsnn::RunEventPipeline(repeats);
   std::printf("\nevent pipeline, DVS end-to-end (16 streams, 64 bins, "
               "2x16x16; ms/dataset pass):\n");
@@ -644,6 +752,26 @@ int main(int argc, char** argv) {
     std::fprintf(f, "    \"trained_without_cache\": %ld\n",
                  scenario_grid.trained_without_cache);
     std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"scenario_dist\": {\n");
+    std::fprintf(f, "    \"cells\": %ld,\n", dist.cells);
+    std::fprintf(f, "    \"work_units\": %ld,\n", dist.units);
+    std::fprintf(f, "    \"cold_s\": %.4f,\n", dist.cold_s);
+    std::fprintf(f, "    \"warm_s\": %.4f,\n", dist.warm_s);
+    std::fprintf(f, "    \"resume_s\": %.4f,\n", dist.resume_s);
+    std::fprintf(f, "    \"warm_speedup\": %.3f,\n", dist.cold_s / dist.warm_s);
+    std::fprintf(f, "    \"resume_speedup\": %.3f,\n",
+                 dist.cold_s / dist.resume_s);
+    std::fprintf(f, "    \"cold_trained\": %ld,\n", dist.cold_trained);
+    std::fprintf(f, "    \"cold_crafted\": %ld,\n", dist.cold_crafted);
+    std::fprintf(f, "    \"warm_trained\": %ld,\n", dist.warm_trained);
+    std::fprintf(f, "    \"warm_crafted\": %ld,\n", dist.warm_crafted);
+    std::fprintf(f, "    \"resume_trained\": %ld,\n", dist.resume_trained);
+    std::fprintf(f, "    \"resume_crafted\": %ld,\n", dist.resume_crafted);
+    std::fprintf(f, "    \"resume_replayed_units\": %ld,\n",
+                 dist.resume_replayed);
+    std::fprintf(f, "    \"warm_and_resume_recompute_nothing\": %s\n",
+                 dist.zero_work_ok() ? "true" : "false");
+    std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"event_pipeline\": {\n");
     std::fprintf(f, "    \"workload\": \"dvs_end_to_end[N=16,T=64,2x16x16]\",\n");
     std::fprintf(f, "    \"points\": [\n");
@@ -671,6 +799,12 @@ int main(int argc, char** argv) {
   if (!dispatch_ok) {
     std::fprintf(stderr,
                  "FAIL: int8 auto dispatch slower than naive (see table)\n");
+    return 1;
+  }
+  if (!dist.zero_work_ok()) {
+    std::fprintf(stderr,
+                 "FAIL: warm/resumed scenario run recomputed work "
+                 "(see scenario dist table)\n");
     return 1;
   }
   return 0;

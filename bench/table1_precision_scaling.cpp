@@ -12,14 +12,21 @@
 // cache lets the PGD and BIM searches of one structural cell train it only
 // once (6 searches, 3 trainings).
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "bench_common.hpp"
 #include "eval/report.hpp"
+#include "scenario/store.hpp"
 
 using namespace axsnn;
 
-int main() {
+int main(int argc, char** argv) {
+  // The table is a sequence of searches, not one grid, so it accepts
+  // --cache-dir only (no --shard/--resume): with a cache dir, the three
+  // structural models persist and a rerun skips all training.
+  const scenario::ShardRunnerOptions cli = bench::ParseCliOrExit(
+      argc, argv, /*allow_shard=*/false, /*allow_resume=*/false);
   bench::PrintBanner(
       "Table I (Algorithm 1: best precision-scaling settings)",
       "per-(Vth,T) best (precision, level) keeps 80-97% accuracy under "
@@ -29,6 +36,12 @@ int main() {
                                   bench::MakeStaticTest(256),
                                   bench::FigureOptions());
   scenario::StaticScenarioEngine engine(workbench);
+  std::unique_ptr<scenario::StaticScenarioStore> store;
+  if (!cli.cache_dir.empty()) {
+    store = std::make_unique<scenario::StaticScenarioStore>(cli.cache_dir,
+                                                            workbench);
+    engine.set_store(store.get());
+  }
 
   const std::vector<std::pair<float, long>> cells = {
       {0.25f, 32}, {0.75f, 32}, {1.0f, 48}};

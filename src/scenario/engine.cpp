@@ -1,13 +1,14 @@
 #include "scenario/engine.hpp"
 
-#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstring>
 #include <limits>
 #include <sstream>
+#include <utility>
 
 #include "runtime/parallel_for.hpp"
+#include "scenario/store.hpp"
 #include "tensor/check.hpp"
 
 namespace axsnn::scenario {
@@ -52,6 +53,36 @@ std::vector<core::VariantSpec> VariantBlock(const ScenarioGrid& grid) {
   return specs;
 }
 
+/// What Run does with one work unit.
+enum class UnitPlan : char {
+  kCompute,  ///< train/craft/evaluate (and journal when a store is attached)
+  kSkip,     ///< owned by another shard; cells stay unevaluated
+  kReplay,   ///< journaled result replays from the store
+};
+
+void ValidateRunOptions(const RunOptions& options, const void* store) {
+  if (options.shard.has_value()) {
+    AXSNN_CHECK(options.shard->count > 0 && options.shard->index >= 0 &&
+                    options.shard->index < options.shard->count,
+                "shard spec must satisfy 0 <= index < count, got "
+                    << options.shard->index << "/" << options.shard->count);
+  }
+  AXSNN_CHECK(!options.resume || store != nullptr,
+              "resume requires an attached scenario store (set_store)");
+}
+
+/// Copies a replayed journal record into the unit's outcome block.
+void ApplyReplay(const UnitRecord& record, std::size_t base, std::size_t block,
+                 ScenarioOutcome& outcome) {
+  for (std::size_t i = 0; i < block; ++i)
+    outcome.train_accuracy_pct[base + i] = record.train_accuracy_pct;
+  if (record.gated) return;  // robustness stays NaN, evaluated stays false
+  for (std::size_t i = 0; i < block; ++i) {
+    outcome.robustness_pct[base + i] = record.robustness[i];
+    outcome.evaluated[base + i] = 1;
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -79,15 +110,31 @@ void StaticScenarioEngine::set_craft_fn(CraftFn fn) {
 
 const StaticScenarioEngine::TrainedModel& StaticScenarioEngine::TrainCached(
     float vth, long time_steps) {
-  return model_cache_.GetOrTrain(
-      vth, time_steps, bench_.options().seed,
-      [&] { return train_fn_(vth, time_steps); });
+  return model_cache_.GetOrTrain(vth, time_steps, bench_.options().seed, [&] {
+    if (store_ != nullptr) {
+      TrainedModel from_disk;
+      if (store_->LoadModel(vth, time_steps, from_disk)) {
+        store_model_hits_.fetch_add(1, std::memory_order_relaxed);
+        return from_disk;
+      }
+    }
+    TrainedModel fresh = train_fn_(vth, time_steps);
+    computed_trains_.fetch_add(1, std::memory_order_relaxed);
+    if (store_ != nullptr) store_->SaveModel(fresh);
+    return fresh;
+  });
 }
 
 void StaticScenarioEngine::ClearCraftCache() { craft_cache_.Clear(); }
 
 ScenarioOutcome StaticScenarioEngine::Run(const ScenarioGrid& grid) {
+  return Run(grid, RunOptions{});
+}
+
+ScenarioOutcome StaticScenarioEngine::Run(const ScenarioGrid& grid,
+                                          const RunOptions& options) {
   ValidateScenarioGrid(grid, /*for_events=*/false);
+  ValidateRunOptions(options, store_);
 
   ScenarioOutcome outcome;
   outcome.grid = grid;
@@ -100,24 +147,75 @@ ScenarioOutcome StaticScenarioEngine::Run(const ScenarioGrid& grid) {
 
   const auto run_start = Clock::now();
   const long train_hits0 = model_cache_.hits();
-  const long train_misses0 = model_cache_.misses();
   const long craft_hits0 = craft_cache_.hits();
-  const long craft_misses0 = craft_cache_.misses();
+  const long computed_trains0 =
+      computed_trains_.load(std::memory_order_relaxed);
+  const long computed_crafts0 =
+      computed_crafts_.load(std::memory_order_relaxed);
+  const long store_model_hits0 =
+      store_model_hits_.load(std::memory_order_relaxed);
+  const long store_craft_hits0 =
+      store_craft_hits_.load(std::memory_order_relaxed);
   std::atomic<long> uncached_trainings{0};
   std::atomic<long> gated_units{0};
+  std::atomic<long> replayed_units{0};
 
-  // Phase 1: train every unique structural cell, cells in parallel. With
-  // the cache disabled units train for themselves in phase 2.
+  const std::vector<core::VariantSpec> variants = VariantBlock(grid);
+  const std::size_t block =
+      grid.aqfs.size() * variants.size();  // cells per unit
   const long vth_count = static_cast<long>(grid.v_thresholds.size());
   const long time_count = static_cast<long>(grid.time_steps.size());
+  const long attack_count = static_cast<long>(grid.attacks.size());
+  const long eps_count = static_cast<long>(grid.epsilons.size());
+  const long unit_count = vth_count * time_count * attack_count * eps_count;
+
+  // Unit planning: shard partition (unit % N), then journal replay for
+  // resumed runs. The replay probe is sequential disk I/O — cheap next to
+  // training — and a record whose block size disagrees with this grid is
+  // treated as absent (defensive; the grid key already pins the axes).
+  const std::string grid_key =
+      store_ != nullptr ? store_->GridKey(grid) : std::string();
+  std::vector<UnitPlan> plan(static_cast<std::size_t>(unit_count),
+                             UnitPlan::kCompute);
+  std::vector<UnitRecord> replay(static_cast<std::size_t>(unit_count));
+  for (long unit = 0; unit < unit_count; ++unit) {
+    if (options.shard.has_value() && !options.shard->Owns(unit)) {
+      plan[static_cast<std::size_t>(unit)] = UnitPlan::kSkip;
+      continue;
+    }
+    if (!options.resume) continue;
+    UnitRecord record;
+    if (store_->LoadUnit(grid_key, unit, record) &&
+        (record.gated || record.robustness.size() == block)) {
+      plan[static_cast<std::size_t>(unit)] = UnitPlan::kReplay;
+      replay[static_cast<std::size_t>(unit)] = std::move(record);
+    }
+  }
+
+  // Phase 1: train every structural cell that still has a unit to compute,
+  // cells in parallel. Replayed/foreign-shard units never touch a model, so
+  // a warm resume trains nothing. With the cache disabled units train for
+  // themselves in phase 2.
   if (cache_enabled_) {
+    std::vector<long> needed_cells;
+    std::vector<char> cell_needed(
+        static_cast<std::size_t>(vth_count * time_count), 0);
+    for (long unit = 0; unit < unit_count; ++unit) {
+      if (plan[static_cast<std::size_t>(unit)] != UnitPlan::kCompute) continue;
+      const long cell = unit / (attack_count * eps_count);
+      if (!cell_needed[static_cast<std::size_t>(cell)]) {
+        cell_needed[static_cast<std::size_t>(cell)] = 1;
+        needed_cells.push_back(cell);
+      }
+    }
     runtime::ParallelFor(
-        0, vth_count * time_count,
-        [&](long idx) {
+        0, static_cast<long>(needed_cells.size()),
+        [&](long i) {
+          const long cell = needed_cells[static_cast<std::size_t>(i)];
           const float vth =
-              grid.v_thresholds[static_cast<std::size_t>(idx / time_count)];
+              grid.v_thresholds[static_cast<std::size_t>(cell / time_count)];
           const long t =
-              grid.time_steps[static_cast<std::size_t>(idx % time_count)];
+              grid.time_steps[static_cast<std::size_t>(cell % time_count)];
           (void)TrainCached(vth, t);
         },
         /*grain=*/1);
@@ -127,18 +225,14 @@ ScenarioOutcome StaticScenarioEngine::Run(const ScenarioGrid& grid) {
   // Phase 2: one work unit per (structural cell, attack, epsilon) — craft
   // once, then fan the variant block out through EvaluateVariants. Each
   // unit owns a contiguous slice of the outcome, so the fan-out is
-  // bit-identical at any pool size.
+  // bit-identical at any pool size and across any shard split.
   const auto sweep_start = Clock::now();
-  const std::vector<core::VariantSpec> variants = VariantBlock(grid);
-  const std::size_t block =
-      grid.aqfs.size() * variants.size();  // cells per unit
-  const long attack_count = static_cast<long>(grid.attacks.size());
-  const long eps_count = static_cast<long>(grid.epsilons.size());
-  const long unit_count = vth_count * time_count * attack_count * eps_count;
 
   runtime::ParallelFor(
       0, unit_count,
       [&](long unit) {
+        if (plan[static_cast<std::size_t>(unit)] == UnitPlan::kSkip) return;
+
         long rest = unit;
         const std::size_t ie = static_cast<std::size_t>(rest % eps_count);
         rest /= eps_count;
@@ -146,6 +240,14 @@ ScenarioOutcome StaticScenarioEngine::Run(const ScenarioGrid& grid) {
         rest /= attack_count;
         const std::size_t it = static_cast<std::size_t>(rest % time_count);
         const std::size_t iv = static_cast<std::size_t>(rest / time_count);
+        const std::size_t base = grid.Index(iv, it, ia, ie, 0, 0, 0, 0);
+
+        if (plan[static_cast<std::size_t>(unit)] == UnitPlan::kReplay) {
+          ApplyReplay(replay[static_cast<std::size_t>(unit)], base, block,
+                      outcome);
+          replayed_units.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
 
         const float vth = grid.v_thresholds[iv];
         const long t = grid.time_steps[it];
@@ -162,20 +264,38 @@ ScenarioOutcome StaticScenarioEngine::Run(const ScenarioGrid& grid) {
           model = &local;
         }
 
-        const std::size_t base = grid.Index(iv, it, ia, ie, 0, 0, 0, 0);
         for (std::size_t i = 0; i < block; ++i)
           outcome.train_accuracy_pct[base + i] = model->train_accuracy_pct;
 
         if (grid.min_train_accuracy_pct.has_value() &&
             model->train_accuracy_pct < *grid.min_train_accuracy_pct) {
           gated_units.fetch_add(1, std::memory_order_relaxed);
+          if (store_ != nullptr) {
+            UnitRecord record;
+            record.gated = true;
+            record.train_accuracy_pct = model->train_accuracy_pct;
+            store_->SaveUnit(grid_key, unit, record);
+          }
           return;  // robustness stays NaN, evaluated stays false
         }
 
-        // Craft through the cache (persistent across Run calls).
+        // Craft through the in-memory cache (persistent across Run calls),
+        // which itself consults the disk store before computing.
         const Tensor& adversarial = craft_cache_.GetOrCompute(
             CraftKey(vth, t, attack, epsilon), [&] {
-              return craft_fn_(*model, attack, static_cast<float>(epsilon));
+              if (store_ != nullptr) {
+                Tensor from_disk;
+                if (store_->LoadCraft(*model, attack, epsilon, from_disk)) {
+                  store_craft_hits_.fetch_add(1, std::memory_order_relaxed);
+                  return from_disk;
+                }
+              }
+              Tensor fresh =
+                  craft_fn_(*model, attack, static_cast<float>(epsilon));
+              computed_crafts_.fetch_add(1, std::memory_order_relaxed);
+              if (store_ != nullptr)
+                store_->SaveCraft(*model, attack, epsilon, fresh);
+              return fresh;
             });
 
         const std::vector<float> robustness =
@@ -187,17 +307,50 @@ ScenarioOutcome StaticScenarioEngine::Run(const ScenarioGrid& grid) {
             outcome.evaluated[slice + i] = 1;
           }
         }
+
+        if (store_ != nullptr) {
+          UnitRecord record;
+          record.train_accuracy_pct = model->train_accuracy_pct;
+          record.robustness.assign(
+              outcome.robustness_pct.begin() + static_cast<long>(base),
+              outcome.robustness_pct.begin() + static_cast<long>(base + block));
+          store_->SaveUnit(grid_key, unit, record);
+        }
       },
       /*grain=*/1);
 
   outcome.stats.sweep_seconds = SecondsSince(sweep_start);
   outcome.stats.wall_seconds = SecondsSince(run_start);
   outcome.stats.train_cache_hits = model_cache_.hits() - train_hits0;
-  outcome.stats.trained_models = model_cache_.misses() - train_misses0 +
-                                 uncached_trainings.load();
+  outcome.stats.trained_models =
+      computed_trains_.load(std::memory_order_relaxed) - computed_trains0 +
+      uncached_trainings.load();
   outcome.stats.craft_cache_hits = craft_cache_.hits() - craft_hits0;
-  outcome.stats.crafted_sets = craft_cache_.misses() - craft_misses0;
+  outcome.stats.crafted_sets =
+      computed_crafts_.load(std::memory_order_relaxed) - computed_crafts0;
+  outcome.stats.store_model_hits =
+      store_model_hits_.load(std::memory_order_relaxed) - store_model_hits0;
+  outcome.stats.store_craft_hits =
+      store_craft_hits_.load(std::memory_order_relaxed) - store_craft_hits0;
   outcome.stats.gated_units = gated_units.load();
+  outcome.stats.replayed_units = replayed_units.load();
+
+  // Fold this run's fresh computations into the grid's cumulative journal
+  // totals, so a merged shard run (or a warm rerun) reports the same
+  // trained/crafted counters as the single-process cold run. Exact when
+  // shards of one grid run sequentially (the CI recipe); concurrent shards
+  // keep correct cells but may under-count the shared totals.
+  if (store_ != nullptr) {
+    GridTotals totals = store_->LoadTotals(grid_key);
+    totals.trained_models += outcome.stats.trained_models;
+    totals.crafted_sets += outcome.stats.crafted_sets;
+    store_->SaveTotals(grid_key, totals);
+    outcome.stats.total_trained_models = totals.trained_models;
+    outcome.stats.total_crafted_sets = totals.crafted_sets;
+  } else {
+    outcome.stats.total_trained_models = outcome.stats.trained_models;
+    outcome.stats.total_crafted_sets = outcome.stats.crafted_sets;
+  }
   return outcome;
 }
 
@@ -225,15 +378,32 @@ void DvsScenarioEngine::set_craft_fn(CraftFn fn) {
 
 const DvsScenarioEngine::TrainedModel& DvsScenarioEngine::TrainCached(
     float vth) {
-  return model_cache_.GetOrTrain(vth, bench_.options().time_bins,
-                                 bench_.options().seed,
-                                 [&] { return train_fn_(vth); });
+  return model_cache_.GetOrTrain(
+      vth, bench_.options().time_bins, bench_.options().seed, [&] {
+        if (store_ != nullptr) {
+          TrainedModel from_disk;
+          if (store_->LoadModel(vth, from_disk)) {
+            store_model_hits_.fetch_add(1, std::memory_order_relaxed);
+            return from_disk;
+          }
+        }
+        TrainedModel fresh = train_fn_(vth);
+        computed_trains_.fetch_add(1, std::memory_order_relaxed);
+        if (store_ != nullptr) store_->SaveModel(fresh);
+        return fresh;
+      });
 }
 
 void DvsScenarioEngine::ClearCraftCache() { craft_cache_.Clear(); }
 
 ScenarioOutcome DvsScenarioEngine::Run(const ScenarioGrid& grid) {
+  return Run(grid, RunOptions{});
+}
+
+ScenarioOutcome DvsScenarioEngine::Run(const ScenarioGrid& grid,
+                                       const RunOptions& options) {
   ValidateScenarioGrid(grid, /*for_events=*/true);
+  ValidateRunOptions(options, store_);
 
   ScenarioOutcome outcome;
   outcome.grid = grid;
@@ -247,18 +417,60 @@ ScenarioOutcome DvsScenarioEngine::Run(const ScenarioGrid& grid) {
 
   const auto run_start = Clock::now();
   const long train_hits0 = model_cache_.hits();
-  const long train_misses0 = model_cache_.misses();
   const long craft_hits0 = craft_cache_.hits();
-  const long craft_misses0 = craft_cache_.misses();
+  const long computed_trains0 =
+      computed_trains_.load(std::memory_order_relaxed);
+  const long computed_crafts0 =
+      computed_crafts_.load(std::memory_order_relaxed);
+  const long store_model_hits0 =
+      store_model_hits_.load(std::memory_order_relaxed);
+  const long store_craft_hits0 =
+      store_craft_hits_.load(std::memory_order_relaxed);
   std::atomic<long> uncached_trainings{0};
   std::atomic<long> gated_units{0};
+  std::atomic<long> replayed_units{0};
 
+  const std::vector<core::VariantSpec> variants = VariantBlock(grid);
+  const std::size_t block = grid.aqfs.size() * variants.size();
   const long vth_count = static_cast<long>(grid.v_thresholds.size());
+  const long attack_count = static_cast<long>(grid.attacks.size());
+  const long unit_count = vth_count * attack_count;
+
+  const std::string grid_key =
+      store_ != nullptr ? store_->GridKey(grid) : std::string();
+  std::vector<UnitPlan> plan(static_cast<std::size_t>(unit_count),
+                             UnitPlan::kCompute);
+  std::vector<UnitRecord> replay(static_cast<std::size_t>(unit_count));
+  for (long unit = 0; unit < unit_count; ++unit) {
+    if (options.shard.has_value() && !options.shard->Owns(unit)) {
+      plan[static_cast<std::size_t>(unit)] = UnitPlan::kSkip;
+      continue;
+    }
+    if (!options.resume) continue;
+    UnitRecord record;
+    if (store_->LoadUnit(grid_key, unit, record) &&
+        (record.gated || record.robustness.size() == block)) {
+      plan[static_cast<std::size_t>(unit)] = UnitPlan::kReplay;
+      replay[static_cast<std::size_t>(unit)] = std::move(record);
+    }
+  }
+
   if (cache_enabled_) {
+    std::vector<long> needed_vths;
+    std::vector<char> vth_needed(static_cast<std::size_t>(vth_count), 0);
+    for (long unit = 0; unit < unit_count; ++unit) {
+      if (plan[static_cast<std::size_t>(unit)] != UnitPlan::kCompute) continue;
+      const long iv = unit / attack_count;
+      if (!vth_needed[static_cast<std::size_t>(iv)]) {
+        vth_needed[static_cast<std::size_t>(iv)] = 1;
+        needed_vths.push_back(iv);
+      }
+    }
     runtime::ParallelFor(
-        0, vth_count,
-        [&](long iv) {
-          (void)TrainCached(grid.v_thresholds[static_cast<std::size_t>(iv)]);
+        0, static_cast<long>(needed_vths.size()),
+        [&](long i) {
+          (void)TrainCached(grid.v_thresholds[static_cast<std::size_t>(
+              needed_vths[static_cast<std::size_t>(i)])]);
         },
         /*grain=*/1);
   }
@@ -267,15 +479,23 @@ ScenarioOutcome DvsScenarioEngine::Run(const ScenarioGrid& grid) {
   // Phase 2: one unit per (vth, attack); AQF slices evaluate inside the
   // unit (filter + binning are shared per slice by EvaluateVariants).
   const auto sweep_start = Clock::now();
-  const std::vector<core::VariantSpec> variants = VariantBlock(grid);
-  const long attack_count = static_cast<long>(grid.attacks.size());
-  const long unit_count = vth_count * attack_count;
 
   runtime::ParallelFor(
       0, unit_count,
       [&](long unit) {
+        if (plan[static_cast<std::size_t>(unit)] == UnitPlan::kSkip) return;
+
         const std::size_t ia = static_cast<std::size_t>(unit % attack_count);
         const std::size_t iv = static_cast<std::size_t>(unit / attack_count);
+        const std::size_t base = grid.Index(iv, 0, ia, 0, 0, 0, 0, 0);
+
+        if (plan[static_cast<std::size_t>(unit)] == UnitPlan::kReplay) {
+          ApplyReplay(replay[static_cast<std::size_t>(unit)], base, block,
+                      outcome);
+          replayed_units.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+
         const float vth = grid.v_thresholds[iv];
         const AttackSpec& attack = grid.attacks[ia];
 
@@ -289,20 +509,36 @@ ScenarioOutcome DvsScenarioEngine::Run(const ScenarioGrid& grid) {
           model = &local;
         }
 
-        const std::size_t base = grid.Index(iv, 0, ia, 0, 0, 0, 0, 0);
-        const std::size_t block = grid.aqfs.size() * variants.size();
         for (std::size_t i = 0; i < block; ++i)
           outcome.train_accuracy_pct[base + i] = model->train_accuracy_pct;
 
         if (grid.min_train_accuracy_pct.has_value() &&
             model->train_accuracy_pct < *grid.min_train_accuracy_pct) {
           gated_units.fetch_add(1, std::memory_order_relaxed);
+          if (store_ != nullptr) {
+            UnitRecord record;
+            record.gated = true;
+            record.train_accuracy_pct = model->train_accuracy_pct;
+            store_->SaveUnit(grid_key, unit, record);
+          }
           return;
         }
 
         const data::EventDataset& adversarial = craft_cache_.GetOrCompute(
             CraftKey(vth, bench_.options().time_bins, attack, /*epsilon=*/0.0),
-            [&] { return craft_fn_(*model, attack); });
+            [&] {
+              if (store_ != nullptr) {
+                data::EventDataset from_disk;
+                if (store_->LoadCraft(*model, attack, from_disk)) {
+                  store_craft_hits_.fetch_add(1, std::memory_order_relaxed);
+                  return from_disk;
+                }
+              }
+              data::EventDataset fresh = craft_fn_(*model, attack);
+              computed_crafts_.fetch_add(1, std::memory_order_relaxed);
+              if (store_ != nullptr) store_->SaveCraft(*model, attack, fresh);
+              return fresh;
+            });
 
         for (std::size_t iq = 0; iq < grid.aqfs.size(); ++iq) {
           const std::vector<float> robustness = bench_.EvaluateVariants(
@@ -313,17 +549,45 @@ ScenarioOutcome DvsScenarioEngine::Run(const ScenarioGrid& grid) {
             outcome.evaluated[slice + i] = 1;
           }
         }
+
+        if (store_ != nullptr) {
+          UnitRecord record;
+          record.train_accuracy_pct = model->train_accuracy_pct;
+          record.robustness.assign(
+              outcome.robustness_pct.begin() + static_cast<long>(base),
+              outcome.robustness_pct.begin() + static_cast<long>(base + block));
+          store_->SaveUnit(grid_key, unit, record);
+        }
       },
       /*grain=*/1);
 
   outcome.stats.sweep_seconds = SecondsSince(sweep_start);
   outcome.stats.wall_seconds = SecondsSince(run_start);
   outcome.stats.train_cache_hits = model_cache_.hits() - train_hits0;
-  outcome.stats.trained_models = model_cache_.misses() - train_misses0 +
-                                 uncached_trainings.load();
+  outcome.stats.trained_models =
+      computed_trains_.load(std::memory_order_relaxed) - computed_trains0 +
+      uncached_trainings.load();
   outcome.stats.craft_cache_hits = craft_cache_.hits() - craft_hits0;
-  outcome.stats.crafted_sets = craft_cache_.misses() - craft_misses0;
+  outcome.stats.crafted_sets =
+      computed_crafts_.load(std::memory_order_relaxed) - computed_crafts0;
+  outcome.stats.store_model_hits =
+      store_model_hits_.load(std::memory_order_relaxed) - store_model_hits0;
+  outcome.stats.store_craft_hits =
+      store_craft_hits_.load(std::memory_order_relaxed) - store_craft_hits0;
   outcome.stats.gated_units = gated_units.load();
+  outcome.stats.replayed_units = replayed_units.load();
+
+  if (store_ != nullptr) {
+    GridTotals totals = store_->LoadTotals(grid_key);
+    totals.trained_models += outcome.stats.trained_models;
+    totals.crafted_sets += outcome.stats.crafted_sets;
+    store_->SaveTotals(grid_key, totals);
+    outcome.stats.total_trained_models = totals.trained_models;
+    outcome.stats.total_crafted_sets = totals.crafted_sets;
+  } else {
+    outcome.stats.total_trained_models = outcome.stats.trained_models;
+    outcome.stats.total_crafted_sets = outcome.stats.crafted_sets;
+  }
   return outcome;
 }
 

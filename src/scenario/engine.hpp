@@ -12,14 +12,22 @@
 //     epsilon): successive grids reusing an attack (Table II's operating
 //     points, Algorithm-1 searches over the same cell) never re-craft.
 //
+// Both caches promote to a shared on-disk artifact store (store.hpp) via
+// set_store: trained models and crafted sets persist across processes, and
+// every finished work unit journals its result block, so Run(grid, options)
+// supports checkpoint/resume (replay journaled units, compute only the
+// remainder) and shard fan-out (`--shard i/N` unit partitioning; a resume
+// pass with no shard merges all journals in grid order — see shard.hpp).
+//
 // Determinism: training, crafting and evaluation are each deterministic in
 // their seeds, every unit owns its output slots, and nested parallelism is
 // throttled to inline by the pool — so Run results are bit-identical at any
-// pool size and across cache hits/misses. Hooks (set_train_fn /
-// set_craft_fn) let harnesses splice in persistent disk caches (see
-// bench_common's heatmap cell cache) without touching the engine.
+// pool size, across cache/store hits and misses, and across any shard
+// split. Hooks (set_train_fn / set_craft_fn) let harnesses splice in custom
+// computations without touching the engine.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <string>
 #include <vector>
@@ -27,19 +35,33 @@
 #include "core/workbench.hpp"
 #include "scenario/model_cache.hpp"
 #include "scenario/scenario.hpp"
+#include "scenario/shard.hpp"
 
 namespace axsnn::scenario {
+
+class StaticScenarioStore;
+class DvsScenarioStore;
 
 /// Execution counters of one Run call.
 struct ScenarioStats {
   double wall_seconds = 0.0;   ///< whole Run
   double train_seconds = 0.0;  ///< phase 1 (structural-cell training)
   double sweep_seconds = 0.0;  ///< phase 2 (craft + variant evaluation)
-  long trained_models = 0;     ///< training runs this call (cache misses)
-  long train_cache_hits = 0;
-  long crafted_sets = 0;       ///< craft runs this call (cache misses)
-  long craft_cache_hits = 0;
+  long trained_models = 0;     ///< fresh training computations this call
+  long train_cache_hits = 0;   ///< in-memory model-cache hits
+  long crafted_sets = 0;       ///< fresh craft computations this call
+  long craft_cache_hits = 0;   ///< in-memory craft-cache hits
   long gated_units = 0;        ///< units skipped by min_train_accuracy_pct
+  // Distributed-execution counters (zero without an attached store):
+  long store_model_hits = 0;   ///< trained models deserialized from disk
+  long store_craft_hits = 0;   ///< crafted sets deserialized from disk
+  long replayed_units = 0;     ///< journaled units replayed (resume)
+  /// Cumulative fresh computations across every run/shard that touched this
+  /// grid's store journal. Without a store these equal trained_models /
+  /// crafted_sets, so single-process reports are unchanged — and a merged
+  /// shard run reports the same totals as the single-process run.
+  long total_trained_models = 0;
+  long total_crafted_sets = 0;
 };
 
 /// Grid results, aligned with ExpandScenarioGrid(grid) order.
@@ -79,22 +101,35 @@ class StaticScenarioEngine {
 
   /// Replaces how structural cells train / attacks craft (default:
   /// bench.Train / registry-dispatched bench.Craft). Harness hook for
-  /// persistent disk caches.
+  /// custom computations; the store (set_store) wraps whatever is
+  /// installed here.
   void set_train_fn(TrainFn fn);
   void set_craft_fn(CraftFn fn);
 
+  /// Attaches a persistent on-disk store (borrowed; must outlive the
+  /// engine's runs; nullptr detaches). Models and crafted sets then
+  /// load-or-compute-and-save through it, and Run journals every finished
+  /// work unit for checkpoint/resume and shard merging.
+  void set_store(StaticScenarioStore* store) { store_ = store; }
+
   /// Disables the in-memory trained-model cache (every unit retrains) —
   /// the with/without comparison bench_micro_runtime records. On by
-  /// default.
+  /// default. The store is not consulted on the uncached path.
   void set_model_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
 
   /// Trains (or fetches) the model of one structural cell through the
   /// cache — the Algorithm-1 serial path shares models with grids this way.
+  /// Consults the attached store before computing.
   const TrainedModel& TrainCached(float vth, long time_steps);
 
   /// Executes the grid. Validates first (throws std::invalid_argument on
   /// unknown attacks/params or axis misuse).
   ScenarioOutcome Run(const ScenarioGrid& grid);
+
+  /// Executes the grid with shard/resume options (shard.hpp). `resume`
+  /// requires an attached store; units outside `options.shard` stay
+  /// unevaluated unless replayed from the journal.
+  ScenarioOutcome Run(const ScenarioGrid& grid, const RunOptions& options);
 
   StaticModelCache& model_cache() { return model_cache_; }
   const core::StaticWorkbench& bench() const { return bench_; }
@@ -108,8 +143,15 @@ class StaticScenarioEngine {
   TrainFn train_fn_;
   CraftFn craft_fn_;
   bool cache_enabled_ = true;
+  StaticScenarioStore* store_ = nullptr;
   StaticModelCache model_cache_;
   detail::CacheTable<std::string, Tensor> craft_cache_;
+  // Engine-cumulative counters (Run reports per-call diffs): fresh
+  // train_fn_/craft_fn_ invocations and store deserializations.
+  std::atomic<long> computed_trains_{0};
+  std::atomic<long> computed_crafts_{0};
+  std::atomic<long> store_model_hits_{0};
+  std::atomic<long> store_craft_hits_{0};
 };
 
 // ---------------------------------------------------------------------------
@@ -127,6 +169,7 @@ class DvsScenarioEngine {
 
   void set_train_fn(TrainFn fn);
   void set_craft_fn(CraftFn fn);
+  void set_store(DvsScenarioStore* store) { store_ = store; }
   void set_model_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
 
   const TrainedModel& TrainCached(float vth);
@@ -134,6 +177,7 @@ class DvsScenarioEngine {
   /// Executes the grid (time_steps / epsilons must be single-entry; every
   /// cell resolves T to the workbench binning).
   ScenarioOutcome Run(const ScenarioGrid& grid);
+  ScenarioOutcome Run(const ScenarioGrid& grid, const RunOptions& options);
 
   DvsModelCache& model_cache() { return model_cache_; }
   const core::DvsWorkbench& bench() const { return bench_; }
@@ -144,8 +188,13 @@ class DvsScenarioEngine {
   TrainFn train_fn_;
   CraftFn craft_fn_;
   bool cache_enabled_ = true;
+  DvsScenarioStore* store_ = nullptr;
   DvsModelCache model_cache_;
   detail::CacheTable<std::string, data::EventDataset> craft_cache_;
+  std::atomic<long> computed_trains_{0};
+  std::atomic<long> computed_crafts_{0};
+  std::atomic<long> store_model_hits_{0};
+  std::atomic<long> store_craft_hits_{0};
 };
 
 }  // namespace axsnn::scenario

@@ -1,0 +1,73 @@
+#include "scenario/shard.hpp"
+
+#include <stdexcept>
+#include <string_view>
+
+#include "runtime/thread_pool.hpp"
+
+namespace axsnn::scenario {
+
+std::optional<ShardSpec> ParseShardSpec(const std::string& text) {
+  // Digits and one '/' only — stricter than ParseLongStrict alone, whose
+  // strtol core skips leading whitespace and accepts signs.
+  for (char c : text)
+    if ((c < '0' || c > '9') && c != '/') return std::nullopt;
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos) return std::nullopt;
+  // ParseLongStrict validates the full substring, so a second '/' (as in
+  // "1/2/3") or trailing garbage ("2/4abc") rejects the denominator.
+  const std::optional<long> index =
+      runtime::ParseLongStrict(text.substr(0, slash).c_str());
+  const std::optional<long> count =
+      runtime::ParseLongStrict(text.substr(slash + 1).c_str());
+  if (!index.has_value() || !count.has_value()) return std::nullopt;
+  if (*count <= 0 || *index < 0 || *index >= *count) return std::nullopt;
+  return ShardSpec{*index, *count};
+}
+
+const char* ShardRunnerUsage() {
+  return "[--cache-dir DIR] [--shard i/N] [--resume] [--stats-out FILE]";
+}
+
+ShardRunnerOptions ParseShardRunnerArgs(int argc, char** argv,
+                                        bool allow_shard, bool allow_resume) {
+  ShardRunnerOptions opts;
+  const auto value_of = [&](int& i, std::string_view flag) -> std::string {
+    if (i + 1 >= argc)
+      throw std::invalid_argument(std::string(flag) + " requires a value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--shard") {
+      if (!allow_shard)
+        throw std::invalid_argument("--shard is not supported by this driver");
+      const std::string spec = value_of(i, arg);
+      const std::optional<ShardSpec> parsed = ParseShardSpec(spec);
+      if (!parsed.has_value())
+        throw std::invalid_argument("--shard expects i/N with integers 0 <= "
+                                    "i < N, got \"" +
+                                    spec + "\"");
+      opts.shard = *parsed;
+    } else if (arg == "--cache-dir") {
+      opts.cache_dir = value_of(i, arg);
+      if (opts.cache_dir.empty())
+        throw std::invalid_argument("--cache-dir requires a non-empty path");
+    } else if (arg == "--resume") {
+      if (!allow_resume)
+        throw std::invalid_argument("--resume is not supported by this driver");
+      opts.resume = true;
+    } else if (arg == "--stats-out") {
+      opts.stats_out = value_of(i, arg);
+    } else {
+      throw std::invalid_argument("unknown argument \"" + std::string(arg) +
+                                  "\"");
+    }
+  }
+  if (opts.resume && opts.cache_dir.empty())
+    throw std::invalid_argument(
+        "--resume replays a journal and needs --cache-dir");
+  return opts;
+}
+
+}  // namespace axsnn::scenario

@@ -1,0 +1,645 @@
+#include "scenario/store.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "data/event_io.hpp"
+#include "snn/lif_layer.hpp"
+#include "tensor/check.hpp"
+#include "tensor/serialize.hpp"
+
+namespace axsnn::scenario {
+
+namespace {
+
+constexpr std::uint32_t kEnvelopeMagic = 0x41585354;  // "AXST"
+constexpr std::uint32_t kEnvelopeVersion = 1;
+/// Unit-journal sanity cap: a grid block never remotely approaches this.
+constexpr std::int64_t kMaxUnitBlock = 1 << 26;
+
+/// FNV-1a 64 over explicitly enumerated fields. Structs are never hashed
+/// via memcpy — padding bytes are indeterminate.
+class Fnv64 {
+ public:
+  void Bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 1099511628211ull;
+    }
+  }
+  void U64(std::uint64_t v) { Bytes(&v, sizeof v); }
+  void I64(long long v) { U64(static_cast<std::uint64_t>(v)); }
+  void F32(float v) {
+    std::uint32_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    U64(bits);
+  }
+  void F64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    U64(bits);
+  }
+  void Str(const std::string& s) {
+    U64(s.size());
+    Bytes(s.data(), s.size());
+  }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 1469598103934665603ull;
+};
+
+std::uint64_t FnvOfBytes(const std::string& bytes) {
+  Fnv64 h;
+  h.Bytes(bytes.data(), bytes.size());
+  return h.value();
+}
+
+std::string Hex(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::uint32_t FloatBits(float v) {
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+std::uint64_t DoubleBits(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+template <typename T>
+void WritePod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+void ReadPod(std::istream& is, T& v, const char* what) {
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!is)
+    throw std::runtime_error(std::string("axsnn: truncated store record: ") +
+                             what);
+}
+
+// --- fingerprint helpers ---------------------------------------------------
+
+void HashLif(Fnv64& h, const snn::LifParams& lif) {
+  h.F32(lif.v_threshold);
+  h.F32(lif.beta);
+  h.F32(lif.v_reset);
+  h.F32(lif.surrogate_alpha);
+}
+
+void HashTrainConfig(Fnv64& h, const snn::TrainConfig& cfg) {
+  h.I64(cfg.epochs);
+  h.I64(cfg.batch_size);
+  h.F32(cfg.learning_rate);
+  h.F32(cfg.beta1);
+  h.F32(cfg.beta2);
+  h.F32(cfg.adam_eps);
+  h.F32(cfg.weight_decay);
+  h.I64(cfg.time_steps);
+  h.I64(static_cast<long>(cfg.encoding));
+  h.U64(cfg.seed);
+  h.I64(cfg.shuffle ? 1 : 0);
+}
+
+void HashTensor(Fnv64& h, const Tensor& t) {
+  h.U64(t.rank());
+  for (std::size_t d = 0; d < t.rank(); ++d) h.I64(t.dim(d));
+  h.Bytes(t.data(), static_cast<std::size_t>(t.numel()) * sizeof(float));
+}
+
+void HashStaticDataset(Fnv64& h, const data::StaticDataset& ds) {
+  HashTensor(h, ds.images);
+  h.U64(ds.labels.size());
+  for (int label : ds.labels) h.I64(label);
+  h.I64(ds.num_classes);
+}
+
+void HashEventDataset(Fnv64& h, const data::EventDataset& ds) {
+  h.I64(ds.width);
+  h.I64(ds.height);
+  h.F32(ds.duration_ms);
+  h.I64(ds.num_classes);
+  h.U64(ds.labels.size());
+  for (int label : ds.labels) h.I64(label);
+  h.U64(ds.streams.size());
+  for (const data::EventStream& s : ds.streams) {
+    h.I64(s.width);
+    h.I64(s.height);
+    h.F32(s.duration_ms);
+    h.U64(s.events.size());
+    for (const data::Event& e : s.events) {
+      h.I64(e.x);
+      h.I64(e.y);
+      h.I64(e.polarity);
+      h.F32(e.t);
+    }
+  }
+}
+
+std::uint64_t FingerprintStatic(const core::StaticWorkbench& bench) {
+  Fnv64 h;
+  h.Str("axsnn-static-workbench-v1");
+  const core::StaticWorkbench::Options& o = bench.options();
+  h.I64(o.net.height);
+  h.I64(o.net.width);
+  h.I64(o.net.channels);
+  h.I64(o.net.classes);
+  h.I64(o.net.conv1_channels);
+  h.I64(o.net.conv2_channels);
+  h.I64(o.net.conv3_channels);
+  h.I64(o.net.hidden);
+  HashLif(h, o.net.lif);
+  h.U64(o.net.seed);
+  HashTrainConfig(h, o.train);
+  h.I64(o.train_time_steps_cap);
+  h.I64(o.attack_time_steps_cap);
+  h.I64(o.attack_steps);
+  h.I64(static_cast<long>(o.eval_encoding));
+  h.I64(o.eval_batch);
+  h.F64(o.threshold_gain);
+  h.I64(o.int8_kernels ? 1 : 0);
+  // kernel_mode excluded: bit-identical execution axis by contract.
+  h.U64(o.seed);
+  HashStaticDataset(h, bench.train_set());
+  HashStaticDataset(h, bench.test_set());
+  return h.value();
+}
+
+std::uint64_t FingerprintDvs(const core::DvsWorkbench& bench) {
+  Fnv64 h;
+  h.Str("axsnn-dvs-workbench-v1");
+  const core::DvsWorkbench::Options& o = bench.options();
+  h.I64(o.net.height);
+  h.I64(o.net.width);
+  h.I64(o.net.channels);
+  h.I64(o.net.classes);
+  h.I64(o.net.conv1_channels);
+  h.I64(o.net.conv2_channels);
+  h.I64(o.net.hidden);
+  h.F32(o.net.dropout_rate);
+  HashLif(h, o.net.lif);
+  h.U64(o.net.seed);
+  HashTrainConfig(h, o.train);
+  h.I64(o.time_bins);
+  h.I64(o.sparse.max_iterations);
+  h.I64(o.sparse.events_per_iteration);
+  h.I64(o.sparse.time_bins);
+  h.I64(o.sparse.min_spacing);
+  h.U64(o.sparse.seed);
+  h.F32(o.frame.period_ms);
+  h.I64(o.frame.border);
+  h.I64(o.frame.both_polarities ? 1 : 0);
+  h.I64(o.eval_batch);
+  h.F64(o.threshold_gain);
+  h.I64(o.int8_kernels ? 1 : 0);
+  // kernel_mode / event_path excluded: bit-identical execution axes.
+  h.U64(o.seed);
+  HashEventDataset(h, bench.train_set());
+  HashEventDataset(h, bench.test_set());
+  return h.value();
+}
+
+/// Digest of (workbench fingerprint, engine family, every grid axis) with
+/// exact float/double bit patterns — two grids share a journal only when
+/// every axis value matches to the bit.
+std::uint64_t GridDigest(std::uint64_t fingerprint, const char* family,
+                         const ScenarioGrid& grid) {
+  Fnv64 h;
+  h.U64(fingerprint);
+  h.Str(family);
+  h.U64(grid.v_thresholds.size());
+  for (float vth : grid.v_thresholds) h.F32(vth);
+  h.U64(grid.time_steps.size());
+  for (long t : grid.time_steps) h.I64(t);
+  h.U64(grid.attacks.size());
+  for (const AttackSpec& attack : grid.attacks) h.Str(attack.Label());
+  h.U64(grid.epsilons.size());
+  for (double eps : grid.epsilons) h.F64(eps);
+  h.U64(grid.aqfs.size());
+  for (const std::optional<core::AqfConfig>& aqf : grid.aqfs) {
+    h.I64(aqf.has_value() ? 1 : 0);
+    if (aqf.has_value()) {
+      h.F32(aqf->quantization_step_s);
+      h.I64(aqf->spatial_window);
+      h.I64(aqf->activity_threshold);
+      h.F32(aqf->temporal_threshold_ms);
+    }
+  }
+  h.U64(grid.precisions.size());
+  for (approx::Precision p : grid.precisions) h.I64(static_cast<long>(p));
+  h.U64(grid.levels.size());
+  for (double level : grid.levels) h.F64(level);
+  h.U64(grid.kernel_modes.size());
+  for (const std::optional<kernels::KernelMode>& mode : grid.kernel_modes) {
+    h.I64(mode.has_value() ? 1 : 0);
+    if (mode.has_value()) h.I64(static_cast<long>(*mode));
+  }
+  h.I64(grid.min_train_accuracy_pct.has_value() ? 1 : 0);
+  if (grid.min_train_accuracy_pct.has_value())
+    h.F32(*grid.min_train_accuracy_pct);
+  return h.value();
+}
+
+// --- shared record payloads ------------------------------------------------
+
+void WriteUnitPayload(std::ostream& os, const UnitRecord& record) {
+  WritePod<std::uint8_t>(os, record.gated ? 1 : 0);
+  WritePod<float>(os, record.train_accuracy_pct);
+  WritePod<std::int64_t>(os, static_cast<std::int64_t>(record.robustness.size()));
+  os.write(reinterpret_cast<const char*>(record.robustness.data()),
+           static_cast<std::streamsize>(record.robustness.size() *
+                                        sizeof(float)));
+}
+
+void ReadUnitPayload(std::istream& is, UnitRecord& record) {
+  std::uint8_t gated = 0;
+  ReadPod(is, gated, "unit gate flag");
+  record.gated = gated != 0;
+  ReadPod(is, record.train_accuracy_pct, "unit train accuracy");
+  std::int64_t count = 0;
+  ReadPod(is, count, "unit block size");
+  if (count < 0 || count > kMaxUnitBlock)
+    throw std::runtime_error("axsnn: implausible unit block size");
+  record.robustness.resize(static_cast<std::size_t>(count));
+  if (count > 0) {
+    is.read(reinterpret_cast<char*>(record.robustness.data()),
+            static_cast<std::streamsize>(count * sizeof(float)));
+    if (!is)
+      throw std::runtime_error(
+          "axsnn: truncated store record: unit robustness block");
+  }
+}
+
+void WriteTotalsPayload(std::ostream& os, const GridTotals& totals) {
+  WritePod<std::int64_t>(os, totals.trained_models);
+  WritePod<std::int64_t>(os, totals.crafted_sets);
+}
+
+GridTotals ReadTotalsPayload(std::istream& is) {
+  std::int64_t trained = 0;
+  std::int64_t crafted = 0;
+  ReadPod(is, trained, "grid totals trained");
+  ReadPod(is, crafted, "grid totals crafted");
+  if (trained < 0 || crafted < 0)
+    throw std::runtime_error("axsnn: negative grid totals");
+  return GridTotals{static_cast<long>(trained), static_cast<long>(crafted)};
+}
+
+/// Serializes a trained model as its state dict plus meta/calibration
+/// tensors (shared layout for both workbench families).
+template <typename TrainedModel>
+std::map<std::string, Tensor> ModelState(const TrainedModel& model) {
+  std::map<std::string, Tensor> state = model.net.StateDict();
+  state.emplace("meta.train_acc", Tensor({1}, {model.train_accuracy_pct}));
+  for (std::size_t i = 0; i < model.calibration.lif.size(); ++i) {
+    const approx::LayerCalibration& lc = model.calibration.lif[i];
+    std::ostringstream key;
+    key << "calib." << i;
+    state.emplace(key.str(),
+                  Tensor({4}, {lc.mean_rate, lc.mean_membrane, lc.mean_drive,
+                               lc.v_threshold}));
+  }
+  return state;
+}
+
+/// Restores the meta/calibration half of ModelState onto a rebuilt net
+/// (the weights were already loaded via LoadStateDict).
+template <typename TrainedModel>
+void RestoreModelMeta(const std::map<std::string, Tensor>& state,
+                      TrainedModel& model) {
+  const Tensor& acc = state.at("meta.train_acc");
+  if (acc.numel() != 1)
+    throw std::runtime_error("axsnn: malformed model record: meta.train_acc");
+  model.train_accuracy_pct = acc[0];
+  model.calibration.lif.clear();
+  const auto lif_layers = model.net.LifLayers();
+  for (std::size_t i = 0; i < lif_layers.size(); ++i) {
+    std::ostringstream key;
+    key << "calib." << i;
+    const Tensor& c = state.at(key.str());
+    if (c.numel() != 4)
+      throw std::runtime_error("axsnn: malformed model record: " + key.str());
+    approx::LayerCalibration lc;
+    lc.lif_name = lif_layers[i]->Name();
+    lc.mean_rate = c[0];
+    lc.mean_membrane = c[1];
+    lc.mean_drive = c[2];
+    lc.v_threshold = c[3];
+    model.calibration.lif.push_back(lc);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ArtifactStore
+// ---------------------------------------------------------------------------
+
+ArtifactStore::ArtifactStore(std::string root) : root_(std::move(root)) {
+  AXSNN_CHECK(!root_.empty(), "artifact store root must be non-empty");
+  std::filesystem::create_directories(root_);
+}
+
+std::string ArtifactStore::PathFor(const std::string& key) const {
+  return root_ + "/" + key + ".bin";
+}
+
+void ArtifactStore::Put(const std::string& key, std::uint32_t kind,
+                        const std::function<void(std::ostream&)>& write) {
+  std::ostringstream payload_os(std::ios::binary);
+  write(payload_os);
+  const std::string payload = payload_os.str();
+  const std::uint64_t digest = FnvOfBytes(payload);
+
+  std::ostringstream tmp_os;
+  tmp_os << root_ << "/tmp." << ::getpid() << "."
+         << tmp_seq_.fetch_add(1, std::memory_order_relaxed) << "." << key;
+  const std::string tmp = tmp_os.str();
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os)
+      throw std::runtime_error("axsnn: cannot open store temp file: " + tmp);
+    WritePod<std::uint32_t>(os, kEnvelopeMagic);
+    WritePod<std::uint32_t>(os, kEnvelopeVersion);
+    WritePod<std::uint32_t>(os, kind);
+    WritePod<std::uint32_t>(os, 0);  // reserved
+    WritePod<std::uint64_t>(os, payload.size());
+    WritePod<std::uint64_t>(os, digest);
+    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    os.flush();
+    if (!os) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      throw std::runtime_error("axsnn: short write to store temp file: " +
+                               tmp);
+    }
+  }
+  // Atomic commit: a reader sees either the previous complete artifact or
+  // this one, never a partial file. Concurrent writers of one key both
+  // wrote identical bytes (deterministic computations), so last-wins is
+  // safe.
+  std::error_code ec;
+  std::filesystem::rename(tmp, PathFor(key), ec);
+  if (ec) {
+    std::error_code rm;
+    std::filesystem::remove(tmp, rm);
+    throw std::runtime_error("axsnn: cannot commit store entry " + key +
+                             ": " + ec.message());
+  }
+  writes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool ArtifactStore::Get(const std::string& key, std::uint32_t kind,
+                        const std::function<void(std::istream&)>& read) const {
+  std::ifstream is(PathFor(key), std::ios::binary);
+  if (!is) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  try {
+    std::uint32_t magic = 0;
+    std::uint32_t version = 0;
+    std::uint32_t stored_kind = 0;
+    std::uint32_t reserved = 0;
+    std::uint64_t size = 0;
+    std::uint64_t digest = 0;
+    ReadPod(is, magic, "envelope magic");
+    ReadPod(is, version, "envelope version");
+    ReadPod(is, stored_kind, "envelope kind");
+    ReadPod(is, reserved, "envelope reserved");
+    ReadPod(is, size, "envelope payload size");
+    ReadPod(is, digest, "envelope checksum");
+    if (magic != kEnvelopeMagic)
+      throw std::runtime_error("axsnn: bad store envelope magic");
+    if (version != kEnvelopeVersion)
+      throw std::runtime_error("axsnn: unsupported store envelope version");
+    if (stored_kind != kind)
+      throw std::runtime_error("axsnn: store entry kind mismatch");
+    if (size > (1ull << 40))
+      throw std::runtime_error("axsnn: implausible store payload size");
+    std::string payload(static_cast<std::size_t>(size), '\0');
+    if (size > 0) {
+      is.read(payload.data(), static_cast<std::streamsize>(size));
+      if (!is)
+        throw std::runtime_error("axsnn: truncated store payload");
+    }
+    if (is.peek() != std::char_traits<char>::eof())
+      throw std::runtime_error("axsnn: trailing bytes after store payload");
+    if (FnvOfBytes(payload) != digest)
+      throw std::runtime_error("axsnn: store payload checksum mismatch");
+    std::istringstream payload_is(payload, std::ios::binary);
+    read(payload_is);
+  } catch (const std::exception&) {
+    // Truncated, garbage, wrong-kind or otherwise unparseable: report a
+    // corrupt miss so the caller recomputes (and overwrites) it.
+    corrupt_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// StaticScenarioStore
+// ---------------------------------------------------------------------------
+
+StaticScenarioStore::StaticScenarioStore(std::string root,
+                                         const core::StaticWorkbench& bench)
+    : store_(std::move(root)),
+      bench_(bench),
+      fingerprint_(FingerprintStatic(bench)) {}
+
+std::string StaticScenarioStore::ModelKey(float vth, long time_steps) const {
+  std::ostringstream os;
+  os << "m_" << Hex(fingerprint_) << "_v" << Hex(FloatBits(vth)) << "_t"
+     << time_steps;
+  return os.str();
+}
+
+std::string StaticScenarioStore::CraftKey(float vth, long time_steps,
+                                          const AttackSpec& attack,
+                                          double epsilon) const {
+  Fnv64 label;
+  label.Str(attack.Label());
+  std::ostringstream os;
+  os << ModelKey(vth, time_steps) << "_a" << Hex(label.value()) << "_e"
+     << Hex(DoubleBits(epsilon));
+  return os.str();
+}
+
+std::string StaticScenarioStore::GridKey(const ScenarioGrid& grid) const {
+  return "g_" + Hex(GridDigest(fingerprint_, "static", grid));
+}
+
+bool StaticScenarioStore::LoadModel(float vth, long time_steps,
+                                    TrainedModel& out) const {
+  return store_.Get(
+      ModelKey(vth, time_steps), kArtifactStaticModel, [&](std::istream& is) {
+        const std::map<std::string, Tensor> state = ReadTensorMap(is);
+        snn::StaticNetOptions net_opts = bench_.options().net;
+        net_opts.lif.v_threshold = vth;
+        out.net = snn::BuildStaticNet(net_opts);
+        out.net.LoadStateDict(state);
+        out.v_threshold = vth;
+        out.time_steps = time_steps;
+        RestoreModelMeta(state, out);
+      });
+}
+
+void StaticScenarioStore::SaveModel(const TrainedModel& model) {
+  const std::map<std::string, Tensor> state = ModelState(model);
+  store_.Put(ModelKey(model.v_threshold, model.time_steps),
+             kArtifactStaticModel,
+             [&](std::ostream& os) { WriteTensorMap(os, state); });
+}
+
+bool StaticScenarioStore::LoadCraft(const TrainedModel& model,
+                                    const AttackSpec& attack, double epsilon,
+                                    Tensor& out) const {
+  return store_.Get(
+      CraftKey(model.v_threshold, model.time_steps, attack, epsilon),
+      kArtifactCraftTensor,
+      [&](std::istream& is) { out = ReadTensor(is); });
+}
+
+void StaticScenarioStore::SaveCraft(const TrainedModel& model,
+                                    const AttackSpec& attack, double epsilon,
+                                    const Tensor& images) {
+  store_.Put(CraftKey(model.v_threshold, model.time_steps, attack, epsilon),
+             kArtifactCraftTensor,
+             [&](std::ostream& os) { WriteTensor(os, images); });
+}
+
+bool StaticScenarioStore::LoadUnit(const std::string& grid_key, long unit,
+                                   UnitRecord& out) const {
+  return store_.Get(grid_key + "_u" + std::to_string(unit), kArtifactUnit,
+                    [&](std::istream& is) { ReadUnitPayload(is, out); });
+}
+
+void StaticScenarioStore::SaveUnit(const std::string& grid_key, long unit,
+                                   const UnitRecord& record) {
+  store_.Put(grid_key + "_u" + std::to_string(unit), kArtifactUnit,
+             [&](std::ostream& os) { WriteUnitPayload(os, record); });
+}
+
+GridTotals StaticScenarioStore::LoadTotals(const std::string& grid_key) const {
+  GridTotals totals;
+  store_.Get(grid_key + "_totals", kArtifactTotals,
+             [&](std::istream& is) { totals = ReadTotalsPayload(is); });
+  return totals;
+}
+
+void StaticScenarioStore::SaveTotals(const std::string& grid_key,
+                                     const GridTotals& totals) {
+  store_.Put(grid_key + "_totals", kArtifactTotals,
+             [&](std::ostream& os) { WriteTotalsPayload(os, totals); });
+}
+
+// ---------------------------------------------------------------------------
+// DvsScenarioStore
+// ---------------------------------------------------------------------------
+
+DvsScenarioStore::DvsScenarioStore(std::string root,
+                                   const core::DvsWorkbench& bench)
+    : store_(std::move(root)),
+      bench_(bench),
+      fingerprint_(FingerprintDvs(bench)) {}
+
+std::string DvsScenarioStore::ModelKey(float vth) const {
+  std::ostringstream os;
+  os << "m_" << Hex(fingerprint_) << "_v" << Hex(FloatBits(vth)) << "_t"
+     << bench_.options().time_bins;
+  return os.str();
+}
+
+std::string DvsScenarioStore::CraftKey(float vth,
+                                       const AttackSpec& attack) const {
+  Fnv64 label;
+  label.Str(attack.Label());
+  std::ostringstream os;
+  os << ModelKey(vth) << "_a" << Hex(label.value());
+  return os.str();
+}
+
+std::string DvsScenarioStore::GridKey(const ScenarioGrid& grid) const {
+  return "g_" + Hex(GridDigest(fingerprint_, "dvs", grid));
+}
+
+bool DvsScenarioStore::LoadModel(float vth, TrainedModel& out) const {
+  return store_.Get(ModelKey(vth), kArtifactDvsModel, [&](std::istream& is) {
+    const std::map<std::string, Tensor> state = ReadTensorMap(is);
+    snn::DvsNetOptions net_opts = bench_.options().net;
+    net_opts.lif.v_threshold = vth;
+    net_opts.height = bench_.train_set().height;
+    net_opts.width = bench_.train_set().width;
+    out.net = snn::BuildDvsNet(net_opts);
+    out.net.LoadStateDict(state);
+    out.v_threshold = vth;
+    out.time_bins = bench_.options().time_bins;
+    RestoreModelMeta(state, out);
+  });
+}
+
+void DvsScenarioStore::SaveModel(const TrainedModel& model) {
+  const std::map<std::string, Tensor> state = ModelState(model);
+  store_.Put(ModelKey(model.v_threshold), kArtifactDvsModel,
+             [&](std::ostream& os) { WriteTensorMap(os, state); });
+}
+
+bool DvsScenarioStore::LoadCraft(const TrainedModel& model,
+                                 const AttackSpec& attack,
+                                 data::EventDataset& out) const {
+  return store_.Get(CraftKey(model.v_threshold, attack), kArtifactCraftEvents,
+                    [&](std::istream& is) { out = data::ReadEventDataset(is); });
+}
+
+void DvsScenarioStore::SaveCraft(const TrainedModel& model,
+                                 const AttackSpec& attack,
+                                 const data::EventDataset& streams) {
+  store_.Put(CraftKey(model.v_threshold, attack), kArtifactCraftEvents,
+             [&](std::ostream& os) { data::WriteEventDataset(os, streams); });
+}
+
+bool DvsScenarioStore::LoadUnit(const std::string& grid_key, long unit,
+                                UnitRecord& out) const {
+  return store_.Get(grid_key + "_u" + std::to_string(unit), kArtifactUnit,
+                    [&](std::istream& is) { ReadUnitPayload(is, out); });
+}
+
+void DvsScenarioStore::SaveUnit(const std::string& grid_key, long unit,
+                                const UnitRecord& record) {
+  store_.Put(grid_key + "_u" + std::to_string(unit), kArtifactUnit,
+             [&](std::ostream& os) { WriteUnitPayload(os, record); });
+}
+
+GridTotals DvsScenarioStore::LoadTotals(const std::string& grid_key) const {
+  GridTotals totals;
+  store_.Get(grid_key + "_totals", kArtifactTotals,
+             [&](std::istream& is) { totals = ReadTotalsPayload(is); });
+  return totals;
+}
+
+void DvsScenarioStore::SaveTotals(const std::string& grid_key,
+                                  const GridTotals& totals) {
+  store_.Put(grid_key + "_totals", kArtifactTotals,
+             [&](std::ostream& os) { WriteTotalsPayload(os, totals); });
+}
+
+}  // namespace axsnn::scenario

@@ -1,16 +1,23 @@
 #include "tensor/serialize.hpp"
 
-#include <cstdint>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 namespace axsnn {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x41585342;  // "AXSB"
+constexpr std::uint32_t kTensorMagic = 0x41585342;  // "AXSB"
+constexpr std::uint32_t kMapMagic = 0x4158534D;     // "AXSM"
+constexpr std::uint32_t kMaxRank = 16;
+constexpr std::uint32_t kMaxMapEntries = 1u << 20;
+constexpr std::uint32_t kMaxNameLength = 1u << 16;
+/// Per-tensor element cap: rejects the absurd allocations a few flipped
+/// header bytes would otherwise request (2^40 floats = 4 TiB).
+constexpr std::uint64_t kMaxElements = 1ull << 40;
 
 void WriteU32(std::ostream& os, std::uint32_t v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof v);
@@ -20,37 +27,107 @@ void WriteI64(std::ostream& os, std::int64_t v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof v);
 }
 
-std::uint32_t ReadU32(std::istream& is) {
-  std::uint32_t v = 0;
-  is.read(reinterpret_cast<char*>(&v), sizeof v);
-  if (!is) throw std::runtime_error("axsnn: truncated tensor stream (u32)");
-  return v;
-}
-
-std::int64_t ReadI64(std::istream& is) {
-  std::int64_t v = 0;
-  is.read(reinterpret_cast<char*>(&v), sizeof v);
-  if (!is) throw std::runtime_error("axsnn: truncated tensor stream (i64)");
-  return v;
-}
-
 void WriteString(std::ostream& os, const std::string& s) {
   WriteU32(os, static_cast<std::uint32_t>(s.size()));
   os.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
 
-std::string ReadString(std::istream& is) {
-  const std::uint32_t n = ReadU32(is);
-  std::string s(n, '\0');
-  is.read(s.data(), static_cast<std::streamsize>(n));
-  if (!is) throw std::runtime_error("axsnn: truncated tensor stream (string)");
-  return s;
+/// Offset-tracking reader (mirrors data/event_io.cpp): every primitive read
+/// knows what field it is deserializing, so truncation and malformed-value
+/// errors name the field and the byte offset where the stream went wrong.
+class Reader {
+ public:
+  explicit Reader(std::istream& is) : is_(is) {}
+
+  std::uint64_t offset() const { return offset_; }
+
+  [[noreturn]] void FailTruncated(const char* what) const {
+    std::ostringstream os;
+    os << "axsnn: truncated tensor stream: " << what << " at byte offset "
+       << offset_;
+    throw std::runtime_error(os.str());
+  }
+
+  [[noreturn]] void FailMalformed(const std::string& detail) const {
+    std::ostringstream os;
+    os << "axsnn: malformed tensor stream at byte offset " << offset_ << ": "
+       << detail;
+    throw std::runtime_error(os.str());
+  }
+
+  std::uint32_t ReadU32(const char* what) {
+    std::uint32_t v = 0;
+    ReadRaw(&v, sizeof v, what);
+    return v;
+  }
+
+  std::int64_t ReadI64(const char* what) {
+    std::int64_t v = 0;
+    ReadRaw(&v, sizeof v, what);
+    return v;
+  }
+
+  void ReadRaw(void* dst, std::size_t size, const char* what) {
+    is_.read(static_cast<char*>(dst), static_cast<std::streamsize>(size));
+    if (!is_) FailTruncated(what);
+    offset_ += size;
+  }
+
+ private:
+  std::istream& is_;
+  std::uint64_t offset_ = 0;
+};
+
+Tensor ReadTensorRecord(Reader& reader) {
+  const std::uint32_t magic = reader.ReadU32("tensor magic");
+  if (magic != kTensorMagic) {
+    std::ostringstream os;
+    os << "bad tensor magic 0x" << std::hex << magic;
+    reader.FailMalformed(os.str());
+  }
+  const std::uint32_t version = reader.ReadU32("tensor version");
+  if (version != kSerializeVersion) {
+    std::ostringstream os;
+    os << "unsupported tensor format version " << version << " (expected "
+       << kSerializeVersion << ")";
+    reader.FailMalformed(os.str());
+  }
+  const std::uint32_t rank = reader.ReadU32("tensor rank");
+  if (rank > kMaxRank) {
+    std::ostringstream os;
+    os << "implausible tensor rank " << rank << " (max " << kMaxRank << ")";
+    reader.FailMalformed(os.str());
+  }
+  Shape shape(rank);
+  std::uint64_t numel = 1;
+  for (std::uint32_t d = 0; d < rank; ++d) {
+    const std::int64_t dim = reader.ReadI64("tensor dim");
+    if (dim < 0) {
+      std::ostringstream os;
+      os << "negative tensor dim " << dim;
+      reader.FailMalformed(os.str());
+    }
+    shape[d] = static_cast<long>(dim);
+    numel *= static_cast<std::uint64_t>(dim);
+    if (numel > kMaxElements) {
+      std::ostringstream os;
+      os << "implausible tensor size (> " << kMaxElements << " elements)";
+      reader.FailMalformed(os.str());
+    }
+  }
+  Tensor t(shape);
+  if (t.numel() > 0)
+    reader.ReadRaw(t.data(),
+                   static_cast<std::size_t>(t.numel()) * sizeof(float),
+                   "tensor payload");
+  return t;
 }
 
 }  // namespace
 
 void WriteTensor(std::ostream& os, const Tensor& t) {
-  WriteU32(os, kMagic);
+  WriteU32(os, kTensorMagic);
+  WriteU32(os, kSerializeVersion);
   WriteU32(os, static_cast<std::uint32_t>(t.rank()));
   for (std::size_t d = 0; d < t.rank(); ++d) WriteI64(os, t.dim(d));
   os.write(reinterpret_cast<const char*>(t.data()),
@@ -58,24 +135,13 @@ void WriteTensor(std::ostream& os, const Tensor& t) {
 }
 
 Tensor ReadTensor(std::istream& is) {
-  if (ReadU32(is) != kMagic)
-    throw std::runtime_error("axsnn: bad tensor magic");
-  const std::uint32_t rank = ReadU32(is);
-  if (rank > 16) throw std::runtime_error("axsnn: implausible tensor rank");
-  Shape shape(rank);
-  for (auto& d : shape) {
-    d = static_cast<long>(ReadI64(is));
-    if (d < 0) throw std::runtime_error("axsnn: negative tensor dim");
-  }
-  Tensor t(shape);
-  is.read(reinterpret_cast<char*>(t.data()),
-          static_cast<std::streamsize>(t.numel() * sizeof(float)));
-  if (!is) throw std::runtime_error("axsnn: truncated tensor payload");
-  return t;
+  Reader reader(is);
+  return ReadTensorRecord(reader);
 }
 
 void WriteTensorMap(std::ostream& os, const std::map<std::string, Tensor>& m) {
-  WriteU32(os, kMagic);
+  WriteU32(os, kMapMagic);
+  WriteU32(os, kSerializeVersion);
   WriteU32(os, static_cast<std::uint32_t>(m.size()));
   for (const auto& [name, tensor] : m) {
     WriteString(os, name);
@@ -84,13 +150,37 @@ void WriteTensorMap(std::ostream& os, const std::map<std::string, Tensor>& m) {
 }
 
 std::map<std::string, Tensor> ReadTensorMap(std::istream& is) {
-  if (ReadU32(is) != kMagic)
-    throw std::runtime_error("axsnn: bad tensor-map magic");
-  const std::uint32_t n = ReadU32(is);
+  Reader reader(is);
+  const std::uint32_t magic = reader.ReadU32("tensor-map magic");
+  if (magic != kMapMagic) {
+    std::ostringstream os;
+    os << "bad tensor-map magic 0x" << std::hex << magic;
+    reader.FailMalformed(os.str());
+  }
+  const std::uint32_t version = reader.ReadU32("tensor-map version");
+  if (version != kSerializeVersion) {
+    std::ostringstream os;
+    os << "unsupported tensor-map format version " << version << " (expected "
+       << kSerializeVersion << ")";
+    reader.FailMalformed(os.str());
+  }
+  const std::uint32_t count = reader.ReadU32("tensor-map entry count");
+  if (count > kMaxMapEntries) {
+    std::ostringstream os;
+    os << "implausible tensor-map entry count " << count;
+    reader.FailMalformed(os.str());
+  }
   std::map<std::string, Tensor> m;
-  for (std::uint32_t i = 0; i < n; ++i) {
-    std::string name = ReadString(is);
-    m.emplace(std::move(name), ReadTensor(is));
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t name_len = reader.ReadU32("tensor-map name length");
+    if (name_len > kMaxNameLength) {
+      std::ostringstream os;
+      os << "implausible tensor-map name length " << name_len;
+      reader.FailMalformed(os.str());
+    }
+    std::string name(name_len, '\0');
+    if (name_len > 0) reader.ReadRaw(name.data(), name_len, "tensor-map name");
+    m.emplace(std::move(name), ReadTensorRecord(reader));
   }
   return m;
 }
