@@ -161,6 +161,8 @@ void WriteScenarioStats(const std::string& path,
      << "  \"store_craft_hits\": " << stats.store_craft_hits << ",\n"
      << "  \"replayed_units\": " << stats.replayed_units << ",\n"
      << "  \"gated_units\": " << stats.gated_units << ",\n"
+     << "  \"faulted_evals\": " << stats.faulted_evals << ",\n"
+     << "  \"corrupt_entries\": " << stats.corrupt_entries << ",\n"
      << "  \"total_trained_models\": " << stats.total_trained_models << ",\n"
      << "  \"total_crafted_sets\": " << stats.total_crafted_sets << "\n"
      << "}\n";

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <limits>
 
 #include "tensor/check.hpp"
 
@@ -57,6 +58,58 @@ float Fp16Round(float v) {
       ((static_cast<std::uint32_t>(exp + 127) << 23) & 0x7f800000u) +
       (half_mant << shift);
   return std::bit_cast<float>(sign | out_mag);
+}
+
+std::uint16_t Fp16Bits(float v) {
+  // Mirrors Fp16Round case by case so the encoded half-word decodes to
+  // exactly the value Fp16Round would produce (pinned by test_faults).
+  const std::uint32_t bits = std::bit_cast<std::uint32_t>(v);
+  const std::uint16_t sign = static_cast<std::uint16_t>((bits >> 16) & 0x8000u);
+  const std::uint32_t mag = bits & 0x7fffffffu;
+
+  if (mag >= 0x7f800000u) {            // inf / NaN
+    const std::uint16_t mant =
+        static_cast<std::uint16_t>((mag & 0x007fffffu) >> 13);
+    if (mag == 0x7f800000u) return sign | 0x7c00u;
+    return sign | 0x7c00u | (mant != 0 ? mant : std::uint16_t{1});
+  }
+  if (mag >= 0x477ff000u) return sign | 0x7bffu;  // clamp to max finite
+  if (mag < 0x33000001u) return sign;             // signed zero
+
+  const int exp = static_cast<int>(mag >> 23) - 127;
+  if (exp < -14) {
+    // Half denormal: the stored mantissa counts quanta of 2^-24. A carry
+    // into bit 10 (rounding up to the smallest normal) is exactly right.
+    const float scaled = std::ldexp(std::bit_cast<float>(mag), 24);
+    const std::uint32_t mant16 =
+        static_cast<std::uint32_t>(std::nearbyint(scaled));
+    return sign | static_cast<std::uint16_t>(mant16);
+  }
+  // Normal range: keep 10 mantissa bits, round-to-nearest-even on bit 13.
+  const std::uint32_t mant = mag & 0x007fffffu;
+  std::uint32_t half_mant = mant >> 13;
+  const std::uint32_t rem = mant & 0x1fffu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half_mant & 1u))) ++half_mant;
+  const std::uint32_t out =
+      (static_cast<std::uint32_t>(exp + 15) << 10) + half_mant;
+  return sign | static_cast<std::uint16_t>(out);
+}
+
+float Fp16FromBits(std::uint16_t h) {
+  const bool neg = (h & 0x8000u) != 0;
+  const std::uint32_t exp = (h >> 10) & 0x1fu;
+  const std::uint32_t mant = h & 0x3ffu;
+  float out;
+  if (exp == 0x1fu) {
+    out = mant == 0 ? std::numeric_limits<float>::infinity()
+                    : std::numeric_limits<float>::quiet_NaN();
+  } else if (exp == 0) {
+    out = std::ldexp(static_cast<float>(mant), -24);  // denormal (or zero)
+  } else {
+    out = std::ldexp(1.0f + static_cast<float>(mant) * (1.0f / 1024.0f),
+                     static_cast<int>(exp) - 15);
+  }
+  return neg ? -out : out;
 }
 
 float QuantizeTensor(Tensor& t, Precision p) {

@@ -34,6 +34,16 @@ std::string PrecisionName(Precision p);
 /// with overflow to ±inf clamped to ±65504 and denormal support).
 float Fp16Round(float v);
 
+/// The binary16 bit pattern of `v` under the same rounding rules as
+/// Fp16Round (Fp16FromBits(Fp16Bits(v)) == Fp16Round(v) for all finite v).
+/// Exposed so the fault injector can flip bits of the *stored* half-word of
+/// an FP16 variant instead of approximating on fp32 patterns.
+std::uint16_t Fp16Bits(float v);
+
+/// Decodes a binary16 bit pattern (sign/exponent/mantissa, including
+/// denormals, ±inf and NaN) back to float.
+float Fp16FromBits(std::uint16_t h);
+
 /// Quantizes `t` in place to the target precision. For kInt8 the symmetric
 /// per-tensor scale is max|t| / 127 (a zero tensor stays zero). Returns the
 /// INT8 scale used (1.0 for float formats) so callers can report it.

@@ -240,6 +240,10 @@ class DashRegistryAttack final : public Attack {
 
 }  // namespace
 
+// Defined in fault_attacks.cpp: the model-corruption family (bitflip,
+// stuckat) registers behind the canonical seven input-perturbation attacks.
+void RegisterFaultAttacks(AttackRegistry& registry);
+
 void RegisterBuiltinAttacks(AttackRegistry& registry) {
   registry.Register(std::make_unique<NoneAttack>());
   registry.Register(std::make_unique<PgdRegistryAttack>());
@@ -248,6 +252,7 @@ void RegisterBuiltinAttacks(AttackRegistry& registry) {
   registry.Register(std::make_unique<FrameRegistryAttack>());
   registry.Register(std::make_unique<CornerRegistryAttack>());
   registry.Register(std::make_unique<DashRegistryAttack>());
+  RegisterFaultAttacks(registry);
 }
 
 }  // namespace axsnn::attacks

@@ -1,0 +1,146 @@
+// Fault attacks: the registry face of the fault-injection subsystem.
+//
+// `bitflip` and `stuckat` are attacks whose perturbation lands on the
+// *victim model's storage* instead of the input (NeuroAttack's threat
+// model). They slot into the same registry as the perturbation attacks so
+// a ScenarioGrid can put "bitflip" in its attack axis unchanged; the craft
+// hooks validate params and pass the clean data through, and the scenario
+// engines recognise corrupts_model() and clone-then-corrupt every evaluated
+// variant with FaultFromParams' spec. Because crafting stays a pass-
+// through, cached crafted sets remain fault-free and shared with the clean
+// cells — only the evaluation differs, and its store key folds the fault
+// label (scenario/store.cpp).
+//
+// Params are doubles like every schema; enum-valued knobs take small
+// integer codes, documented per entry and decoded in SpecFromParams.
+#include <cmath>
+
+#include "attacks/registry.hpp"
+#include "faults/fault_model.hpp"
+#include "tensor/check.hpp"
+
+namespace axsnn::attacks {
+namespace {
+
+std::vector<ParamSpec> FaultParamSchema() {
+  return {
+      {"domain", 0.0, "0 = weights, 1 = neuron params, 2 = activations"},
+      {"target", 0.0,
+       "weight array: 0 = any, 1 = float words, 2 = int8 codes, "
+       "3 = int8 scales"},
+      {"flips", 1.0, "fault sites when ber == 0"},
+      {"ber", 0.0, "bit-error rate; > 0 derives sites from the surface"},
+      {"bit", -1.0, "pinned bit position; -1 draws per site"},
+      {"layer", -1.0, "target-layer ordinal; -1 = all layers"},
+      {"burst", 1.0, "flip this many consecutive bits per site (> 1)"},
+      {"seed", 11.0, "site/bit draw seed"},
+  };
+}
+
+faults::FaultDomain DecodeDomain(double v) {
+  const long code = std::lround(v);
+  AXSNN_CHECK(code >= 0 && code <= 2,
+              "fault domain must be 0 (weights), 1 (neuron) or 2 "
+              "(activations), got " << v);
+  return static_cast<faults::FaultDomain>(code);
+}
+
+faults::WeightTarget DecodeTarget(double v) {
+  const long code = std::lround(v);
+  AXSNN_CHECK(code >= 0 && code <= 3,
+              "fault target must be 0 (any), 1 (float), 2 (codes) or 3 "
+              "(scales), got " << v);
+  return static_cast<faults::WeightTarget>(code);
+}
+
+/// Shared param -> spec decoding; `kind` comes from the subclass (and
+/// burst > 1 upgrades a bitflip to a word burst).
+faults::FaultSpec SpecFromParams(const ParamMap& p, faults::FaultKind kind) {
+  faults::FaultSpec spec;
+  spec.kind = kind;
+  spec.domain = DecodeDomain(p.at("domain"));
+  spec.target = DecodeTarget(p.at("target"));
+  spec.flips = std::lround(p.at("flips"));
+  spec.ber = p.at("ber");
+  spec.bit = static_cast<int>(std::lround(p.at("bit")));
+  spec.layer = std::lround(p.at("layer"));
+  spec.burst = std::lround(p.at("burst"));
+  spec.seed = static_cast<std::uint64_t>(std::llround(p.at("seed")));
+  if (kind == faults::FaultKind::kBitFlip && spec.burst > 1)
+    spec.kind = faults::FaultKind::kWordBurst;
+  spec.Validate();
+  return spec;
+}
+
+/// Common base: pass-through crafting (params validated, data untouched),
+/// both workbench families supported.
+class FaultAttackBase : public Attack {
+ public:
+  bool supports_static() const override { return true; }
+  bool supports_events() const override { return true; }
+  bool corrupts_model() const override { return true; }
+  std::vector<ParamSpec> param_schema() const override {
+    return FaultParamSchema();
+  }
+
+  Tensor CraftStatic(const snn::Network&, const Tensor& images,
+                     std::span<const int>, const StaticCraftContext&,
+                     const ParamMap& params) const override {
+    (void)FaultFromParams(params);  // validate eagerly, like every attack
+    return images;
+  }
+
+  data::EventDataset CraftEvents(const snn::Network&,
+                                 const data::EventDataset& dataset,
+                                 const EventCraftContext&,
+                                 const ParamMap& params) const override {
+    (void)FaultFromParams(params);
+    return dataset;
+  }
+};
+
+class BitflipAttack final : public FaultAttackBase {
+ public:
+  std::string name() const override { return "bitflip"; }
+  std::string description() const override {
+    return "NeuroAttack-style bit-flips in model storage (weights / "
+           "neuron params / activations); burst > 1 flips a word burst";
+  }
+  faults::FaultSpec FaultFromParams(const ParamMap& params) const override {
+    return SpecFromParams(ResolveParams(params),
+                          faults::FaultKind::kBitFlip);
+  }
+};
+
+class StuckAtAttack final : public FaultAttackBase {
+ public:
+  std::string name() const override { return "stuckat"; }
+  std::string description() const override {
+    return "stuck-at faults in model storage: cells read as 0 or 1 "
+           "regardless of the stored value (param stuck selects which)";
+  }
+  std::vector<ParamSpec> param_schema() const override {
+    std::vector<ParamSpec> schema = FaultParamSchema();
+    schema.push_back({"stuck", 0.0, "0 = stuck-at-0, 1 = stuck-at-1"});
+    return schema;
+  }
+  faults::FaultSpec FaultFromParams(const ParamMap& params) const override {
+    const ParamMap p = ResolveParams(params);
+    const long stuck = std::lround(p.at("stuck"));
+    AXSNN_CHECK(stuck == 0 || stuck == 1,
+                "stuckat 'stuck' must be 0 or 1, got " << p.at("stuck"));
+    return SpecFromParams(p, stuck == 1 ? faults::FaultKind::kStuckAt1
+                                        : faults::FaultKind::kStuckAt0);
+  }
+};
+
+}  // namespace
+
+// Called from RegisterBuiltinAttacks (builtin_attacks.cpp) so the fault
+// attacks are present on first registry access, after the canonical seven.
+void RegisterFaultAttacks(AttackRegistry& registry) {
+  registry.Register(std::make_unique<BitflipAttack>());
+  registry.Register(std::make_unique<StuckAtAttack>());
+}
+
+}  // namespace axsnn::attacks

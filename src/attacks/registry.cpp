@@ -45,6 +45,14 @@ data::EventDataset Attack::CraftEvents(const snn::Network&,
   return {};
 }
 
+faults::FaultSpec Attack::FaultFromParams(const ParamMap&) const {
+  AXSNN_CHECK(false, "attack '" << name()
+                                << "' does not corrupt the model (check "
+                                   "corrupts_model() before asking for a "
+                                   "fault spec)");
+  return {};
+}
+
 ParamMap Attack::ResolveParams(const ParamMap& overrides) const {
   const std::vector<ParamSpec> schema = param_schema();
   ParamMap resolved;

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "data/event.hpp"
+#include "faults/fault_model.hpp"
 #include "snn/encoding.hpp"
 #include "snn/network.hpp"
 #include "tensor/tensor.hpp"
@@ -106,6 +107,18 @@ class Attack {
                                          const data::EventDataset& dataset,
                                          const EventCraftContext& ctx,
                                          const ParamMap& params) const;
+
+  /// Model-corruption capability: a fault attack perturbs the *victim
+  /// model* rather than the input. Its CraftStatic/CraftEvents pass the
+  /// clean data through (validating params), and the scenario engines
+  /// clone each evaluated variant and apply FaultFromParams' spec before
+  /// measuring — clone-then-corrupt, so the const-model contract above
+  /// still holds and cached crafted sets stay fault-free.
+  virtual bool corrupts_model() const { return false; }
+
+  /// The fault this attack's params describe. Only meaningful when
+  /// corrupts_model(); the base implementation throws.
+  virtual faults::FaultSpec FaultFromParams(const ParamMap& params) const;
 
   /// Validates `overrides` against the schema and fills missing entries
   /// with defaults. Unknown keys throw std::invalid_argument naming the

@@ -294,8 +294,9 @@ float DvsWorkbench::AccuracyPct(snn::Network& victim,
     filtered = AqfFilterDataset(streams, *aqf);
     eval_set = &filtered;
   }
-  if (snn::ResolveEventPathMode(victim.event_path()) ==
-      snn::EventPathMode::kEvent) {
+  if (!victim.has_post_layer_hook() &&  // fault hooks are dense-path only
+      snn::ResolveEventPathMode(victim.event_path()) ==
+          snn::EventPathMode::kEvent) {
     return 100.0f * AccuracyEventStreams(victim, *eval_set,
                                          options_.time_bins,
                                          options_.eval_batch);

@@ -1,0 +1,86 @@
+// Fault campaigns: sweeping fault grids and ranking the weakest bits.
+//
+// Two instruments on top of the injector:
+//
+//  * FaultCampaign (RunCampaign) — the BER/flip-count sweep behind the
+//    fig8_bitflip report: clone the victim, inject one grid point, measure
+//    robustness with a caller-supplied evaluator, repeat over seeds. Points
+//    fan out on the thread pool; every point writes its own slot, so the
+//    result is bit-identical at any pool size.
+//
+//  * GreedySensitivitySearch — the NeuroAttack-style ranking: per round,
+//    probe a candidate set of (layer, target array, bit position) single
+//    flips — each at a deterministically drawn word — on a clone of the
+//    current (already-corrupted) model, commit the flip with the largest
+//    robustness drop, repeat. The committed sequence IS the ranking: the
+//    most damaging storage bits of this model, most damaging first.
+//
+// Both take the evaluator as a callback (accuracy-on-a-test-set in the
+// drivers) so the subsystem stays independent of workbench/dataset types.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "approx/precision.hpp"
+#include "faults/fault_model.hpp"
+#include "faults/inject.hpp"
+#include "snn/network.hpp"
+
+namespace axsnn::faults {
+
+/// Robustness probe: typically [&](snn::Network& n) { return accuracy(n); }.
+/// Must be thread-safe for concurrent calls on distinct networks.
+using EvalFn = std::function<float(snn::Network&)>;
+
+struct CampaignOptions {
+  /// Template for every point: kind/domain/target/bit/layer come from here;
+  /// ber/flips are overwritten per grid point and seed per trial.
+  FaultSpec base;
+  std::vector<double> bers;      ///< one campaign point per BER value
+  std::vector<long> flip_counts; ///< one campaign point per flip count
+  long trials = 1;               ///< seeds base.seed + t, accuracy averaged
+};
+
+struct CampaignPoint {
+  double ber = 0.0;   ///< 0 for flip-count points
+  long flips = 0;     ///< 0 for BER points
+  long sites = 0;     ///< corruption sites of the last trial
+  float accuracy_pct = 0.0f;  ///< mean over trials
+};
+
+struct CampaignResult {
+  float clean_accuracy_pct = 0.0f;
+  std::vector<CampaignPoint> points;  ///< bers order, then flip_counts order
+};
+
+/// Clone-inject-evaluate over the options grid. `model` is never mutated.
+CampaignResult RunCampaign(const snn::Network& model,
+                           approx::Precision precision, const EvalFn& eval,
+                           const CampaignOptions& options);
+
+struct SensitivityOptions {
+  long rounds = 3;          ///< committed flips == ranking length
+  std::vector<int> bits;    ///< candidate bit positions; empty = per-format
+                            ///  defaults (sign/exponent/mantissa probes)
+  std::uint64_t seed = 1;   ///< word-draw seed
+};
+
+struct SensitivityStep {
+  long layer = 0;
+  WeightTarget target = WeightTarget::kFloatWeights;
+  int bit = 0;
+  long word = 0;
+  float accuracy_pct = 0.0f;  ///< after committing this flip (cumulative)
+  float drop_pct = 0.0f;      ///< clean accuracy minus accuracy_pct
+};
+
+/// Greedy weight-domain search; `model` is never mutated. Candidates are
+/// evaluated concurrently (deterministic slot writes); ties break toward
+/// the earlier candidate, so the committed sequence is reproducible.
+std::vector<SensitivityStep> GreedySensitivitySearch(
+    const snn::Network& model, approx::Precision precision,
+    const EvalFn& eval, const SensitivityOptions& options);
+
+}  // namespace axsnn::faults

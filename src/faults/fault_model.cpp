@@ -1,0 +1,144 @@
+#include "faults/fault_model.hpp"
+
+#include <sstream>
+
+#include "tensor/check.hpp"
+
+namespace axsnn::faults {
+
+const char* FaultKindName(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kBitFlip:
+      return "bitflip";
+    case FaultKind::kStuckAt0:
+      return "stuckat0";
+    case FaultKind::kStuckAt1:
+      return "stuckat1";
+    case FaultKind::kWordBurst:
+      return "burst";
+  }
+  return "?";
+}
+
+const char* FaultDomainName(FaultDomain d) {
+  switch (d) {
+    case FaultDomain::kWeights:
+      return "weights";
+    case FaultDomain::kNeuronParams:
+      return "neuron";
+    case FaultDomain::kActivations:
+      return "activations";
+  }
+  return "?";
+}
+
+const char* WeightTargetName(WeightTarget t) {
+  switch (t) {
+    case WeightTarget::kAny:
+      return "any";
+    case WeightTarget::kFloatWeights:
+      return "float";
+    case WeightTarget::kInt8Codes:
+      return "codes";
+    case WeightTarget::kInt8Scales:
+      return "scales";
+  }
+  return "?";
+}
+
+void FaultSpec::Validate() const {
+  if (is_none()) return;
+  AXSNN_CHECK(flips >= 0, "fault flips must be >= 0, got " << flips);
+  AXSNN_CHECK(ber >= 0.0 && ber <= 1.0,
+              "fault ber must be in [0, 1], got " << ber);
+  AXSNN_CHECK(flips > 0 || ber > 0.0,
+              "a non-none fault needs flips > 0 or ber > 0");
+  AXSNN_CHECK(bit >= -1 && bit < 32,
+              "fault bit must be -1 (draw) or in [0, 32), got " << bit);
+  AXSNN_CHECK(layer >= -1, "fault layer must be -1 (all) or an ordinal");
+  AXSNN_CHECK(kind != FaultKind::kWordBurst || (burst >= 1 && burst <= 32),
+              "burst width must be in [1, 32], got " << burst);
+  AXSNN_CHECK(domain != FaultDomain::kActivations || ber == 0.0,
+              "activation faults are site-count based: use flips, not ber");
+}
+
+std::string FaultSpec::Label() const {
+  if (is_none()) return "none";
+  std::ostringstream out;
+  out << FaultKindName(kind) << "{dom=" << FaultDomainName(domain);
+  if (domain == FaultDomain::kWeights) out << ",tgt=" << WeightTargetName(target);
+  out << ",flips=" << flips << ",ber=" << ber << ",bit=" << bit
+      << ",layer=" << layer;
+  if (kind == FaultKind::kWordBurst) out << ",burst=" << burst;
+  out << ",seed=" << seed << "}";
+  return out.str();
+}
+
+namespace {
+
+class BitFlipModel final : public FaultModel {
+ public:
+  FaultKind kind() const override { return FaultKind::kBitFlip; }
+  std::uint32_t Corrupt(std::uint32_t word, int /*bits*/,
+                        int bit) const override {
+    return word ^ (std::uint32_t{1} << bit);
+  }
+};
+
+class StuckAtModel final : public FaultModel {
+ public:
+  explicit StuckAtModel(bool one) : one_(one) {}
+  FaultKind kind() const override {
+    return one_ ? FaultKind::kStuckAt1 : FaultKind::kStuckAt0;
+  }
+  std::uint32_t Corrupt(std::uint32_t word, int /*bits*/,
+                        int bit) const override {
+    const std::uint32_t mask = std::uint32_t{1} << bit;
+    return one_ ? (word | mask) : (word & ~mask);
+  }
+
+ private:
+  bool one_;
+};
+
+class WordBurstModel final : public FaultModel {
+ public:
+  explicit WordBurstModel(long burst) : burst_(burst) {}
+  FaultKind kind() const override { return FaultKind::kWordBurst; }
+  std::uint32_t Corrupt(std::uint32_t word, int bits,
+                        int bit) const override {
+    // Flip `burst_` consecutive bits starting at `bit`, wrapping inside the
+    // word so every site corrupts the same number of cells.
+    for (long i = 0; i < burst_; ++i) {
+      const int b = static_cast<int>((bit + i) % bits);
+      word ^= std::uint32_t{1} << b;
+    }
+    return word;
+  }
+
+ private:
+  long burst_;
+};
+
+}  // namespace
+
+std::unique_ptr<FaultModel> MakeFaultModel(const FaultSpec& spec) {
+  switch (spec.kind) {
+    case FaultKind::kNone:
+      return nullptr;
+    case FaultKind::kBitFlip:
+      return std::make_unique<BitFlipModel>();
+    case FaultKind::kStuckAt0:
+      return std::make_unique<StuckAtModel>(false);
+    case FaultKind::kStuckAt1:
+      return std::make_unique<StuckAtModel>(true);
+    case FaultKind::kWordBurst:
+      return std::make_unique<WordBurstModel>(spec.burst);
+  }
+  AXSNN_CHECK(false, "unknown fault kind");
+  return nullptr;
+}
+
+}  // namespace axsnn::faults

@@ -1,0 +1,97 @@
+// Fault models: how hardware corruption rewrites one stored word.
+//
+// The paper's threat model stops at input perturbation; this subsystem opens
+// the non-input surface the related work demonstrates — NeuroAttack-style
+// weight/threshold bit-flips (Venceslai et al. 2020) and the power-oriented
+// neuron-parameter faults (Nagarajan et al. 2022). A fault here is a
+// *deterministic, seedable* event: the same (model bytes, FaultSpec) pair
+// always corrupts the same bits, at any pool size, kernel mode or shard
+// split — the same determinism rail every other subsystem rides.
+//
+// Split of responsibilities:
+//   FaultModel   — the per-word corruption op (flip / stuck-at / burst).
+//   FaultSpec    — the declarative campaign parameter block: what kind of
+//                  fault, which storage domain, how many sites, which seed.
+//                  Lives in grid axes and attack params; Label() is folded
+//                  into store keys so corrupted artifacts never alias clean
+//                  ones.
+//   ApplyFault   — (inject.hpp) resolves a spec against a concrete network:
+//                  enumerates the addressable bit surface and drives the
+//                  model over the drawn sites.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace axsnn::faults {
+
+/// The corruption op applied at each faulted site.
+enum class FaultKind {
+  kNone,      ///< no-op placeholder (the clean cell of a fault axis)
+  kBitFlip,   ///< XOR one bit per site
+  kStuckAt0,  ///< clear one bit per site (stuck-at-ground cell)
+  kStuckAt1,  ///< set one bit per site (stuck-at-supply cell)
+  kWordBurst, ///< flip `burst` consecutive bits (row-hammer-style burst)
+};
+
+/// Which storage the fault targets.
+enum class FaultDomain {
+  kWeights,      ///< weight memory: fp32/fp16 words or int8 codes + scales
+  kNeuronParams, ///< LIF Vth / leak registers (fp32 words)
+  kActivations,  ///< transient activation state, injected mid-forward
+};
+
+/// Weight-domain refinement: which physical array inside weight storage.
+enum class WeightTarget {
+  kAny,          ///< every array the variant actually stores
+  kFloatWeights, ///< the float weight words (fp32 bits, or fp16 half-words)
+  kInt8Codes,    ///< the 8-bit integer codes of an int8-kernel snapshot
+  kInt8Scales,   ///< the per-output-channel fp32 scale words of the snapshot
+};
+
+const char* FaultKindName(FaultKind k);
+const char* FaultDomainName(FaultDomain d);
+const char* WeightTargetName(WeightTarget t);
+
+/// Declarative fault campaign cell. Everything the injector draws is a pure
+/// function of this struct (plus the target network's storage layout), so a
+/// spec is also a cache-key component: Label() renders every field.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kNone;
+  FaultDomain domain = FaultDomain::kWeights;
+  WeightTarget target = WeightTarget::kAny;  // weight domain only
+  long flips = 1;         ///< site count when ber == 0
+  double ber = 0.0;       ///< bit-error rate; > 0 derives sites from surface
+  int bit = -1;           ///< pinned bit position; -1 draws per site
+  long layer = -1;        ///< restrict to one target-layer ordinal; -1 = all
+  long burst = 8;         ///< kWordBurst: consecutive bits per site
+  std::uint64_t seed = 1; ///< site/bit draw seed
+
+  bool is_none() const { return kind == FaultKind::kNone; }
+
+  /// Throws std::invalid_argument on out-of-range fields.
+  void Validate() const;
+
+  /// Deterministic cache-key rendering, e.g.
+  /// "bitflip{dom=weights,tgt=any,flips=1,ber=0.001,bit=-1,layer=-1,seed=7}"
+  /// ("none" for the clean spec; burst printed for kWordBurst only).
+  std::string Label() const;
+};
+
+/// Per-word corruption op. `bits` is the word width (8/16/32), `bit` the
+/// resolved in-range position for this site. Pure: all entropy is drawn by
+/// the injector, so the same call always returns the same word — which is
+/// what lets the activation hook re-apply the op per timestep.
+class FaultModel {
+ public:
+  virtual ~FaultModel() = default;
+  virtual FaultKind kind() const = 0;
+  virtual std::uint32_t Corrupt(std::uint32_t word, int bits,
+                                int bit) const = 0;
+};
+
+/// Builds the op for `spec.kind` (nullptr for kNone).
+std::unique_ptr<FaultModel> MakeFaultModel(const FaultSpec& spec);
+
+}  // namespace axsnn::faults

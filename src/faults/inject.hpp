@@ -1,0 +1,88 @@
+// Fault injector: resolves a FaultSpec against a concrete network.
+//
+// The injector's job is to turn a declarative spec into mutated storage:
+//  1. enumerate the addressable *bit surface* of the requested domain —
+//     which words exist, at what width, in layer order:
+//       weights        per Conv2d/Dense weight-layer ordinal:
+//                        - int8-kernel variants: the snapshot's int8 codes
+//                          (8-bit words) and per-channel fp32 scale words;
+//                        - float variants: the weight tensor, addressed as
+//                          fp32 words, or as binary16 half-words when the
+//                          variant's precision is kFp16 (flipping bit 9 of
+//                          a half is a different event than bit 22 of a
+//                          float — the surface must match the storage the
+//                          hardware would actually hold);
+//       neuron params  per LIF-layer ordinal: the Vth and leak registers,
+//                        two fp32 words per layer;
+//       activations    no stored words — installs a Network post-layer hook
+//                        that corrupts a drawn feature lane of a drawn
+//                        layer's activation every timestep (dense path;
+//                        temporal dispatchers fall back when hooked).
+//  2. draw sites with Rng(spec.seed): ber > 0 derives the site count as
+//     max(1, round(ber * surface_bits)), else spec.flips sites; each site
+//     draws a word uniformly over the surface and a bit position (pinned by
+//     spec.bit when >= 0, clamped to the word width);
+//  3. apply FaultModel::Corrupt at each site.
+//
+// Determinism contract: the result is a pure function of (network storage
+// layout + bytes, spec, precision). No wall clock, no global RNG, no
+// iteration-order dependence on pool size or kernel mode. An empty surface
+// (e.g. tgt=codes on an fp32 variant, or a layer ordinal past the end) is
+// a documented no-op: the report shows 0 sites and the net is unchanged.
+#pragma once
+
+#include <vector>
+
+#include "approx/precision.hpp"
+#include "faults/fault_model.hpp"
+#include "snn/network.hpp"
+
+namespace axsnn::faults {
+
+/// One applied corruption, for reports and the sensitivity search.
+struct FaultSite {
+  long layer = 0;       ///< target-domain layer ordinal
+  WeightTarget target = WeightTarget::kFloatWeights;
+  long word = 0;        ///< word index inside that (layer, target) array
+  int bit = 0;          ///< corrupted bit position (burst start)
+};
+
+struct InjectionReport {
+  long sites = 0;          ///< corruption ops actually applied
+  long surface_words = 0;  ///< addressable words of the selected surface
+  long surface_bits = 0;   ///< total bits (words weighted by width)
+  bool activation_hook = false;  ///< spec targeted transient activations
+  std::vector<FaultSite> applied;  ///< per-site coordinates, draw order
+};
+
+/// Applies `spec` to `net` in place. `precision` tells the injector how the
+/// float weight words are stored (fp32 vs binary16 lattice); int8-kernel
+/// layers are always addressed through their snapshot regardless.
+InjectionReport ApplyFault(snn::Network& net, const FaultSpec& spec,
+                           approx::Precision precision);
+
+/// Clone-then-corrupt convenience: the const-model semantics every engine
+/// integration uses (the trained checkpoint is never mutated).
+snn::Network CorruptedClone(const snn::Network& net, const FaultSpec& spec,
+                            approx::Precision precision,
+                            InjectionReport* report = nullptr);
+
+/// Flips one specific bit — the sensitivity-search primitive. `layer` and
+/// `word` address the weight-domain surface of `net` exactly as ApplyFault
+/// enumerates it. Throws when the coordinate does not exist.
+void FlipBitAt(snn::Network& net, long layer, WeightTarget target, long word,
+               int bit, approx::Precision precision);
+
+/// The weight-domain surface of `net`, one entry per (layer ordinal,
+/// target) array: {layer, target, word count, bits per word}. What the
+/// sensitivity search iterates to build its candidate list.
+struct SurfaceArray {
+  long layer = 0;
+  WeightTarget target = WeightTarget::kFloatWeights;
+  long words = 0;
+  int word_bits = 32;
+};
+std::vector<SurfaceArray> WeightSurface(snn::Network& net,
+                                        approx::Precision precision);
+
+}  // namespace axsnn::faults

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <utility>
 
+#include "faults/inject.hpp"
 #include "runtime/parallel_for.hpp"
 #include "scenario/store.hpp"
 #include "tensor/check.hpp"
@@ -51,6 +52,24 @@ std::vector<core::VariantSpec> VariantBlock(const ScenarioGrid& grid) {
       for (const std::optional<kernels::KernelMode>& mode : grid.kernel_modes)
         specs.push_back({precision, level, mode});
   return specs;
+}
+
+/// Attack-level fault: a corrupts_model() attack (bitflip, stuckat) derives
+/// one spec from its params; perturbation attacks contribute none.
+faults::FaultSpec AttackFault(const AttackSpec& attack) {
+  const attacks::Attack& impl = attacks::GetAttack(attack.name);
+  return impl.corrupts_model() ? impl.FaultFromParams(attack.params)
+                               : faults::FaultSpec{};
+}
+
+/// True when a unit with this attack takes the fault-free fast path — the
+/// single EvaluateVariants call of the 8-axis engine. Fault-free grids
+/// (default single none fault axis, perturbation attack) must keep their
+/// golden reports byte-identical, so that path is preserved verbatim.
+bool FaultFreeUnit(const ScenarioGrid& grid,
+                   const faults::FaultSpec& attack_fault) {
+  return attack_fault.is_none() && grid.faults.size() == 1 &&
+         grid.faults[0].is_none();
 }
 
 /// What Run does with one work unit.
@@ -159,10 +178,12 @@ ScenarioOutcome StaticScenarioEngine::Run(const ScenarioGrid& grid,
   std::atomic<long> uncached_trainings{0};
   std::atomic<long> gated_units{0};
   std::atomic<long> replayed_units{0};
+  std::atomic<long> faulted_evals{0};
 
   const std::vector<core::VariantSpec> variants = VariantBlock(grid);
+  const std::size_t fault_count = grid.faults.size();
   const std::size_t block =
-      grid.aqfs.size() * variants.size();  // cells per unit
+      grid.aqfs.size() * variants.size() * fault_count;  // cells per unit
   const long vth_count = static_cast<long>(grid.v_thresholds.size());
   const long time_count = static_cast<long>(grid.time_steps.size());
   const long attack_count = static_cast<long>(grid.attacks.size());
@@ -298,11 +319,49 @@ ScenarioOutcome StaticScenarioEngine::Run(const ScenarioGrid& grid,
               return fresh;
             });
 
-        const std::vector<float> robustness =
-            bench_.EvaluateVariants(*model, adversarial, variants);
+        // Fault-free units keep the single EvaluateVariants call (and its
+        // bytes); fault units clone-then-corrupt every (variant, fault)
+        // pair and evaluate it on the pool — each pair owns its slot, so
+        // the fan-out stays bit-identical at any pool size. The attack's
+        // fault (if any) applies before the axis fault, on the variant's
+        // own precision surface.
+        const faults::FaultSpec attack_fault = AttackFault(attack);
+        std::vector<float> robustness;
+        if (FaultFreeUnit(grid, attack_fault)) {
+          robustness = bench_.EvaluateVariants(*model, adversarial, variants);
+        } else {
+          robustness.assign(variants.size() * fault_count, 0.0f);
+          runtime::ParallelFor(
+              0, static_cast<long>(robustness.size()),
+              [&](long j) {
+                const std::size_t ifl =
+                    static_cast<std::size_t>(j) % fault_count;
+                const std::size_t ivr =
+                    static_cast<std::size_t>(j) / fault_count;
+                const core::VariantSpec& vspec = variants[ivr];
+                snn::Network ax = bench_.MakeAx(*model, vspec);
+                bool faulted = false;
+                if (!attack_fault.is_none()) {
+                  faults::ApplyFault(ax, attack_fault, vspec.precision);
+                  faulted = true;
+                }
+                const faults::FaultSpec& axis_fault = grid.faults[ifl];
+                if (!axis_fault.is_none()) {
+                  faults::ApplyFault(ax, axis_fault, vspec.precision);
+                  faulted = true;
+                }
+                if (faulted)
+                  faulted_evals.fetch_add(1, std::memory_order_relaxed);
+                robustness[static_cast<std::size_t>(j)] =
+                    bench_.AccuracyPct(ax, adversarial, model->time_steps);
+              },
+              /*grain=*/1);
+        }
+        // Both paths produce the variants x faults inner block (fast path:
+        // fault_count == 1), replicated across the (disengaged) aqf axis.
         for (std::size_t iq = 0; iq < grid.aqfs.size(); ++iq) {
-          const std::size_t slice = base + iq * variants.size();
-          for (std::size_t i = 0; i < variants.size(); ++i) {
+          const std::size_t slice = base + iq * robustness.size();
+          for (std::size_t i = 0; i < robustness.size(); ++i) {
             outcome.robustness_pct[slice + i] = robustness[i];
             outcome.evaluated[slice + i] = 1;
           }
@@ -334,6 +393,9 @@ ScenarioOutcome StaticScenarioEngine::Run(const ScenarioGrid& grid,
       store_craft_hits_.load(std::memory_order_relaxed) - store_craft_hits0;
   outcome.stats.gated_units = gated_units.load();
   outcome.stats.replayed_units = replayed_units.load();
+  outcome.stats.faulted_evals = faulted_evals.load();
+  outcome.stats.corrupt_entries =
+      store_ != nullptr ? store_->artifacts().corrupt_entries() : 0;
 
   // Fold this run's fresh computations into the grid's cumulative journal
   // totals, so a merged shard run (or a warm rerun) reports the same
@@ -429,9 +491,12 @@ ScenarioOutcome DvsScenarioEngine::Run(const ScenarioGrid& grid,
   std::atomic<long> uncached_trainings{0};
   std::atomic<long> gated_units{0};
   std::atomic<long> replayed_units{0};
+  std::atomic<long> faulted_evals{0};
 
   const std::vector<core::VariantSpec> variants = VariantBlock(grid);
-  const std::size_t block = grid.aqfs.size() * variants.size();
+  const std::size_t fault_count = grid.faults.size();
+  const std::size_t block =
+      grid.aqfs.size() * variants.size() * fault_count;
   const long vth_count = static_cast<long>(grid.v_thresholds.size());
   const long attack_count = static_cast<long>(grid.attacks.size());
   const long unit_count = vth_count * attack_count;
@@ -540,11 +605,46 @@ ScenarioOutcome DvsScenarioEngine::Run(const ScenarioGrid& grid,
               return fresh;
             });
 
+        // Same split as the static engine: fault-free units keep the
+        // shared-binning EvaluateVariants call per AQF slice; fault units
+        // corrupt a clone per (variant, fault) pair. AccuracyPct falls
+        // back to the dense path for hooked (activation-fault) clones.
+        const faults::FaultSpec attack_fault = AttackFault(attack);
         for (std::size_t iq = 0; iq < grid.aqfs.size(); ++iq) {
-          const std::vector<float> robustness = bench_.EvaluateVariants(
-              *model, adversarial, grid.aqfs[iq], variants);
-          const std::size_t slice = base + iq * variants.size();
-          for (std::size_t i = 0; i < variants.size(); ++i) {
+          std::vector<float> robustness;
+          if (FaultFreeUnit(grid, attack_fault)) {
+            robustness = bench_.EvaluateVariants(*model, adversarial,
+                                                 grid.aqfs[iq], variants);
+          } else {
+            robustness.assign(variants.size() * fault_count, 0.0f);
+            runtime::ParallelFor(
+                0, static_cast<long>(robustness.size()),
+                [&](long j) {
+                  const std::size_t ifl =
+                      static_cast<std::size_t>(j) % fault_count;
+                  const std::size_t ivr =
+                      static_cast<std::size_t>(j) / fault_count;
+                  const core::VariantSpec& vspec = variants[ivr];
+                  snn::Network ax = bench_.MakeAx(*model, vspec);
+                  bool faulted = false;
+                  if (!attack_fault.is_none()) {
+                    faults::ApplyFault(ax, attack_fault, vspec.precision);
+                    faulted = true;
+                  }
+                  const faults::FaultSpec& axis_fault = grid.faults[ifl];
+                  if (!axis_fault.is_none()) {
+                    faults::ApplyFault(ax, axis_fault, vspec.precision);
+                    faulted = true;
+                  }
+                  if (faulted)
+                    faulted_evals.fetch_add(1, std::memory_order_relaxed);
+                  robustness[static_cast<std::size_t>(j)] = bench_.AccuracyPct(
+                      ax, adversarial, grid.aqfs[iq]);
+                },
+                /*grain=*/1);
+          }
+          const std::size_t slice = base + iq * robustness.size();
+          for (std::size_t i = 0; i < robustness.size(); ++i) {
             outcome.robustness_pct[slice + i] = robustness[i];
             outcome.evaluated[slice + i] = 1;
           }
@@ -576,6 +676,9 @@ ScenarioOutcome DvsScenarioEngine::Run(const ScenarioGrid& grid,
       store_craft_hits_.load(std::memory_order_relaxed) - store_craft_hits0;
   outcome.stats.gated_units = gated_units.load();
   outcome.stats.replayed_units = replayed_units.load();
+  outcome.stats.faulted_evals = faulted_evals.load();
+  outcome.stats.corrupt_entries =
+      store_ != nullptr ? store_->artifacts().corrupt_entries() : 0;
 
   if (store_ != nullptr) {
     GridTotals totals = store_->LoadTotals(grid_key);

@@ -52,6 +52,9 @@ struct ScenarioStats {
   long crafted_sets = 0;       ///< fresh craft computations this call
   long craft_cache_hits = 0;   ///< in-memory craft-cache hits
   long gated_units = 0;        ///< units skipped by min_train_accuracy_pct
+  /// Evaluations that ran on a corrupted clone (fault axis entries and
+  /// corrupts_model() attacks — src/faults/). Zero on fault-free grids.
+  long faulted_evals = 0;
   // Distributed-execution counters (zero without an attached store):
   long store_model_hits = 0;   ///< trained models deserialized from disk
   long store_craft_hits = 0;   ///< crafted sets deserialized from disk
@@ -62,6 +65,10 @@ struct ScenarioStats {
   /// shard run reports the same totals as the single-process run.
   long total_trained_models = 0;
   long total_crafted_sets = 0;
+  /// Corrupted artifact envelopes the attached store has detected (and
+  /// treated as recompute misses) over its lifetime; zero without a store.
+  /// CI asserts 0 on clean-cache runs.
+  long corrupt_entries = 0;
 };
 
 /// Grid results, aligned with ExpandScenarioGrid(grid) order.
@@ -80,9 +87,19 @@ struct ScenarioOutcome {
   float Robustness(std::size_t vth_i, std::size_t time_i,
                    std::size_t attack_i, std::size_t eps_i, std::size_t aqf_i,
                    std::size_t precision_i, std::size_t level_i,
-                   std::size_t kernel_i) const {
+                   std::size_t kernel_i, std::size_t fault_i) const {
     return robustness_pct[grid.Index(vth_i, time_i, attack_i, eps_i, aqf_i,
-                                     precision_i, level_i, kernel_i)];
+                                     precision_i, level_i, kernel_i,
+                                     fault_i)];
+  }
+
+  /// Fault-free shorthand (fault index 0).
+  float Robustness(std::size_t vth_i, std::size_t time_i,
+                   std::size_t attack_i, std::size_t eps_i, std::size_t aqf_i,
+                   std::size_t precision_i, std::size_t level_i,
+                   std::size_t kernel_i) const {
+    return Robustness(vth_i, time_i, attack_i, eps_i, aqf_i, precision_i,
+                      level_i, kernel_i, 0);
   }
 };
 

@@ -23,18 +23,19 @@ std::string AttackSpec::Label() const {
 std::size_t ScenarioGrid::CellCount() const {
   return v_thresholds.size() * time_steps.size() * attacks.size() *
          epsilons.size() * aqfs.size() * precisions.size() * levels.size() *
-         kernel_modes.size();
+         kernel_modes.size() * faults.size();
 }
 
 std::size_t ScenarioGrid::Index(std::size_t vth_i, std::size_t time_i,
                                 std::size_t attack_i, std::size_t eps_i,
                                 std::size_t aqf_i, std::size_t precision_i,
-                                std::size_t level_i,
-                                std::size_t kernel_i) const {
+                                std::size_t level_i, std::size_t kernel_i,
+                                std::size_t fault_i) const {
   AXSNN_CHECK(vth_i < v_thresholds.size() && time_i < time_steps.size() &&
                   attack_i < attacks.size() && eps_i < epsilons.size() &&
                   aqf_i < aqfs.size() && precision_i < precisions.size() &&
-                  level_i < levels.size() && kernel_i < kernel_modes.size(),
+                  level_i < levels.size() && kernel_i < kernel_modes.size() &&
+                  fault_i < faults.size(),
               "scenario cell coordinate out of range");
   std::size_t index = vth_i;
   index = index * time_steps.size() + time_i;
@@ -44,6 +45,7 @@ std::size_t ScenarioGrid::Index(std::size_t vth_i, std::size_t time_i,
   index = index * precisions.size() + precision_i;
   index = index * levels.size() + level_i;
   index = index * kernel_modes.size() + kernel_i;
+  index = index * faults.size() + fault_i;
   return index;
 }
 
@@ -59,25 +61,29 @@ std::vector<ScenarioCell> ExpandScenarioGrid(const ScenarioGrid& grid,
             for (std::size_t ip = 0; ip < grid.precisions.size(); ++ip)
               for (std::size_t il = 0; il < grid.levels.size(); ++il)
                 for (std::size_t ik = 0; ik < grid.kernel_modes.size();
-                     ++ik) {
-                  ScenarioCell cell;
-                  cell.vth_index = iv;
-                  cell.time_index = it;
-                  cell.attack_index = ia;
-                  cell.eps_index = ie;
-                  cell.aqf_index = iq;
-                  cell.precision_index = ip;
-                  cell.level_index = il;
-                  cell.kernel_index = ik;
-                  cell.vth = grid.v_thresholds[iv];
-                  cell.time_steps =
-                      time_override.value_or(grid.time_steps[it]);
-                  cell.epsilon = grid.epsilons[ie];
-                  cell.precision = grid.precisions[ip];
-                  cell.level = grid.levels[il];
-                  cell.kernel_mode = grid.kernel_modes[ik];
-                  cells.push_back(cell);
-                }
+                     ++ik)
+                  for (std::size_t ifl = 0; ifl < grid.faults.size();
+                       ++ifl) {
+                    ScenarioCell cell;
+                    cell.vth_index = iv;
+                    cell.time_index = it;
+                    cell.attack_index = ia;
+                    cell.eps_index = ie;
+                    cell.aqf_index = iq;
+                    cell.precision_index = ip;
+                    cell.level_index = il;
+                    cell.kernel_index = ik;
+                    cell.fault_index = ifl;
+                    cell.vth = grid.v_thresholds[iv];
+                    cell.time_steps =
+                        time_override.value_or(grid.time_steps[it]);
+                    cell.epsilon = grid.epsilons[ie];
+                    cell.precision = grid.precisions[ip];
+                    cell.level = grid.levels[il];
+                    cell.kernel_mode = grid.kernel_modes[ik];
+                    cell.fault = grid.faults[ifl];
+                    cells.push_back(cell);
+                  }
   return cells;
 }
 
@@ -90,10 +96,17 @@ void ValidateScenarioGrid(const ScenarioGrid& grid, bool for_events) {
   AXSNN_CHECK(!grid.precisions.empty(), "empty precision axis");
   AXSNN_CHECK(!grid.levels.empty(), "empty approximation-level axis");
   AXSNN_CHECK(!grid.kernel_modes.empty(), "empty kernel-mode axis");
+  AXSNN_CHECK(!grid.faults.empty(),
+              "empty fault axis (use the default single none entry for "
+              "fault-free grids)");
+  for (const faults::FaultSpec& fault : grid.faults)
+    fault.Validate();  // malformed fault cells fail before any training
 
   for (const AttackSpec& spec : grid.attacks) {
     const attacks::Attack& attack = attacks::GetAttack(spec.name);
     (void)attack.ResolveParams(spec.params);  // typo'd params fail up front
+    if (attack.corrupts_model())
+      (void)attack.FaultFromParams(spec.params);  // and malformed specs
     if (for_events) {
       AXSNN_CHECK(attack.supports_events(),
                   "attack '" << attack.name()

@@ -12,9 +12,12 @@
 // figures by index): axes nest outer-to-inner as
 //
 //   vth -> time -> attack -> epsilon -> aqf -> precision -> level -> kernel
+//       -> fault
 //
 // so one "work unit" (a trained model + one crafted dataset) owns a
-// contiguous block of cells.
+// contiguous block of cells. The fault axis (src/faults/) is innermost: a
+// fault corrupts an evaluated variant, never the trained model or the
+// crafted set, so every fault cell of a unit reuses the same artifacts.
 #pragma once
 
 #include <cstddef>
@@ -25,6 +28,7 @@
 #include "approx/precision.hpp"
 #include "attacks/registry.hpp"
 #include "core/aqf.hpp"
+#include "faults/fault_model.hpp"
 #include "kernels/dispatch.hpp"
 
 namespace axsnn::scenario {
@@ -59,6 +63,12 @@ struct ScenarioGrid {
   /// the workbench option.
   std::vector<std::optional<kernels::KernelMode>> kernel_modes = {
       std::nullopt};
+  /// Fault axis (innermost): each entry corrupts a clone of the evaluated
+  /// variant via faults::ApplyFault before measuring. The default single
+  /// none entry keeps fault-free grids identical to the 8-axis layout. A
+  /// fault cell's store key folds the fault label, so corrupted unit
+  /// results never alias clean ones.
+  std::vector<faults::FaultSpec> faults = {faults::FaultSpec{}};
 
   /// Algorithm 1 line 4: structural cells whose accurate model trains below
   /// this [%] are gated — their cells are skipped (robustness NaN,
@@ -72,7 +82,18 @@ struct ScenarioGrid {
   std::size_t Index(std::size_t vth_i, std::size_t time_i,
                     std::size_t attack_i, std::size_t eps_i,
                     std::size_t aqf_i, std::size_t precision_i,
-                    std::size_t level_i, std::size_t kernel_i) const;
+                    std::size_t level_i, std::size_t kernel_i,
+                    std::size_t fault_i) const;
+
+  /// Fault-free shorthand (fault index 0 — the clean cell of the default
+  /// single-none fault axis). Keeps 8-axis drivers source-compatible.
+  std::size_t Index(std::size_t vth_i, std::size_t time_i,
+                    std::size_t attack_i, std::size_t eps_i,
+                    std::size_t aqf_i, std::size_t precision_i,
+                    std::size_t level_i, std::size_t kernel_i) const {
+    return Index(vth_i, time_i, attack_i, eps_i, aqf_i, precision_i,
+                 level_i, kernel_i, 0);
+  }
 };
 
 /// One expanded cell: axis indices plus the resolved values (the AQF config
@@ -86,6 +107,7 @@ struct ScenarioCell {
   std::size_t precision_index = 0;
   std::size_t level_index = 0;
   std::size_t kernel_index = 0;
+  std::size_t fault_index = 0;
 
   float vth = 0.0f;
   long time_steps = 0;
@@ -93,6 +115,7 @@ struct ScenarioCell {
   approx::Precision precision = approx::Precision::kFp32;
   double level = 0.0;
   std::optional<kernels::KernelMode> kernel_mode;
+  faults::FaultSpec fault;
 };
 
 /// Expands the grid in the documented nesting order. `time_override`

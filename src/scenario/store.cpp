@@ -251,6 +251,11 @@ std::uint64_t GridDigest(std::uint64_t fingerprint, const char* family,
     h.I64(mode.has_value() ? 1 : 0);
     if (mode.has_value()) h.I64(static_cast<long>(*mode));
   }
+  // Fault axis: the label renders every spec field (kind, domain, target,
+  // sites, seed...), so a corrupted unit's journal can never alias a clean
+  // grid's — or a differently-faulted grid's — records.
+  h.U64(grid.faults.size());
+  for (const faults::FaultSpec& fault : grid.faults) h.Str(fault.Label());
   h.I64(grid.min_train_accuracy_pct.has_value() ? 1 : 0);
   if (grid.min_train_accuracy_pct.has_value())
     h.F32(*grid.min_train_accuracy_pct);

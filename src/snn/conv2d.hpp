@@ -66,6 +66,10 @@ class Conv2d final : public Layer {
   void DisableInt8Kernel() { qweight_ = QuantizedTensor(); }
   bool int8_kernel() const { return !qweight_.empty(); }
   const QuantizedTensor& quantized_weight() const { return qweight_; }
+  /// Mutable snapshot access for the fault injector (src/faults/), which
+  /// flips bits of the stored int8 codes / scale words in place. The next
+  /// forward reads the corrupted snapshot directly.
+  QuantizedTensor& quantized_weight() { return qweight_; }
 
   /// Bulk weight reload: the int8 snapshot no longer matches — drop it
   /// (callers re-enable if they still want integer execution).

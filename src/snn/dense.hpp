@@ -56,6 +56,9 @@ class Dense final : public Layer {
   void DisableInt8Kernel() { qweight_ = QuantizedTensor(); }
   bool int8_kernel() const { return !qweight_.empty(); }
   const QuantizedTensor& quantized_weight() const { return qweight_; }
+  /// Mutable snapshot access for the fault injector (src/faults/); same
+  /// contract as Conv2d::quantized_weight().
+  QuantizedTensor& quantized_weight() { return qweight_; }
 
   /// Bulk weight reload: the int8 snapshot no longer matches — drop it
   /// (callers re-enable if they still want integer execution).

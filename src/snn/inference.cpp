@@ -53,7 +53,10 @@ Tensor LogitsStatic(Network& net, const Tensor& images, long time_steps,
 
 Tensor LogitsTemporal(Network& net, const Tensor& frames) {
   AXSNN_CHECK(frames.rank() == 5, "LogitsTemporal expects [B, T, C, H, W]");
-  if (ResolveEventPathMode(net.event_path()) == EventPathMode::kEvent) {
+  // A post-layer (fault) hook only fires on the dense ForwardInto chain, so
+  // a hooked network must not ride the event runner — fall back to dense.
+  if (!net.has_post_layer_hook() &&
+      ResolveEventPathMode(net.event_path()) == EventPathMode::kEvent) {
     kernels::SpikeStream stream;
     if (TimeMajorPackInto(frames, stream)) {
       EventRunner runner(net);
@@ -103,6 +106,7 @@ std::vector<int> PredictTemporal(Network& net, const Tensor& frames,
   // predictions match the dense loop exactly. Stream and runner storage is
   // reused across batches.
   const bool use_event =
+      !net.has_post_layer_hook() &&  // hooks fire on the dense chain only
       ResolveEventPathMode(net.event_path()) == EventPathMode::kEvent;
   kernels::SpikeStream stream;
   std::optional<EventRunner> runner;

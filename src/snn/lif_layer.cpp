@@ -21,6 +21,12 @@ void LifLayer::set_params(LifParams params) {
   cached_spikes_ = Tensor();
 }
 
+void LifLayer::set_params_raw(LifParams params) {
+  params_ = params;  // no Validate(): faulted values pass through verbatim
+  cached_membrane_ = Tensor();
+  cached_spikes_ = Tensor();
+}
+
 Shape LifLayer::OutputShape(const Shape& in) const {
   AXSNN_CHECK(in.size() >= 2, "LifLayer expects [T, B, F...]");
   return in;

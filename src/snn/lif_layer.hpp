@@ -45,6 +45,13 @@ class LifLayer final : public Layer {
   /// Replaces the neuron parameters (e.g. when sweeping Vth). Clears caches.
   void set_params(LifParams params);
 
+  /// Fault-injection entry (src/faults/): replaces the neuron parameters
+  /// WITHOUT range validation — a hardware bit-flip does not respect
+  /// software invariants, and a corrupted Vth/leak must flow through the
+  /// recursion as-is (every downstream op is well-defined float
+  /// arithmetic, including NaN/inf). Clears caches like set_params.
+  void set_params_raw(LifParams params);
+
   /// Mean spikes emitted per neuron per time step in the last Forward
   /// (Ns/T in Eq. (1) terms).
   float last_mean_rate() const { return last_mean_rate_; }

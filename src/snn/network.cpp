@@ -28,6 +28,7 @@ const Tensor& Network::ForwardShared(const Tensor& x, bool train) {
     Tensor& buf = workspace_.Slot(i % 2);
     AXSNN_CHECK(in != &buf, "workspace slot aliases the layer input");
     layers_[i]->ForwardInto(*in, buf, train);
+    if (post_layer_hook_) post_layer_hook_(i, buf);
     out = &buf;
     in = out;
   }

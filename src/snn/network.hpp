@@ -11,6 +11,7 @@
 //    once) for the paper's (Vth, T) sweeps.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -105,7 +106,24 @@ class Network {
   EventPathMode event_path() const { return event_path_; }
   void set_event_path(EventPathMode mode) { event_path_ = mode; }
 
-  /// Deep copy: same weights, fresh caches.
+  /// Transient-fault injection hook (src/faults/): called after every
+  /// layer's ForwardInto with the layer index and the freshly written
+  /// activation, which it may corrupt in place. Deliberately execution
+  /// state, not model state: Clone() does NOT copy it (a clone restarts
+  /// fault-free) and StateDict() never sees it. The hook fires on the
+  /// dense path only; the temporal dispatchers fall back to dense when one
+  /// is installed (snn/inference.cpp, core/workbench.cpp) so the corruption
+  /// is never silently skipped by the event path.
+  using PostLayerHook = std::function<void(std::size_t layer, Tensor& act)>;
+  void set_post_layer_hook(PostLayerHook hook) {
+    post_layer_hook_ = std::move(hook);
+  }
+  bool has_post_layer_hook() const {
+    return static_cast<bool>(post_layer_hook_);
+  }
+
+  /// Deep copy: same weights, fresh caches. Does not copy the post-layer
+  /// hook (see set_post_layer_hook).
   Network Clone() const;
 
   /// Weights keyed "layer_name.param_index" (e.g. "conv1.0" for the kernel).
@@ -119,6 +137,7 @@ class Network {
   std::vector<std::unique_ptr<Layer>> layers_;
   runtime::Workspace workspace_;  // activation ping-pong for ForwardShared
   EventPathMode event_path_ = EventPathMode::kAuto;
+  PostLayerHook post_layer_hook_;  // transient; never cloned/serialized
 };
 
 /// Scoped inference-pass gradient caching: the gradient-based attacks

@@ -65,6 +65,16 @@ class QuantizedTensor {
     return scales_[static_cast<std::size_t>(row)];
   }
 
+  /// Mutable views over the raw storage, for the fault-injection subsystem
+  /// (src/faults/): hardware bit-flips corrupt the stored codes and scale
+  /// words directly, bypassing the quantization invariants above. Nothing
+  /// else should write through these — kernels treat the storage as
+  /// read-only and any code/scale value is well-defined arithmetic.
+  std::span<std::int8_t> mutable_flat() { return {data_.data(),
+                                                  data_.size()}; }
+  std::span<float> mutable_scales() { return {scales_.data(),
+                                              scales_.size()}; }
+
  private:
   /// Quantizes `t` row by row with the given (validated) scales.
   QuantizedTensor(const Tensor& t, std::vector<float> scales);
